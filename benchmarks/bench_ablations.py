@@ -1,0 +1,73 @@
+"""Ablation benches: sensitivity of the results to the simulator's own
+design decisions (DESIGN.md §5)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+from repro.experiments.report import render_table
+
+
+def test_ablation_block_size_sweep(benchmark, report):
+    times = run_once(benchmark, lambda: ablations.block_size_sweep("xeon_4310t", 512))
+    report(ablations.render_block_sweep(times))
+    # The sweep has an interior optimum: the best block beats both extremes.
+    blocks = sorted(times)
+    best = min(times.values())
+    assert best < times[blocks[0]]
+    assert best <= times[blocks[-1]]
+
+
+def test_ablation_prefetcher(benchmark, report):
+    rows = run_once(benchmark, ablations.prefetch_ablation)
+    report(
+        render_table(
+            ["device", "prefetch on (s)", "prefetch off (s)", "slowdown"],
+            rows,
+            title="Ablation — prefetcher on/off (naive transpose)",
+        )
+    )
+    # Disabling the prefetcher never helps; it hurts most on in-order cores.
+    slowdowns = {row[0]: row[3] for row in rows}
+    assert all(s >= 1.0 for s in slowdowns.values())
+    assert max(slowdowns["mango_pi_d1"], slowdowns["visionfive_jh7100"]) > 1.2
+
+
+def test_ablation_replacement_policy(benchmark, report):
+    result = run_once(benchmark, ablations.replacement_policy_swap)
+    report(
+        render_table(
+            ["policy", "Naive (s)", "Blocking (s)"],
+            [[p, v["Naive"], v["Blocking"]] for p, v in result.items()],
+            title="Ablation — U74 replacement policy (random vs LRU)",
+        )
+    )
+    # Both policies agree on the headline: blocking wins.
+    for policy, times in result.items():
+        assert times["Blocking"] < times["Naive"]
+
+
+def test_ablation_contention_model(benchmark, report):
+    result = run_once(benchmark, ablations.contention_model_comparison)
+    report(
+        render_table(
+            ["model", "seconds"],
+            list(result.items()),
+            title="Ablation — DRAM contention model",
+        )
+    )
+    # Water-filling is never slower than rigid equal-share division.
+    assert result["water_filling"] <= result["equal_share"] * (1 + 1e-9)
+
+
+def test_ablation_scale_sensitivity(benchmark, report):
+    result = run_once(benchmark, ablations.scale_sensitivity)
+    report(
+        render_table(
+            ["cache scale", "blocking speedup"],
+            sorted(result.items()),
+            title="Ablation — cache-scale sensitivity (RPi 4)",
+        )
+    )
+    # The figure's conclusion (blocking helps) is stable across scales.
+    assert all(speedup > 1.3 for speedup in result.values())

@@ -1,0 +1,23 @@
+"""Regenerates Fig. 1: STREAM bandwidth per memory level per device."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1
+
+
+def test_fig1_stream_bandwidth(benchmark, report):
+    rows = run_once(benchmark, fig1.run)
+    report(fig1.render(rows))
+
+    by = {(r.device_key, r.level): r.best_gbs for r in rows}
+    # The paper's Fig. 1 shape must hold in the regenerated data:
+    assert by[("xeon_4310t", "DRAM")] > 5 * by[("raspberry_pi_4", "DRAM")]
+    assert by[("raspberry_pi_4", "DRAM")] > by[("mango_pi_d1", "DRAM")]
+    assert by[("visionfive_jh7100", "DRAM")] == min(
+        v for (dev, lvl), v in by.items() if lvl == "DRAM"
+    )
+    l1 = {dev: v for (dev, lvl), v in by.items() if lvl == "L1"}
+    assert l1["mango_pi_d1"] == min(l1.values())
+    # Every cache level is faster than the DRAM below it.
+    for (dev, lvl), v in by.items():
+        if lvl != "DRAM":
+            assert v > by[(dev, "DRAM")], (dev, lvl)

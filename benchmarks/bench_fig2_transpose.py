@@ -1,0 +1,32 @@
+"""Regenerates Fig. 2: transpose times + speedups, both matrix sizes."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2
+from repro.kernels import transpose
+
+
+@pytest.mark.parametrize("paper_n", [8192, 16384])
+def test_fig2_transpose(benchmark, report, paper_n):
+    panel = run_once(benchmark, lambda: fig2.run_panel(paper_n))
+    report(fig2.render([panel]))
+
+    devices = {row.device_key for row in panel.rows}
+    if paper_n == 16384:
+        # The 2 GiB matrix does not fit the Mango Pi's 1 GB (paper rule).
+        assert "mango_pi_d1" in panel.excluded
+        assert "mango_pi_d1" not in devices
+    else:
+        assert "mango_pi_d1" in devices
+
+    for row in panel.rows:
+        # Blocking-family optimizations speed up every device.
+        assert row.speedups["Manual_blocking"] > 1.3, row.device_key
+        assert row.speedups["Dynamic"] >= row.speedups["Manual_blocking"] * 0.95
+        if row.device_key == "mango_pi_d1":
+            assert row.speedups["Parallel"] == pytest.approx(1.0, rel=0.02)
+
+    xeon = panel.row("xeon_4310t")
+    for key in devices - {"xeon_4310t"}:
+        assert xeon.naive_seconds < panel.row(key).naive_seconds

@@ -1,0 +1,23 @@
+"""Regenerates Fig. 3: transpose relative memory-bandwidth utilization."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3
+
+
+def test_fig3_transpose_utilization(benchmark, report):
+    rows = run_once(benchmark, fig3.run)
+    report(fig3.render(rows))
+
+    for row in rows:
+        assert 0.0 < row.naive_utilization <= 1.0
+        assert 0.0 < row.best_utilization <= 1.0
+        # Optimization raises utilization on every device (paper: 'all
+        # devices show almost the same increase in this indicator').
+        assert row.best_utilization > row.naive_utilization
+
+    small = {r.device_key: r for r in rows if r.paper_n == 8192}
+    # Mango Pi: 'low memory utilization both in the naive implementation
+    # and in the most optimized one'.
+    assert small["mango_pi_d1"].best_utilization == min(
+        r.best_utilization for r in small.values()
+    )

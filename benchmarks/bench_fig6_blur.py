@@ -1,0 +1,32 @@
+"""Regenerates Fig. 6: Gaussian blur times + speedups."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+
+
+def test_fig6_blur(benchmark, report):
+    result = run_once(benchmark, fig6.run)
+    report(fig6.render(result))
+
+    for row in result.rows:
+        # The separable rewrite beats naive everywhere, but by less than
+        # the F-fold complexity reduction (the paper's observation).
+        assert 1.0 < row.speedups["1D_kernels"] < result.filter_size
+        # 'Memory' is the big single-core jump on every device.
+        assert row.speedups["Memory"] > row.speedups["1D_kernels"]
+
+    xeon = result.row("xeon_4310t")
+    # Vectorization pushes the Xeon's Memory speedup past ~16x (paper: >19x).
+    assert xeon.speedups["Memory"] > 12
+
+    mango = result.row("mango_pi_d1")
+    assert mango.speedups["Parallel"] == pytest.approx(mango.speedups["Memory"], rel=0.02)
+
+    # Parallel scaling is bandwidth-limited on the boards: well below the
+    # core count over the Memory variant.
+    rpi = result.row("raspberry_pi_4")
+    assert rpi.speedups["Parallel"] / rpi.speedups["Memory"] < 3.0
+    jh = result.row("visionfive_jh7100")
+    assert jh.speedups["Parallel"] / jh.speedups["Memory"] < 2.0

@@ -1,0 +1,27 @@
+"""Regenerates Fig. 7: blur relative memory-bandwidth utilization."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7
+
+
+def test_fig7_blur_utilization(benchmark, report):
+    rows = run_once(benchmark, fig7.run)
+    report(fig7.render(rows))
+
+    by = {row.device_key: row for row in rows}
+    for row in rows:
+        for variant in fig7.VARIANTS:
+            assert 0.0 <= row.utilization[variant] <= 1.0
+        # Memory improves on 1D_kernels everywhere.
+        assert row.improvement["Memory"] > 1.0, row.device_key
+
+    # 'The memory subsystem of Mango Pi does not allow for high performance
+    # ... due to the lack of L2 cache and slow L1.'
+    assert by["mango_pi_d1"].utilization["1D_kernels"] == min(
+        r.utilization["1D_kernels"] for r in rows
+    )
+    # 'In case of Intel Xeon, the parallel algorithm provided an increase
+    # in the memory bandwidth usage metric' — the largest jump of all.
+    xeon_jump = by["xeon_4310t"].improvement["Parallel"]
+    assert xeon_jump == max(r.improvement["Parallel"] for r in rows)
+    assert xeon_jump > 2.0

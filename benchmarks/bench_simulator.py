@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the simulator itself (host-side performance).
+
+These are genuine pytest-benchmark measurements (multiple rounds): they
+track the throughput of the hot loops that make whole-figure regeneration
+tractable, so a performance regression in the simulator shows up here.
+"""
+
+import numpy as np
+
+from repro.devices import visionfive_jh7100
+from repro.exec import TraceGenerator, run_program
+from repro.exec.trace import Segment
+from repro.kernels import stream, transpose
+from repro.memsim import Cache, MemoryHierarchy, U74_PREFETCH
+from repro.riscv import compile_and_run
+from repro.transforms import AutoVectorize
+
+
+def test_cache_line_throughput(benchmark):
+    """Line touches per second through a 2-level hierarchy."""
+    hierarchy = MemoryHierarchy(
+        [Cache("L1", 32 * 1024, 4), Cache("L2", 128 * 1024, 8)],
+        prefetch=U74_PREFETCH,
+    )
+    segments = [Segment(0, 0, 8, 8192, False, 8), Segment(1, 0, 8, 8192, True, 8)]
+
+    def run():
+        for seg in segments:
+            hierarchy.process_segment(seg)
+
+    benchmark(run)
+
+
+def test_tracegen_throughput(benchmark):
+    """Segment generation rate for a blocked transpose."""
+    program = transpose.blocking(256, block=16)
+    generator = TraceGenerator(program, num_cores=2)
+
+    def run():
+        count = 0
+        for _ in generator.core_stream(0):
+            count += 1
+        return count
+
+    assert benchmark(run) > 0
+
+
+def test_interpreter_vector_path(benchmark):
+    """Numpy fast-path interpretation of a vectorizable kernel."""
+    n = 65536
+    program = stream.triad(n, parallel=False)
+    rng = np.random.default_rng(0)
+    inputs = {"b": rng.random(n), "c": rng.random(n)}
+    out = benchmark(lambda: run_program(program, inputs))
+    assert np.allclose(out["a"], inputs["b"] + 3.0 * inputs["c"])
+
+
+def test_emulator_instruction_rate(benchmark):
+    """RV64 functional emulation rate (instructions/second)."""
+    program = stream.triad(256, parallel=False)
+    rng = np.random.default_rng(0)
+    inputs = {"b": rng.random(256), "c": rng.random(256)}
+
+    def run():
+        _, emulator = compile_and_run(program, inputs)
+        return emulator.stats.instructions
+
+    assert benchmark(run) > 1000
+
+
+def test_end_to_end_simulation(benchmark):
+    """Full pipeline: trace + hierarchy + timing for one kernel/device."""
+    from repro.simulate import simulate
+
+    device = visionfive_jh7100().scaled(16)
+    program = transpose.blocking(128, block=16)
+
+    result = benchmark(lambda: simulate(program, device))
+    assert result.seconds > 0

@@ -1,0 +1,50 @@
+"""Extension sweeps: the curves the paper's sampled figures come from."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import sweeps
+from repro.experiments.report import render_table
+
+
+def test_sweep_transpose_size(benchmark, report):
+    result = run_once(benchmark, sweeps.transpose_size_sweep)
+    report(
+        render_table(
+            ["matrix n", "blocking speedup"],
+            sorted(result.items()),
+            title="Sweep — blocking speedup vs matrix size (RPi 4)",
+        )
+    )
+    sizes = sorted(result)
+    # Blocking matters more as the matrix falls further out of cache.
+    assert result[sizes[-1]] > result[sizes[0]]
+
+
+def test_sweep_blur_filter_size(benchmark, report):
+    result = run_once(benchmark, sweeps.blur_filter_sweep)
+    report(
+        render_table(
+            ["filter F", "1D-kernels speedup", "speedup / F"],
+            [(f, s, s / f) for f, s in sorted(result.items())],
+            title="Sweep — separable speedup vs filter size (VisionFive)",
+        )
+    )
+    # Speedup grows with F but stays well below the F-fold complexity win.
+    fs = sorted(result)
+    assert result[fs[-1]] > result[fs[0]]
+    assert all(speedup < f for f, speedup in result.items())
+
+
+def test_sweep_core_scaling(benchmark, report):
+    result = run_once(benchmark, sweeps.core_scaling_sweep)
+    report(
+        render_table(
+            ["cores", "speedup vs 1 core"],
+            sorted(result.items()),
+            title="Sweep — transpose parallel scaling (Xeon)",
+        )
+    )
+    counts = sorted(result)
+    # More cores never slower; scaling is sub-linear at the top end.
+    values = [result[c] for c in counts]
+    assert all(b >= a * 0.98 for a, b in zip(values, values[1:]))
+    assert result[counts[-1]] < counts[-1]

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compile IR kernels to actual RISC-V machine code and run them on the
+bundled RV64 emulator — scalar and RVV.
+
+The paper benchmarks C code on RISC-V silicon; this demo closes the loop
+in the reproduction: the same kernels, as RV64 instructions, through the
+same memory models.
+
+Run:  python examples/riscv_codegen_demo.py
+"""
+
+import numpy as np
+
+from repro.exec import run_program
+from repro.kernels import stream
+from repro.memsim import C906_PREFETCH, Cache, MemoryHierarchy
+from repro.riscv import compile_and_run, generate_assembly
+from repro.transforms import AutoVectorize
+
+
+def main() -> None:
+    n = 2048
+    rng = np.random.default_rng(7)
+    inputs = {"b": rng.random(n), "c": rng.random(n)}
+
+    program = stream.triad(n, parallel=False)
+    expected = run_program(program, inputs)["a"]
+
+    print("=== scalar RV64 ===")
+    asm = generate_assembly(program)
+    print("\n".join(asm.splitlines()[:18]) + "\n  ...")
+    got, scalar_emu = compile_and_run(program, inputs)
+    assert np.array_equal(got["a"], expected)
+    print(f"\nresult matches the IR interpreter bit-for-bit")
+    print(f"instructions executed: {scalar_emu.stats.instructions}")
+
+    print("\n=== RVV (VLEN=128, like the C906's vector unit) ===")
+    vector_program = AutoVectorize().run(program)
+    vasm = generate_assembly(vector_program, use_rvv=True)
+    loop = [line for line in vasm.splitlines() if "v" in line.split("#")[0]][:8]
+    print("\n".join(loop))
+    got, vector_emu = compile_and_run(vector_program, inputs, use_rvv=True, vlen_bits=128)
+    assert np.array_equal(got["a"], expected)
+    print(f"\ninstructions executed: {vector_emu.stats.instructions} "
+          f"({scalar_emu.stats.instructions / vector_emu.stats.instructions:.1f}x fewer than scalar)")
+    print(f"vector instructions:   {vector_emu.stats.vector_ops}")
+
+    print("\n=== machine-code trace through the C906 cache model ===")
+    _, traced = compile_and_run(program, inputs, trace=True)
+    hierarchy = MemoryHierarchy(
+        [Cache("L1", 32 * 1024, 4)], prefetch=C906_PREFETCH
+    )
+    for segment in traced.memory.trace:
+        hierarchy.process_segment(segment)
+    stats = hierarchy.caches[0].stats
+    print(f"L1 line accesses: {stats.accesses}, misses: {stats.misses} "
+          f"({100 * stats.miss_ratio:.1f}%), prefetch-covered: {stats.prefetch_hits}")
+    print(f"DRAM traffic: {hierarchy.dram_bytes / 1024:.0f} KiB "
+          f"(arrays total {3 * n * 8 / 1024:.0f} KiB)")
+
+    print("\n=== would RVV pay off on the Mango Pi? (machine-code timing) ===")
+    from repro.devices import mango_pi_d1
+    from repro.riscv import time_program_on_device
+
+    device = mango_pi_d1()
+    scalar_timing = time_program_on_device(program, device, inputs)
+    vector_timing = time_program_on_device(
+        vector_program, device, inputs, use_rvv=True, vlen_bits=128
+    )
+    print(f"scalar: {scalar_timing.seconds * 1e6:8.1f} us  "
+          f"(IPC {scalar_timing.ipc:.2f}, {scalar_timing.instructions} instr)")
+    print(f"RVV:    {vector_timing.seconds * 1e6:8.1f} us  "
+          f"(IPC {vector_timing.ipc:.2f}, {vector_timing.instructions} instr)")
+    print(f"-> vectorization would buy {scalar_timing.seconds / vector_timing.seconds:.2f}x "
+          "on the C906 model — the paper's outlook made quantitative")
+
+
+if __name__ == "__main__":
+    main()

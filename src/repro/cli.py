@@ -1,0 +1,117 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Usage::
+
+    repro-experiments fig1
+    repro-experiments fig2 fig3
+    repro-experiments all
+    repro-experiments ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments import ablations, fig1, fig2, fig3, fig6, fig7
+from repro.experiments.report import render_table
+
+FIGURES = ["fig1", "fig2", "fig3", "fig6", "fig7"]
+
+
+def _run_figure(name: str) -> str:
+    if name == "fig1":
+        return fig1.render(fig1.run())
+    if name == "fig2":
+        return fig2.render(fig2.run())
+    if name == "fig3":
+        return fig3.render(fig3.run())
+    if name == "fig6":
+        return fig6.render(fig6.run())
+    if name == "fig7":
+        return fig7.render(fig7.run())
+    raise ValueError(f"unknown figure {name!r}")
+
+
+def _run_ablations() -> str:
+    parts = [ablations.render_block_sweep(ablations.block_size_sweep())]
+    rows = ablations.prefetch_ablation()
+    parts.append(
+        render_table(
+            ["device", "prefetch on (s)", "prefetch off (s)", "slowdown"],
+            rows,
+            title="Ablation — prefetcher on/off (naive transpose)",
+        )
+    )
+    policies = ablations.replacement_policy_swap()
+    parts.append(
+        render_table(
+            ["policy", "Naive (s)", "Blocking (s)"],
+            [[p, v["Naive"], v["Blocking"]] for p, v in policies.items()],
+            title="Ablation — U74 replacement policy",
+        )
+    )
+    contention = ablations.contention_model_comparison()
+    parts.append(
+        render_table(
+            ["model", "seconds"],
+            list(contention.items()),
+            title="Ablation — DRAM contention model",
+        )
+    )
+    sensitivity = ablations.scale_sensitivity()
+    parts.append(
+        render_table(
+            ["cache scale", "blocking speedup"],
+            sorted(sensitivity.items()),
+            title="Ablation — cache-scale sensitivity",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures from simulation.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        choices=FIGURES + ["all", "ablations"],
+        help="figures to regenerate",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each figure's data as CSV into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    names: List[str] = []
+    for name in args.figures:
+        if name == "all":
+            names.extend(FIGURES)
+        else:
+            names.append(name)
+
+    for name in dict.fromkeys(names):  # dedupe, keep order
+        start = time.time()
+        if name == "ablations":
+            output = _run_ablations()
+        else:
+            output = _run_figure(name)
+        print(output)
+        if args.csv_dir and name != "ablations":
+            from repro.experiments.export import export_figure
+
+            path = export_figure(name, args.csv_dir)
+            print(f"[csv written to {path}]")
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Device models for the paper's four machines.
+
+* :mod:`repro.devices.spec` — :class:`DeviceSpec` and its components;
+* :mod:`repro.devices.catalog` — Mango Pi MQ-Pro (Allwinner D1 / C906),
+  StarFive VisionFive (JH7100 / U74), Raspberry Pi 4 (BCM2711 / A72) and
+  one socket of the 2x Intel Xeon 4310T server.
+"""
+
+from repro.devices.catalog import (
+    DEVICE_KEYS,
+    all_devices,
+    get_device,
+    mango_pi_d1,
+    raspberry_pi_4,
+    riscv_devices,
+    visionfive_jh7100,
+    xeon_4310t,
+)
+from repro.devices.spec import (
+    LINE_SIZE,
+    CacheLevelSpec,
+    CpuSpec,
+    DeviceSpec,
+    DramSpec,
+)
+
+__all__ = [
+    "CacheLevelSpec",
+    "CpuSpec",
+    "DEVICE_KEYS",
+    "DeviceSpec",
+    "DramSpec",
+    "LINE_SIZE",
+    "all_devices",
+    "get_device",
+    "mango_pi_d1",
+    "raspberry_pi_4",
+    "riscv_devices",
+    "visionfive_jh7100",
+    "xeon_4310t",
+]

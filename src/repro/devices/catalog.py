@@ -1,0 +1,279 @@
+"""The four devices benchmarked in the paper (Section 3.1).
+
+Cache/TLB/prefetcher geometry is taken directly from the paper's
+microarchitecture descriptions; performance parameters (latencies,
+bandwidths) come from vendor documentation and published measurements of
+the same boards, calibrated so the simulated STREAM results land in the
+regime Fig. 1 reports:
+
+* the Xeon is an order of magnitude above everything else at every level;
+* the Raspberry Pi 4 is well ahead of both RISC-V boards;
+* the Mango Pi's only cache level is its (slow) L1, but its DRAM is a bit
+  faster than the VisionFive's;
+* the VisionFive has the lowest DRAM bandwidth ("reduced memory channel").
+
+EXPERIMENTS.md records the calibrated values next to each figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.spec import CacheLevelSpec, CpuSpec, DeviceSpec, DramSpec
+from repro.errors import DeviceError
+from repro.memsim.prefetch import (
+    A72_PREFETCH,
+    C906_PREFETCH,
+    U74_PREFETCH,
+    XEON_PREFETCH,
+)
+from repro.memsim.tlb import TlbSpec
+
+GIB = 2**30
+MIB = 2**20
+KIB = 2**10
+
+
+def mango_pi_d1() -> DeviceSpec:
+    """Mango Pi MQ-Pro: Allwinner D1, 1x XuanTie C906 @ 1 GHz, 1 GB DDR3L.
+
+    RV64IMAFDCV; 5-stage single-issue in-order; 32 KiB 4-way L1D (no L2!);
+    20-entry fully associative uTLB + 128-entry 2-way jTLB; next-line and
+    <=16-line stride prefetch.  The C906 does carry a vector unit, but
+    GCC 12 does not auto-vectorize for its pre-ratification RVV 0.7.1, so
+    compiled C code is scalar (vector_bits=0); the RVV path is exercised
+    by the repro.riscv backend instead.
+    """
+    return DeviceSpec(
+        key="mango_pi_d1",
+        name="Mango Pi (D1/C906)",
+        isa="riscv64",
+        cores=1,
+        cpu=CpuSpec(
+            freq_ghz=1.0,
+            issue_width=1,
+            mem_ports=1,
+            flop_pipes=1,
+            out_of_order=False,
+            mlp=1,
+            vector_bits=0,
+        ),
+        caches=[
+            CacheLevelSpec(
+                name="L1",
+                size_bytes=32 * KIB,
+                ways=4,
+                policy="lru",
+                shared=False,
+                latency_cycles=3,
+                fill_bw_bytes_per_cycle=4.0,  # the paper: "rather low bandwidth" L1
+            ),
+        ],
+        dram=DramSpec(
+            bandwidth_gbs=1.3,
+            core_bandwidth_gbs=1.3,
+            latency_ns=110.0,
+            capacity_bytes=1 * GIB,
+            channels=1,
+        ),
+        tlb=TlbSpec(l1_entries=20, l1_ways=0, l2_entries=128, l2_ways=2, walk_cycles=60),
+        prefetch=C906_PREFETCH,
+    )
+
+
+def visionfive_jh7100() -> DeviceSpec:
+    """StarFive VisionFive v1: JH7100, 2x SiFive U74 @ 1 GHz, 8 GB LPDDR4.
+
+    RV64IMAFDCB (no V); 8-stage dual-issue in-order; 32 KiB 4-way L1D and
+    128 KiB 8-way shared L2, both with random replacement; 40-entry fully
+    associative L1 TLBs + 512-entry direct-mapped L2 TLB; large-stride
+    prefetcher.  The board's DRAM path is the slowest of the four devices
+    (the paper: "reduced memory channel").
+    """
+    return DeviceSpec(
+        key="visionfive_jh7100",
+        name="StarFive VisionFive (JH7100/U74)",
+        isa="riscv64",
+        cores=2,
+        cpu=CpuSpec(
+            freq_ghz=1.0,
+            issue_width=2,
+            mem_ports=1,
+            flop_pipes=1,
+            out_of_order=False,
+            mlp=1,
+            vector_bits=0,
+        ),
+        caches=[
+            CacheLevelSpec(
+                name="L1",
+                size_bytes=32 * KIB,
+                ways=4,
+                policy="random",
+                shared=False,
+                latency_cycles=2,
+                fill_bw_bytes_per_cycle=8.0,
+            ),
+            CacheLevelSpec(
+                name="L2",
+                size_bytes=128 * KIB,
+                ways=8,
+                policy="random",
+                shared=True,
+                latency_cycles=12,
+                fill_bw_bytes_per_cycle=8.0,
+            ),
+        ],
+        dram=DramSpec(
+            bandwidth_gbs=1.0,
+            core_bandwidth_gbs=0.8,
+            latency_ns=130.0,
+            capacity_bytes=8 * GIB,
+            channels=2,
+        ),
+        tlb=TlbSpec(l1_entries=40, l1_ways=0, l2_entries=512, l2_ways=1, walk_cycles=50),
+        prefetch=U74_PREFETCH,
+    )
+
+
+def raspberry_pi_4() -> DeviceSpec:
+    """Raspberry Pi 4 model B: BCM2711, 4x Cortex-A72 @ 1.5 GHz, 4 GB LPDDR4.
+
+    3-wide out-of-order; 32 KiB 2-way L1D; 1 MiB 16-way shared L2; NEON
+    (128-bit) auto-vectorization with GCC 9.4.
+    """
+    return DeviceSpec(
+        key="raspberry_pi_4",
+        name="Raspberry Pi 4 (BCM2711/A72)",
+        isa="aarch64",
+        cores=4,
+        cpu=CpuSpec(
+            freq_ghz=1.5,
+            issue_width=3,
+            mem_ports=2,
+            flop_pipes=2,
+            out_of_order=True,
+            mlp=6,
+            vector_bits=128,
+        ),
+        caches=[
+            CacheLevelSpec(
+                name="L1",
+                size_bytes=32 * KIB,
+                ways=2,
+                policy="lru",
+                shared=False,
+                latency_cycles=4,
+                fill_bw_bytes_per_cycle=16.0,
+            ),
+            CacheLevelSpec(
+                name="L2",
+                size_bytes=1 * MIB,
+                ways=16,
+                policy="random",
+                shared=True,
+                latency_cycles=21,
+                fill_bw_bytes_per_cycle=16.0,
+            ),
+        ],
+        dram=DramSpec(
+            bandwidth_gbs=4.0,
+            core_bandwidth_gbs=3.0,
+            latency_ns=100.0,
+            capacity_bytes=4 * GIB,
+            channels=1,
+        ),
+        tlb=TlbSpec(l1_entries=48, l1_ways=0, l2_entries=1024, l2_ways=4, walk_cycles=40),
+        prefetch=A72_PREFETCH,
+    )
+
+
+def xeon_4310t() -> DeviceSpec:
+    """One socket of the 2x Intel Xeon 4310T server (10 Ice Lake cores @
+    up to 3.4 GHz, 64 GB DDR4); the paper pins to the first socket to
+    avoid NUMA effects.
+
+    48 KiB 12-way L1D; 1.25 MiB 20-way private L2; 15 MiB 12-way shared
+    L3; AVX-512 auto-vectorization with GCC 9.5.
+    """
+    return DeviceSpec(
+        key="xeon_4310t",
+        name="Intel Xeon 4310T (Ice Lake)",
+        isa="x86_64",
+        cores=10,
+        cpu=CpuSpec(
+            freq_ghz=3.0,
+            issue_width=4,
+            mem_ports=3,
+            flop_pipes=2,
+            out_of_order=True,
+            mlp=10,
+            vector_bits=512,
+        ),
+        caches=[
+            CacheLevelSpec(
+                name="L1",
+                size_bytes=48 * KIB,
+                ways=12,
+                policy="lru",
+                shared=False,
+                latency_cycles=5,
+                fill_bw_bytes_per_cycle=64.0,
+            ),
+            CacheLevelSpec(
+                name="L2",
+                size_bytes=1280 * KIB,
+                ways=20,
+                policy="lru",
+                shared=False,
+                latency_cycles=14,
+                fill_bw_bytes_per_cycle=48.0,
+            ),
+            CacheLevelSpec(
+                name="L3",
+                size_bytes=15 * MIB,
+                ways=12,
+                policy="lru",
+                shared=True,
+                latency_cycles=42,
+                fill_bw_bytes_per_cycle=32.0,
+            ),
+        ],
+        dram=DramSpec(
+            bandwidth_gbs=60.0,
+            core_bandwidth_gbs=14.0,
+            latency_ns=85.0,
+            capacity_bytes=64 * GIB,
+            channels=8,
+        ),
+        tlb=TlbSpec(l1_entries=64, l1_ways=4, l2_entries=2048, l2_ways=8, walk_cycles=35),
+        prefetch=XEON_PREFETCH,
+    )
+
+
+_FACTORIES = {
+    "mango_pi_d1": mango_pi_d1,
+    "visionfive_jh7100": visionfive_jh7100,
+    "raspberry_pi_4": raspberry_pi_4,
+    "xeon_4310t": xeon_4310t,
+}
+
+# Paper presentation order: fastest machine first, as in Figs. 2-7.
+DEVICE_KEYS = ["xeon_4310t", "raspberry_pi_4", "mango_pi_d1", "visionfive_jh7100"]
+
+
+def get_device(key: str) -> DeviceSpec:
+    """Look up a device by key (see :data:`DEVICE_KEYS`)."""
+    try:
+        return _FACTORIES[key]()
+    except KeyError:
+        raise DeviceError(f"unknown device {key!r}; known: {sorted(_FACTORIES)}")
+
+
+def all_devices() -> List[DeviceSpec]:
+    """All four paper devices, in the paper's presentation order."""
+    return [get_device(key) for key in DEVICE_KEYS]
+
+
+def riscv_devices() -> List[DeviceSpec]:
+    return [d for d in all_devices() if d.isa == "riscv64"]

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Sub-hierarchies mirror the
+major subsystems (IR construction, transform legality, simulation and the
+RISC-V toolchain).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad shapes, unknown variables, invalid nesting."""
+
+
+class ValidationError(IRError):
+    """Raised by :func:`repro.ir.validate.validate_program` on invalid IR."""
+
+
+class TransformError(ReproError):
+    """A compiler pass was asked to perform an illegal transformation."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis could not be computed on the given IR."""
+
+
+class SimulationError(ReproError):
+    """Runtime failure inside the interpreter or memory simulator."""
+
+
+class DeviceError(ReproError):
+    """Invalid device specification or a workload that does not fit."""
+
+
+class OutOfMemoryError(DeviceError):
+    """The working set of a workload exceeds a device's DRAM capacity.
+
+    Mirrors the paper's Fig. 2/3 footnote: the 16384x16384 matrix does not
+    fit in the 1 GB of the Mango Pi board, so that bar is absent.
+    """
+
+
+class RiscvError(ReproError):
+    """Base class for assembler / encoder / emulator failures."""
+
+
+class AsmSyntaxError(RiscvError):
+    """The assembler rejected a source line."""
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        self.line_number = line_number
+        self.line = line
+        if line_number:
+            message = f"line {line_number}: {message} ({line.strip()!r})"
+        super().__init__(message)
+
+
+class EncodingError(RiscvError):
+    """An instruction could not be encoded (bad operand, out-of-range imm)."""
+
+
+class DecodingError(RiscvError):
+    """A 32-bit word does not decode to a known instruction."""
+
+
+class EmulationError(RiscvError):
+    """The functional emulator trapped (bad memory access, bad opcode)."""

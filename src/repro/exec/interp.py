@@ -1,0 +1,207 @@
+"""Reference interpreter: executes IR programs over numpy buffers.
+
+This is the semantic ground truth of the whole system.  Every kernel
+variant is checked bit-for-bit (f64) or to float tolerance (f32 reduction
+reassociation) against a plain numpy reference, and every transformed
+program is checked against its untransformed original.
+
+Innermost loops that pass the vectorization legality test are executed
+with numpy whole-loop operations; everything else runs one iteration at a
+time.  Both paths implement identical semantics (the legality test is
+exactly the condition under which they coincide).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.ir.affine import Affine
+from repro.ir.expr import BinOp, Cast, Const, Expr, IndexValue, Load, LocalRef
+from repro.ir.program import Program
+from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store, walk_stmts
+from repro.transforms.vectorize import vectorizable
+
+
+def _affine_eval(affine: Affine, env) -> "np.ndarray | int":
+    """Evaluate an affine expression; env values may be ints or arrays."""
+    total = affine.const
+    for var, coeff in affine.terms.items():
+        total = total + coeff * env[var]
+    return total
+
+
+class Interpreter:
+    """Executes a program over named numpy buffers."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._vector_ok: Dict[int, bool] = {}
+        self._innermost: Dict[int, bool] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self, inputs: Optional[Mapping[str, np.ndarray]] = None
+    ) -> Dict[str, np.ndarray]:
+        """Execute and return the final contents of every array.
+
+        ``inputs`` overrides initial contents for selected arrays; arrays
+        with declared ``data`` use it; everything else starts zeroed.
+        """
+        buffers: Dict[str, np.ndarray] = {}
+        for arr in self.program.arrays:
+            if inputs is not None and arr.name in inputs:
+                given = np.asarray(inputs[arr.name], dtype=arr.dtype.numpy)
+                if given.shape != arr.shape:
+                    raise SimulationError(
+                        f"input for {arr.name!r} has shape {given.shape}, "
+                        f"expected {arr.shape}"
+                    )
+                buffers[arr.name] = given.copy()
+            elif arr.data is not None:
+                buffers[arr.name] = arr.data.copy()
+            else:
+                buffers[arr.name] = np.zeros(arr.shape, dtype=arr.dtype.numpy)
+        self._stmt(self.program.body, {}, buffers, {})
+        return buffers
+
+    # -- statement execution ---------------------------------------------------
+
+    def _stmt(self, stmt: Stmt, env: Dict[str, int], buffers, locals_) -> None:
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                self._stmt(child, env, buffers, locals_)
+            return
+        if isinstance(stmt, For):
+            if self._is_innermost(stmt) and self._can_vector(stmt):
+                self._vector_loop(stmt, env, buffers, locals_)
+                return
+            for value in stmt.iter_values(env):
+                env[stmt.var] = value
+                self._stmt(stmt.body, env, buffers, locals_)
+            env.pop(stmt.var, None)
+            return
+        if isinstance(stmt, Store):
+            value = self._expr(stmt.value, env, buffers, locals_)
+            flat = buffers[stmt.array.name].reshape(-1)
+            offset = _affine_eval(stmt.array.linearize(stmt.indices), env)
+            if stmt.accumulate:
+                flat[offset] += value
+            else:
+                flat[offset] = value
+            return
+        if isinstance(stmt, LocalAssign):
+            value = self._expr(stmt.value, env, buffers, locals_)
+            if stmt.accumulate:
+                locals_[stmt.name] = locals_[stmt.name] + value
+            else:
+                locals_[stmt.name] = value
+            return
+        raise SimulationError(f"unknown statement {stmt!r}")
+
+    def _is_innermost(self, loop: For) -> bool:
+        key = id(loop)
+        cached = self._innermost.get(key)
+        if cached is None:
+            cached = not any(isinstance(s, For) for s in walk_stmts(loop.body))
+            self._innermost[key] = cached
+        return cached
+
+    def _can_vector(self, loop: For) -> bool:
+        key = id(loop)
+        cached = self._vector_ok.get(key)
+        if cached is None:
+            ok, _ = vectorizable(loop)
+            cached = ok
+            self._vector_ok[key] = cached
+        return cached
+
+    def _vector_loop(self, loop: For, env, buffers, locals_) -> None:
+        lo = loop.lo.evaluate(env)
+        hi = loop.hi.evaluate(env)
+        if hi <= lo:
+            return
+        lanes = np.arange(lo, hi, loop.step, dtype=np.int64)
+        env_v = dict(env)
+        env_v[loop.var] = lanes
+        # Locals may become per-lane arrays inside the vector body.
+        vlocals = dict(locals_)
+        for stmt in _leaves(loop.body):
+            if isinstance(stmt, Store):
+                value = self._expr(stmt.value, env_v, buffers, vlocals)
+                flat = buffers[stmt.array.name].reshape(-1)
+                offsets = _affine_eval(stmt.array.linearize(stmt.indices), env_v)
+                if stmt.accumulate:
+                    # Offsets are distinct (unit stride), so += is safe.
+                    flat[offsets] += value
+                else:
+                    flat[offsets] = value
+            elif isinstance(stmt, LocalAssign):
+                value = self._expr(stmt.value, env_v, buffers, vlocals)
+                if stmt.accumulate:
+                    vlocals[stmt.name] = vlocals[stmt.name] + value
+                else:
+                    vlocals[stmt.name] = value
+            else:
+                raise SimulationError(f"unexpected statement in vector body: {stmt!r}")
+        # Scalar locals keep their final-lane values for any later reader.
+        for name, value in vlocals.items():
+            if isinstance(value, np.ndarray) and value.shape == lanes.shape:
+                locals_[name] = value[-1]
+            else:
+                locals_[name] = value
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self, expr: Expr, env, buffers, locals_):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, LocalRef):
+            try:
+                return locals_[expr.name]
+            except KeyError:
+                raise SimulationError(f"local {expr.name!r} read before assignment")
+        if isinstance(expr, IndexValue):
+            return _affine_eval(expr.affine, env)
+        if isinstance(expr, Load):
+            flat = buffers[expr.array.name].reshape(-1)
+            offset = _affine_eval(expr.array.linearize(expr.indices), env)
+            return flat[offset]
+        if isinstance(expr, BinOp):
+            lhs = self._expr(expr.lhs, env, buffers, locals_)
+            rhs = self._expr(expr.rhs, env, buffers, locals_)
+            if expr.op == "+":
+                return lhs + rhs
+            if expr.op == "-":
+                return lhs - rhs
+            if expr.op == "*":
+                return lhs * rhs
+            if expr.op == "/":
+                return lhs / rhs
+            if expr.op == "min":
+                return np.minimum(lhs, rhs)
+            return np.maximum(lhs, rhs)
+        if isinstance(expr, Cast):
+            value = self._expr(expr.operand, env, buffers, locals_)
+            if isinstance(value, np.ndarray):
+                return value.astype(expr.dtype.numpy)
+            return expr.dtype.numpy.type(value)
+        raise SimulationError(f"unknown expression {expr!r}")
+
+
+def _leaves(stmt: Stmt):
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            yield from _leaves(child)
+    else:
+        yield stmt
+
+
+def run_program(
+    program: Program, inputs: Optional[Mapping[str, np.ndarray]] = None
+) -> Dict[str, np.ndarray]:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(program).run(inputs)

@@ -1,0 +1,80 @@
+"""Memory-trace representation.
+
+Traces are streams of *segments*, not per-element events: a segment
+``(ref, base, stride, count, is_write)`` describes one innermost-loop
+execution of one array reference — ``count`` accesses of ``elem_size``
+bytes, starting at byte address ``base``, ``stride`` bytes apart.
+
+Compressing the trace this way is what makes pure-Python simulation of
+multi-megabyte working sets tractable: the cache models consume *distinct
+cache lines* per segment (a 512-element unit-stride f64 segment is 64 line
+touches, not 512 events), while op counts are tracked exactly on the side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.analysis.opcount import OpCounts
+
+
+class Segment(NamedTuple):
+    """A strided run of accesses from one array reference."""
+
+    ref: int        # reference id (plays the role of the load/store PC)
+    base: int       # byte address of the first element
+    stride: int     # byte distance between consecutive elements
+    count: int      # number of elements accessed
+    is_write: bool
+    elem_size: int  # bytes per element
+
+    @property
+    def span_bytes(self) -> int:
+        """Bytes from the first byte touched to one past the last."""
+        if self.count <= 0:
+            return 0
+        return abs(self.stride) * (self.count - 1) + self.elem_size
+
+    def lines(self, line_size: int = 64):
+        """Distinct cache-line addresses touched, in access order."""
+        previous = None
+        for k in range(self.count):
+            line = (self.base + k * self.stride) // line_size
+            if line != previous:
+                previous = line
+                yield line
+
+
+class Reference(NamedTuple):
+    """Static identity of an array reference (the tracer's 'PC')."""
+
+    ref_id: int
+    array: str
+    is_write: bool
+    elem_size: int
+
+
+@dataclass
+class CoreWork:
+    """Everything one core did: operations plus emitted trace volume.
+
+    ``scalar`` counts work in scalar loops, ``vector`` work executed inside
+    vectorized innermost loops (the timing model divides the latter by the
+    device's vector lane count).
+    """
+
+    scalar: OpCounts = field(default_factory=OpCounts)
+    vector: OpCounts = field(default_factory=OpCounts)
+    segments: int = 0
+
+    @property
+    def total(self) -> OpCounts:
+        return self.scalar + self.vector
+
+    def merge(self, other: "CoreWork") -> "CoreWork":
+        return CoreWork(
+            scalar=self.scalar + other.scalar,
+            vector=self.vector + other.vector,
+            segments=self.segments + other.segments,
+        )

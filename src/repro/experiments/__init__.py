@@ -1,0 +1,45 @@
+"""Figure-regeneration harnesses.
+
+One module per figure of the paper's evaluation (there are no numbered
+tables — the figures carry the data):
+
+* :mod:`repro.experiments.fig1` — STREAM bandwidth per memory level;
+* :mod:`repro.experiments.fig2` — transpose times/speedups, both sizes;
+* :mod:`repro.experiments.fig3` — transpose bandwidth utilization;
+* :mod:`repro.experiments.fig6` — Gaussian blur times/speedups;
+* :mod:`repro.experiments.fig7` — blur bandwidth utilization;
+* :mod:`repro.experiments.ablations` — sensitivity studies for the
+  simulator's own design decisions.
+
+(Figures 4 and 5 of the paper are illustrative diagrams, not data.)
+"""
+
+from repro.experiments import ablations, fig1, fig2, fig3, fig6, fig7, sweeps
+from repro.experiments.config import (
+    BLUR_FILTER,
+    BLUR_SIM_WH,
+    CACHE_SCALE,
+    TRANSPOSE_BLOCK,
+    TRANSPOSE_SIZES,
+    scaled_device,
+)
+from repro.experiments.runner import Runner, RunRecord, default_runner
+
+__all__ = [
+    "BLUR_FILTER",
+    "BLUR_SIM_WH",
+    "CACHE_SCALE",
+    "Runner",
+    "RunRecord",
+    "TRANSPOSE_BLOCK",
+    "TRANSPOSE_SIZES",
+    "ablations",
+    "default_runner",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig6",
+    "fig7",
+    "scaled_device",
+    "sweeps",
+]

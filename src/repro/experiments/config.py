@@ -1,0 +1,82 @@
+"""Experiment configuration: paper sizes vs simulated (scaled) sizes.
+
+The paper's workloads are hundreds of megabytes; the pure-Python simulator
+runs geometrically scaled versions that preserve the working-set-to-cache
+ratios that drive every phenomenon the paper reports:
+
+* caches are scaled by ``CACHE_SCALE`` (16): an 8192^2 matrix against a
+  15 MiB L3 becomes a 512^2 matrix against a ~960 KiB L3 — in both cases
+  the matrix exceeds the last-level cache severalfold while a block column
+  pair fits in L1;
+* the Gaussian-blur image is scaled so that (a) one image row ~ L1, (b)
+  the 19-row filter window fits (only) in the levels it fits in on the
+  real machines, and (c) the full image exceeds every scaled LLC;
+* DRAM capacity checks use the *paper* sizes (the 16384^2 matrix does not
+  fit the Mango Pi's 1 GB — Fig. 2's missing bars).
+
+EXPERIMENTS.md records both size columns next to every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.devices.catalog import DEVICE_KEYS, get_device
+from repro.devices.spec import DeviceSpec
+
+CACHE_SCALE = 16
+
+# Transpose (Fig. 2 / Fig. 3): (paper n, simulated n)
+TRANSPOSE_SIZES: List[Tuple[int, int]] = [(8192, 512), (16384, 1024)]
+TRANSPOSE_BLOCK = 16          # scaled analogue of a 64..128 f64 block
+
+# Gaussian blur (Fig. 6 / Fig. 7): paper image 2544 x 2027, F = 19.
+BLUR_PAPER_WH = (2544, 2027)
+BLUR_SIM_WH = (192, 160)      # (W, H)
+BLUR_FILTER = 19
+
+STREAM_REPETITIONS = 3
+
+
+@dataclass(frozen=True)
+class SizedWorkload:
+    """A workload with both its paper-scale and simulated-scale footprint."""
+
+    label: str
+    paper_bytes: int
+    sim_bytes: int
+
+
+def scaled_device(key: str, scale: int = CACHE_SCALE) -> DeviceSpec:
+    """The device model used by all figure harnesses."""
+    return get_device(key).scaled(scale)
+
+
+def transpose_workload(paper_n: int) -> SizedWorkload:
+    sim_n = {p: s for p, s in TRANSPOSE_SIZES}[paper_n]
+    return SizedWorkload(
+        label=f"{paper_n}x{paper_n}",
+        paper_bytes=paper_n * paper_n * 8,
+        sim_bytes=sim_n * sim_n * 8,
+    )
+
+
+def blur_workload() -> SizedWorkload:
+    pw, ph = BLUR_PAPER_WH
+    sw, sh = BLUR_SIM_WH
+    # src + dst + (tmp for the separable variants), float32, 3 channels.
+    return SizedWorkload(
+        label=f"{pw}x{ph}",
+        paper_bytes=3 * pw * ph * 3 * 4,
+        sim_bytes=3 * sw * sh * 3 * 4,
+    )
+
+
+def device_fits_paper_workload(key: str, paper_bytes: int) -> bool:
+    """Capacity check against the *paper* problem size (Fig. 2's rule)."""
+    return get_device(key).fits_in_dram(paper_bytes)
+
+
+def all_device_keys() -> List[str]:
+    return list(DEVICE_KEYS)

@@ -1,0 +1,121 @@
+"""CSV export of regenerated figures.
+
+Downstream users plot the figures with their own tooling; this module
+writes each figure's rows/series as plain CSV (one file per figure), via
+``python -m repro.cli --csv-dir out/ all``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List
+
+from repro.experiments import fig1, fig2, fig3, fig6, fig7
+from repro.kernels import blur, transpose
+
+
+def _write(path: str, header: List[str], rows) -> str:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig1(rows: List[fig1.Fig1Row], directory: str) -> str:
+    return _write(
+        os.path.join(directory, "fig1_stream.csv"),
+        ["device", "level", "copy_gbs", "scale_gbs", "add_gbs", "triad_gbs"],
+        [
+            (r.device_key, r.level, r.copy_gbs, r.scale_gbs, r.add_gbs, r.triad_gbs)
+            for r in rows
+        ],
+    )
+
+
+def export_fig2(panels: List[fig2.Fig2Panel], directory: str) -> str:
+    rows = []
+    for panel in panels:
+        for row in panel.rows:
+            for variant in transpose.VARIANT_ORDER:
+                rows.append(
+                    (
+                        panel.paper_n,
+                        panel.sim_n,
+                        row.device_key,
+                        variant,
+                        row.seconds[variant],
+                        row.speedups[variant],
+                    )
+                )
+        for key in panel.excluded:
+            rows.append((panel.paper_n, panel.sim_n, key, "EXCLUDED_OOM", "", ""))
+    return _write(
+        os.path.join(directory, "fig2_transpose.csv"),
+        ["paper_n", "sim_n", "device", "variant", "seconds", "speedup"],
+        rows,
+    )
+
+
+def export_fig3(rows: List[fig3.Fig3Row], directory: str) -> str:
+    return _write(
+        os.path.join(directory, "fig3_transpose_utilization.csv"),
+        ["device", "paper_n", "naive_utilization", "best_variant", "best_utilization"],
+        [
+            (r.device_key, r.paper_n, r.naive_utilization, r.best_variant, r.best_utilization)
+            for r in rows
+        ],
+    )
+
+
+def export_fig6(result: fig6.Fig6Result, directory: str) -> str:
+    rows = []
+    for row in result.rows:
+        for variant in blur.VARIANT_ORDER:
+            rows.append(
+                (
+                    result.width,
+                    result.height,
+                    result.filter_size,
+                    row.device_key,
+                    variant,
+                    row.seconds[variant],
+                    row.speedups[variant],
+                )
+            )
+    return _write(
+        os.path.join(directory, "fig6_blur.csv"),
+        ["width", "height", "filter", "device", "variant", "seconds", "speedup"],
+        rows,
+    )
+
+
+def export_fig7(rows: List[fig7.Fig7Row], directory: str) -> str:
+    out = []
+    for row in rows:
+        for variant in fig7.VARIANTS:
+            out.append(
+                (row.device_key, variant, row.utilization[variant], row.improvement[variant])
+            )
+    return _write(
+        os.path.join(directory, "fig7_blur_utilization.csv"),
+        ["device", "variant", "utilization", "improvement_vs_1d"],
+        out,
+    )
+
+
+EXPORTERS = {
+    "fig1": (fig1.run, export_fig1),
+    "fig2": (fig2.run, export_fig2),
+    "fig3": (fig3.run, export_fig3),
+    "fig6": (fig6.run, export_fig6),
+    "fig7": (fig7.run, export_fig7),
+}
+
+
+def export_figure(name: str, directory: str) -> str:
+    """Regenerate one figure and write its CSV; returns the file path."""
+    run, write = EXPORTERS[name]
+    return write(run(), directory)

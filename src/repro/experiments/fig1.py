@@ -1,0 +1,81 @@
+"""Fig. 1 — STREAM bandwidth per memory level per device.
+
+Reproduces the paper's Section 4.1 sweep: for every device and every
+memory level it can address (L1/L2/L3/DRAM), the four STREAM tests are
+run with arrays sized for that level, multithreaded for shared levels and
+per-core-scaled for private ones.
+
+Qualitative shape asserted by the test-suite (the paper's findings):
+
+* Xeon >> Raspberry Pi > both RISC-V boards at every common level;
+* the Mango Pi has only an L1, and a slow one;
+* the VisionFive has the lowest DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.config import CACHE_SCALE, all_device_keys, scaled_device
+from repro.experiments.report import render_table
+from repro.kernels import stream
+from repro.metrics import bandwidth
+
+
+@dataclass
+class Fig1Row:
+    device_key: str
+    level: str
+    copy_gbs: float
+    scale_gbs: float
+    add_gbs: float
+    triad_gbs: float
+
+    @property
+    def best_gbs(self) -> float:
+        return max(self.copy_gbs, self.scale_gbs, self.add_gbs, self.triad_gbs)
+
+
+@functools.lru_cache(maxsize=None)
+def _measure_level(device_key: str, level: str, scale: int) -> Fig1Row:
+    device = scaled_device(device_key, scale)
+    values: Dict[str, float] = {}
+    for test in stream.TESTS:
+        values[test] = bandwidth.measure(device, level, test).gbs
+    return Fig1Row(
+        device_key=device_key,
+        level=level,
+        copy_gbs=values["copy"],
+        scale_gbs=values["scale"],
+        add_gbs=values["add"],
+        triad_gbs=values["triad"],
+    )
+
+
+def run(scale: int = CACHE_SCALE) -> List[Fig1Row]:
+    """All rows of Fig. 1."""
+    rows: List[Fig1Row] = []
+    for key in all_device_keys():
+        device = scaled_device(key, scale)
+        for level in device.memory_levels:
+            rows.append(_measure_level(key, level, scale))
+    return rows
+
+
+@functools.lru_cache(maxsize=None)
+def dram_bandwidth(device_key: str, scale: int = CACHE_SCALE) -> float:
+    """Best achieved DRAM bandwidth (the Section 3.3 denominator)."""
+    return _measure_level(device_key, "DRAM", scale).best_gbs
+
+
+def render(rows: List[Fig1Row]) -> str:
+    return render_table(
+        ["device", "level", "copy GB/s", "scale GB/s", "add GB/s", "triad GB/s"],
+        [
+            (r.device_key, r.level, r.copy_gbs, r.scale_gbs, r.add_gbs, r.triad_gbs)
+            for r in rows
+        ],
+        title="Fig. 1 — STREAM bandwidth by memory level",
+    )

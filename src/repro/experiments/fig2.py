@@ -1,0 +1,98 @@
+"""Fig. 2 — transpose computation time and speedups over naive.
+
+Two panels (8192^2 and 16384^2 in the paper; 512^2 and 1024^2 simulated
+with 1/16-scaled caches), five variants per device.  The Mango Pi is
+absent from the large panel because the paper-size matrix (2 GiB) exceeds
+its 1 GiB of DRAM — the same capacity rule the paper applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.config import (
+    CACHE_SCALE,
+    TRANSPOSE_BLOCK,
+    TRANSPOSE_SIZES,
+    all_device_keys,
+    device_fits_paper_workload,
+    scaled_device,
+    transpose_workload,
+)
+from repro.experiments.report import render_table, seconds_label
+from repro.experiments.runner import default_runner
+from repro.kernels import transpose
+from repro.metrics.speedup import SpeedupRow, speedup_row
+
+
+@dataclass
+class Fig2Panel:
+    """One matrix size: a bar group (naive time + speedups) per device."""
+
+    paper_n: int
+    sim_n: int
+    rows: List[SpeedupRow] = field(default_factory=list)
+    excluded: List[str] = field(default_factory=list)  # devices that OOM
+
+    def row(self, device_key: str) -> SpeedupRow:
+        for row in self.rows:
+            if row.device_key == device_key:
+                return row
+        raise KeyError(device_key)
+
+
+def run_panel(
+    paper_n: int,
+    scale: int = CACHE_SCALE,
+    block: int = TRANSPOSE_BLOCK,
+    variants: Optional[List[str]] = None,
+) -> Fig2Panel:
+    sim_n = {p: s for p, s in TRANSPOSE_SIZES}[paper_n]
+    workload = transpose_workload(paper_n)
+    panel = Fig2Panel(paper_n=paper_n, sim_n=sim_n)
+    runner = default_runner()
+    for key in all_device_keys():
+        if not device_fits_paper_workload(key, workload.paper_bytes):
+            panel.excluded.append(key)
+            continue
+        device = scaled_device(key, scale)
+        seconds: Dict[str, float] = {}
+        for variant in variants or transpose.VARIANT_ORDER:
+            record = runner.run(
+                ("fig2", variant, sim_n, block, key, scale),
+                lambda v=variant: transpose.build(v, sim_n, block=block),
+                device,
+            )
+            seconds[variant] = record.seconds
+        panel.rows.append(speedup_row(key, seconds))
+    return panel
+
+
+def run(scale: int = CACHE_SCALE) -> List[Fig2Panel]:
+    """Both panels of Fig. 2."""
+    return [run_panel(paper_n, scale) for paper_n, _sim_n in TRANSPOSE_SIZES]
+
+
+def render(panels: List[Fig2Panel]) -> str:
+    blocks = []
+    for panel in panels:
+        rows = []
+        for row in panel.rows:
+            rows.append(
+                [row.device_key, seconds_label(row.naive_seconds)]
+                + [f"{row.speedups[v]:.2f}x" for v in transpose.VARIANT_ORDER[1:]]
+            )
+        for key in panel.excluded:
+            rows.append([key, "— does not fit in DRAM —"] + [""] * (len(transpose.VARIANT_ORDER) - 1))
+        blocks.append(
+            render_table(
+                ["device", "Naive"] + transpose.VARIANT_ORDER[1:],
+                rows,
+                title=(
+                    f"Fig. 2 — transpose, paper {panel.paper_n}^2 "
+                    f"(simulated {panel.sim_n}^2, caches 1/{CACHE_SCALE})"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,65 @@
+"""Fig. 3 — relative memory-bandwidth utilization of the transpose.
+
+For each device and each matrix size, the Section 3.3 metric for the
+naive implementation and for the best optimized implementation (the paper
+plots exactly these two bars per device).
+
+The metric's numerator uses the bytes that *must* cross the DRAM boundary
+(2 * 8 * n^2: read everything once, write everything once) and the
+denominator is the STREAM-achieved DRAM bandwidth from Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.experiments import fig1, fig2
+from repro.experiments.config import CACHE_SCALE, TRANSPOSE_SIZES
+from repro.experiments.report import render_table
+from repro.metrics.speedup import best_variant
+from repro.metrics.utilization import relative_bandwidth_utilization
+
+
+@dataclass
+class Fig3Row:
+    device_key: str
+    paper_n: int
+    naive_utilization: float
+    best_variant: str
+    best_utilization: float
+
+
+def run(scale: int = CACHE_SCALE) -> List[Fig3Row]:
+    rows: List[Fig3Row] = []
+    for paper_n, sim_n in TRANSPOSE_SIZES:
+        panel = fig2.run_panel(paper_n, scale)
+        essential = 2 * 8 * sim_n * sim_n  # read + write every element
+        for speed_row in panel.rows:
+            stream_gbs = fig1.dram_bandwidth(speed_row.device_key, scale)
+            best = best_variant(speed_row)
+            rows.append(
+                Fig3Row(
+                    device_key=speed_row.device_key,
+                    paper_n=paper_n,
+                    naive_utilization=relative_bandwidth_utilization(
+                        speed_row.naive_seconds, stream_gbs, essential
+                    ),
+                    best_variant=best,
+                    best_utilization=relative_bandwidth_utilization(
+                        speed_row.seconds[best], stream_gbs, essential
+                    ),
+                )
+            )
+    return rows
+
+
+def render(rows: List[Fig3Row]) -> str:
+    return render_table(
+        ["device", "matrix (paper)", "naive util", "best variant", "best util"],
+        [
+            (r.device_key, f"{r.paper_n}^2", r.naive_utilization, r.best_variant, r.best_utilization)
+            for r in rows
+        ],
+        title="Fig. 3 — relative memory bandwidth utilization (transpose)",
+    )

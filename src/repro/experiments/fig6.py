@@ -1,0 +1,78 @@
+"""Fig. 6 — Gaussian blur computation time and speedups over naive.
+
+Five variants per device on a color image (paper: 2544 x 2027, F = 19;
+simulated: 192 x 160 with 1/16-scaled caches — one image row ~ L1, the
+19-row filter window fits only where it fits on the real machines, and
+the full image exceeds every scaled last-level cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.config import (
+    BLUR_FILTER,
+    BLUR_SIM_WH,
+    CACHE_SCALE,
+    all_device_keys,
+    blur_workload,
+    device_fits_paper_workload,
+    scaled_device,
+)
+from repro.experiments.report import render_table, seconds_label
+from repro.experiments.runner import default_runner
+from repro.kernels import blur
+from repro.metrics.speedup import SpeedupRow, speedup_row
+
+
+@dataclass
+class Fig6Result:
+    width: int
+    height: int
+    filter_size: int
+    rows: List[SpeedupRow] = field(default_factory=list)
+
+    def row(self, device_key: str) -> SpeedupRow:
+        for row in self.rows:
+            if row.device_key == device_key:
+                return row
+        raise KeyError(device_key)
+
+
+def run(scale: int = CACHE_SCALE, variants: Optional[List[str]] = None) -> Fig6Result:
+    w, h = BLUR_SIM_WH
+    result = Fig6Result(width=w, height=h, filter_size=BLUR_FILTER)
+    workload = blur_workload()
+    runner = default_runner()
+    for key in all_device_keys():
+        if not device_fits_paper_workload(key, workload.paper_bytes):
+            continue  # all four devices hold the blur image, but stay safe
+        device = scaled_device(key, scale)
+        seconds: Dict[str, float] = {}
+        for variant in variants or blur.VARIANT_ORDER:
+            record = runner.run(
+                ("fig6", variant, w, h, BLUR_FILTER, key, scale),
+                lambda v=variant: blur.build(v, h, w, BLUR_FILTER),
+                device,
+            )
+            seconds[variant] = record.seconds
+        result.rows.append(speedup_row(key, seconds))
+    return result
+
+
+def render(result: Fig6Result) -> str:
+    rows = []
+    for row in result.rows:
+        rows.append(
+            [row.device_key, seconds_label(row.naive_seconds)]
+            + [f"{row.speedups[v]:.2f}x" for v in blur.VARIANT_ORDER[1:]]
+        )
+    return render_table(
+        ["device", "Naive"] + blur.VARIANT_ORDER[1:],
+        rows,
+        title=(
+            f"Fig. 6 — Gaussian blur {result.width}x{result.height} F={result.filter_size} "
+            f"(paper 2544x2027, caches 1/{CACHE_SCALE})"
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Fig. 7 — relative memory-bandwidth utilization of the Gaussian blur.
+
+The paper computes the Section 3.3 metric for the three optimized
+implementations (1D_kernels, Memory, Parallel), using the 1D_kernels
+algorithm as the traffic baseline; labels show the improvement relative
+to 1D_kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.footprint import essential_traffic_bytes
+from repro.experiments import fig1, fig6
+from repro.experiments.config import BLUR_FILTER, BLUR_SIM_WH, CACHE_SCALE
+from repro.experiments.report import render_table
+from repro.kernels import blur
+from repro.metrics.utilization import relative_bandwidth_utilization
+
+VARIANTS = ["1D_kernels", "Memory", "Parallel"]
+
+
+@dataclass
+class Fig7Row:
+    device_key: str
+    utilization: dict          # variant -> metric
+    improvement: dict          # variant -> metric / metric(1D_kernels)
+
+
+def baseline_bytes() -> int:
+    """Essential DRAM traffic of the 1D_kernels algorithm (the paper's
+    metric baseline): src in, tmp out+in, dst out."""
+    w, h = BLUR_SIM_WH
+    return essential_traffic_bytes(blur.one_d(h, w, BLUR_FILTER))
+
+
+def run(scale: int = CACHE_SCALE) -> List[Fig7Row]:
+    result = fig6.run(scale)
+    traffic = baseline_bytes()
+    rows: List[Fig7Row] = []
+    for speed_row in result.rows:
+        stream_gbs = fig1.dram_bandwidth(speed_row.device_key, scale)
+        utilization = {
+            variant: relative_bandwidth_utilization(
+                speed_row.seconds[variant], stream_gbs, traffic
+            )
+            for variant in VARIANTS
+        }
+        base = utilization["1D_kernels"]
+        improvement = {v: (u / base if base else float("inf")) for v, u in utilization.items()}
+        rows.append(Fig7Row(speed_row.device_key, utilization, improvement))
+    return rows
+
+
+def render(rows: List[Fig7Row]) -> str:
+    table = []
+    for row in rows:
+        cells = [row.device_key]
+        for variant in VARIANTS:
+            cells.append(f"{row.utilization[variant]:.3f} ({row.improvement[variant]:.2f}x)")
+        table.append(cells)
+    return render_table(
+        ["device"] + [f"{v} util (vs 1D)" for v in VARIANTS],
+        table,
+        title="Fig. 7 — relative memory bandwidth utilization (Gaussian blur)",
+    )

@@ -1,0 +1,121 @@
+"""Cached simulation runner shared by all figure harnesses.
+
+Fig. 3 re-uses Fig. 2's transpose timings and Fig. 7 re-uses Fig. 6's blur
+timings (exactly as the paper computes its utilization metric from the
+same runs), so results are memoised per (family, variant, device) within
+the process, and optionally persisted to a JSON cache on disk so that
+separate benchmark invocations do not re-simulate identical configurations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis.footprint import essential_traffic_bytes
+from repro.devices.spec import DeviceSpec
+from repro.ir.program import Program
+from repro.simulate import SimulationResult, simulate
+from repro.transforms import AutoVectorize
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The durable facts of one simulated run."""
+
+    program_name: str
+    device_key: str
+    seconds: float
+    dram_bytes: int
+    essential_bytes: int
+    active_cores: int
+    flops: int
+
+
+class Runner:
+    """Builds, vectorizes (per device) and simulates kernels with caching."""
+
+    def __init__(self, cache_path: Optional[str] = None):
+        self._memory: Dict[Tuple, RunRecord] = {}
+        self._cache_path = cache_path
+        self._disk: Dict[str, dict] = {}
+        if cache_path and os.path.exists(cache_path):
+            try:
+                with open(cache_path) as fh:
+                    self._disk = json.load(fh)
+            except (OSError, ValueError):
+                self._disk = {}
+
+    # -- public ------------------------------------------------------------
+
+    def run(
+        self,
+        key: Tuple,
+        build: Callable[[], Program],
+        device: DeviceSpec,
+        **simulate_kwargs,
+    ) -> RunRecord:
+        """Simulate ``build()`` on ``device`` unless already cached.
+
+        ``key`` must uniquely identify (kernel family, variant, sizes,
+        device, simulation options).
+        """
+        if key in self._memory:
+            return self._memory[key]
+        disk_key = repr(key)
+        if disk_key in self._disk:
+            record = RunRecord(**self._disk[disk_key])
+            self._memory[key] = record
+            return record
+
+        program = build()
+        if device.cpu.vector_bits:
+            program = AutoVectorize().run(program)
+        result = simulate(program, device, **simulate_kwargs)
+        record = RunRecord(
+            program_name=program.name,
+            device_key=device.key,
+            seconds=result.seconds,
+            dram_bytes=result.dram_bytes,
+            essential_bytes=essential_traffic_bytes(program),
+            active_cores=result.active_cores,
+            flops=result.total_ops.flops,
+        )
+        self._memory[key] = record
+        self._disk[disk_key] = asdict(record)
+        self._save()
+        return record
+
+    def _save(self) -> None:
+        if not self._cache_path:
+            return
+        try:
+            with open(self._cache_path, "w") as fh:
+                json.dump(self._disk, fh, indent=1, sort_keys=True)
+        except OSError:
+            pass
+
+
+_DEFAULT: Optional[Runner] = None
+
+
+def default_runner() -> Runner:
+    """Process-wide runner with an on-disk cache under the repo root.
+
+    Set ``REPRO_CACHE=off`` to disable persistence, or ``REPRO_CACHE=path``
+    to relocate it.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        env = os.environ.get("REPRO_CACHE", "")
+        if env == "off":
+            path = None
+        elif env:
+            path = env
+        else:
+            path = os.path.join(os.path.dirname(__file__), "..", "..", "..", ".repro_cache.json")
+            path = os.path.abspath(path)
+        _DEFAULT = Runner(path)
+    return _DEFAULT

@@ -1,0 +1,85 @@
+"""Parameter-sweep extension experiments (beyond the paper's figures).
+
+The paper samples two matrix sizes and one image size; these sweeps trace
+the full curves the samples come from:
+
+* :func:`transpose_size_sweep` — blocking speedup vs matrix size: the
+  speedup grows as the matrix falls further out of cache, then plateaus
+  at the bandwidth ratio (the regime Fig. 2's two sizes sample);
+* :func:`blur_filter_sweep` — separable-vs-naive speedup vs filter size
+  F: the complexity argument says F, memory says much less (Section 4.3's
+  "one would expect a substantial speedup ... it did not happen");
+* :func:`core_scaling_sweep` — parallel speedup vs active core count:
+  saturates at the DRAM-bandwidth ceiling ("speedup is limited by the
+  number of available memory channels").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.config import CACHE_SCALE, scaled_device
+from repro.kernels import blur, transpose
+from repro.simulate import simulate
+from repro.transforms import AutoVectorize
+
+
+def _seconds(program, device, **kwargs) -> float:
+    if device.cpu.vector_bits:
+        program = AutoVectorize().run(program)
+    return simulate(program, device, check_capacity=False, **kwargs).seconds
+
+
+def transpose_size_sweep(
+    device_key: str = "raspberry_pi_4",
+    sizes: List[int] = (64, 128, 256, 512),
+    block: int = 16,
+    scale: int = CACHE_SCALE,
+) -> Dict[int, float]:
+    """Blocking-over-naive speedup per matrix size."""
+    device = scaled_device(device_key, scale)
+    out: Dict[int, float] = {}
+    for n in sizes:
+        naive = _seconds(transpose.naive(n), device)
+        blocked = _seconds(transpose.blocking(n, block=block), device)
+        out[n] = naive / blocked
+    return out
+
+
+def blur_filter_sweep(
+    device_key: str = "visionfive_jh7100",
+    filter_sizes: List[int] = (5, 9, 13, 19),
+    h: int = 96,
+    w: int = 112,
+    scale: int = CACHE_SCALE,
+) -> Dict[int, float]:
+    """1D_kernels-over-naive speedup per filter size F (expected << F)."""
+    device = scaled_device(device_key, scale)
+    out: Dict[int, float] = {}
+    for size in filter_sizes:
+        naive = _seconds(blur.naive(h, w, size), device)
+        separable = _seconds(blur.one_d(h, w, size), device)
+        out[size] = naive / separable
+    return out
+
+
+def core_scaling_sweep(
+    device_key: str = "xeon_4310t",
+    n: int = 512,
+    block: int = 16,
+    cores: Optional[List[int]] = None,
+    scale: int = CACHE_SCALE,
+) -> Dict[int, float]:
+    """Dynamic-transpose speedup over 1 core, per active core count."""
+    device = scaled_device(device_key, scale)
+    if cores is None:
+        cores = sorted({1, 2, device.cores // 2, device.cores} - {0})
+    program = transpose.dynamic(n, block=block)
+    baseline = None
+    out: Dict[int, float] = {}
+    for count in cores:
+        seconds = _seconds(program, device, active_cores=count)
+        if baseline is None:
+            baseline = seconds
+        out[count] = baseline / seconds
+    return out

@@ -1,0 +1,74 @@
+"""Affine loop-nest intermediate representation.
+
+This package defines the IR in which every kernel of the paper is written
+and on which every optimization of the paper operates:
+
+* :mod:`repro.ir.types` — scalar element types;
+* :mod:`repro.ir.affine` — affine index expressions and loop bounds;
+* :mod:`repro.ir.expr` / :mod:`repro.ir.stmt` — value expressions and the
+  block-structured statement tree;
+* :mod:`repro.ir.program` — arrays, programs, memory layout;
+* :mod:`repro.ir.builder` — ergonomic construction API;
+* :mod:`repro.ir.printer` — C-like pretty printer;
+* :mod:`repro.ir.validate` — structural validation run after every pass.
+"""
+
+from repro.ir.affine import Affine, AffineBound, AffineLowerBound, affine_max, affine_min
+from repro.ir.builder import ArrayHandle, LoopBuilder
+from repro.ir.expr import BinOp, Cast, Const, Expr, IndexValue, Load, LocalRef, loads_in, walk_expr
+from repro.ir.printer import format_program, format_stmt
+from repro.ir.program import Array, MemoryLayout, Program, collect_arrays
+from repro.ir.stmt import (
+    Block,
+    For,
+    LocalAssign,
+    Stmt,
+    Store,
+    find_loop,
+    loop_nest_vars,
+    loops_in,
+    map_loops,
+    stores_in,
+    walk_stmts,
+)
+from repro.ir.types import DType, from_numpy
+from repro.ir.validate import validate_program
+
+__all__ = [
+    "Affine",
+    "AffineBound",
+    "AffineLowerBound",
+    "affine_max",
+    "affine_min",
+    "Array",
+    "ArrayHandle",
+    "BinOp",
+    "Block",
+    "Cast",
+    "Const",
+    "DType",
+    "Expr",
+    "For",
+    "IndexValue",
+    "Load",
+    "LocalAssign",
+    "LocalRef",
+    "LoopBuilder",
+    "MemoryLayout",
+    "Program",
+    "Stmt",
+    "Store",
+    "collect_arrays",
+    "find_loop",
+    "format_program",
+    "format_stmt",
+    "from_numpy",
+    "loads_in",
+    "loop_nest_vars",
+    "loops_in",
+    "map_loops",
+    "stores_in",
+    "validate_program",
+    "walk_expr",
+    "walk_stmts",
+]

@@ -1,0 +1,302 @@
+"""Affine integer expressions over loop variables.
+
+Every array index and loop bound in the IR is affine:
+
+    c0 + c1 * i + c2 * j + ...
+
+with integer coefficients.  Keeping indices affine is what makes the whole
+pipeline work: dependence tests are decidable, the trace generator can emit
+compressed (base, stride, count) segments instead of per-element events, and
+tiling/interchange are simple symbolic rewrites.
+
+:class:`Affine` is immutable and hashable; arithmetic returns new objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Union
+
+from repro.errors import IRError
+
+IntLike = Union[int, "Affine"]
+
+
+class Affine:
+    """An immutable affine expression ``const + sum(coeff[v] * v)``.
+
+    Zero coefficients are never stored, so two equal expressions always
+    compare (and hash) equal.
+    """
+
+    __slots__ = ("const", "terms", "_hash")
+
+    def __init__(self, const: int = 0, terms: Mapping[str, int] = None):
+        self.const = int(const)
+        cleaned: Dict[str, int] = {}
+        if terms:
+            for var, coeff in terms.items():
+                coeff = int(coeff)
+                if coeff != 0:
+                    cleaned[var] = coeff
+        self.terms = cleaned
+        self._hash = hash((self.const, tuple(sorted(cleaned.items()))))
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "Affine":
+        """The affine expression consisting of a single variable."""
+        return Affine(0, {name: 1})
+
+    @staticmethod
+    def const_(value: int) -> "Affine":
+        return Affine(int(value))
+
+    @staticmethod
+    def wrap(value: IntLike) -> "Affine":
+        """Coerce an ``int`` or :class:`Affine` into an :class:`Affine`."""
+        if isinstance(value, Affine):
+            return value
+        if isinstance(value, int):
+            return Affine(value)
+        raise IRError(f"cannot interpret {value!r} as an affine expression")
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    @property
+    def variables(self) -> frozenset:
+        return frozenset(self.terms)
+
+    def coefficient(self, var: str) -> int:
+        """Coefficient of ``var`` (0 when absent)."""
+        return self.terms.get(var, 0)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a variable assignment; all variables must bind."""
+        total = self.const
+        for var, coeff in self.terms.items():
+            try:
+                total += coeff * env[var]
+            except KeyError:
+                raise IRError(f"unbound variable {var!r} in affine expression {self}")
+        return total
+
+    def substitute(self, var: str, replacement: IntLike) -> "Affine":
+        """Replace ``var`` by an affine expression (or constant)."""
+        coeff = self.terms.get(var, 0)
+        if coeff == 0:
+            return self
+        rest = {v: c for v, c in self.terms.items() if v != var}
+        return Affine(self.const, rest) + Affine.wrap(replacement) * coeff
+
+    def rename(self, mapping: Mapping[str, str]) -> "Affine":
+        """Rename variables; unmapped variables are kept."""
+        terms: Dict[str, int] = {}
+        for var, coeff in self.terms.items():
+            new = mapping.get(var, var)
+            terms[new] = terms.get(new, 0) + coeff
+        return Affine(self.const, terms)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: IntLike) -> "Affine":
+        other = Affine.wrap(other)
+        terms = dict(self.terms)
+        for var, coeff in other.terms.items():
+            terms[var] = terms.get(var, 0) + coeff
+        return Affine(self.const + other.const, terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine(-self.const, {v: -c for v, c in self.terms.items()})
+
+    def __sub__(self, other: IntLike) -> "Affine":
+        return self + (-Affine.wrap(other))
+
+    def __rsub__(self, other: IntLike) -> "Affine":
+        return Affine.wrap(other) + (-self)
+
+    def __mul__(self, factor: int) -> "Affine":
+        if isinstance(factor, Affine):
+            if factor.is_constant:
+                factor = factor.const
+            elif self.is_constant:
+                return factor * self.const
+            else:
+                raise IRError("product of two non-constant affine expressions")
+        factor = int(factor)
+        return Affine(self.const * factor, {v: c * factor for v, c in self.terms.items()})
+
+    __rmul__ = __mul__
+
+    # -- comparison / hashing ---------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Affine)
+            and self.const == other.const
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for var in sorted(self.terms):
+            coeff = self.terms[var]
+            if coeff == 1:
+                parts.append(var)
+            elif coeff == -1:
+                parts.append(f"-{var}")
+            else:
+                parts.append(f"{coeff}*{var}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        out = " + ".join(parts)
+        return out.replace("+ -", "- ")
+
+
+class AffineBound:
+    """A loop bound: either affine or the minimum of two affine expressions.
+
+    ``min`` bounds appear when tiling loops whose extent is not a multiple of
+    the tile size (the remainder tile is clamped to the original bound).
+    """
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: IntLike):
+        if not operands:
+            raise IRError("AffineBound needs at least one operand")
+        self.operands = tuple(Affine.wrap(op) for op in operands)
+
+    @staticmethod
+    def wrap(value: Union[int, Affine, "AffineBound"]) -> "AffineBound":
+        if isinstance(value, AffineBound):
+            return value
+        return AffineBound(Affine.wrap(value))
+
+    @property
+    def is_plain(self) -> bool:
+        """True when this bound is a single affine expression (no min)."""
+        return len(self.operands) == 1
+
+    @property
+    def plain(self) -> Affine:
+        if not self.is_plain:
+            raise IRError(f"bound {self} is a min(), not a plain affine expression")
+        return self.operands[0]
+
+    @property
+    def variables(self) -> frozenset:
+        out = frozenset()
+        for op in self.operands:
+            out |= op.variables
+        return out
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return min(op.evaluate(env) for op in self.operands)
+
+    def substitute(self, var: str, replacement: IntLike) -> "AffineBound":
+        return AffineBound(*[op.substitute(var, replacement) for op in self.operands])
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineBound":
+        return AffineBound(*[op.rename(mapping) for op in self.operands])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AffineBound) and set(self.operands) == set(other.operands)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.operands))
+
+    def __repr__(self) -> str:
+        if self.is_plain:
+            return repr(self.operands[0])
+        return "min(" + ", ".join(repr(op) for op in self.operands) + ")"
+
+
+def affine_min(a: IntLike, b: IntLike) -> AffineBound:
+    """Build ``min(a, b)``, simplifying when both are constants."""
+    a = Affine.wrap(a)
+    b = Affine.wrap(b)
+    if a.is_constant and b.is_constant:
+        return AffineBound(Affine(min(a.const, b.const)))
+    if a == b:
+        return AffineBound(a)
+    return AffineBound(a, b)
+
+
+class AffineLowerBound:
+    """A loop lower bound: the *maximum* of affine expressions.
+
+    ``max`` lower bounds arise when tiling triangular iteration spaces: the
+    blocked transpose iterates ``j`` from ``max(j_blk, i + 1)`` so diagonal
+    tiles stay strictly upper-triangular while off-diagonal tiles are full.
+    """
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: IntLike):
+        if not operands:
+            raise IRError("AffineLowerBound needs at least one operand")
+        self.operands = tuple(Affine.wrap(op) for op in operands)
+
+    @staticmethod
+    def wrap(value) -> "AffineLowerBound":
+        if isinstance(value, AffineLowerBound):
+            return value
+        return AffineLowerBound(Affine.wrap(value))
+
+    @property
+    def is_plain(self) -> bool:
+        return len(self.operands) == 1
+
+    @property
+    def plain(self) -> Affine:
+        if not self.is_plain:
+            raise IRError(f"bound {self} is a max(), not a plain affine expression")
+        return self.operands[0]
+
+    @property
+    def variables(self) -> frozenset:
+        out = frozenset()
+        for op in self.operands:
+            out |= op.variables
+        return out
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return max(op.evaluate(env) for op in self.operands)
+
+    def substitute(self, var: str, replacement: IntLike) -> "AffineLowerBound":
+        return AffineLowerBound(*[op.substitute(var, replacement) for op in self.operands])
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineLowerBound":
+        return AffineLowerBound(*[op.rename(mapping) for op in self.operands])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AffineLowerBound) and set(self.operands) == set(other.operands)
+
+    def __hash__(self) -> int:
+        return hash(("max", frozenset(self.operands)))
+
+    def __repr__(self) -> str:
+        if self.is_plain:
+            return repr(self.operands[0])
+        return "max(" + ", ".join(repr(op) for op in self.operands) + ")"
+
+
+def affine_max(a: IntLike, b: IntLike) -> AffineLowerBound:
+    """Build ``max(a, b)``, simplifying when both are constants."""
+    a = Affine.wrap(a)
+    b = Affine.wrap(b)
+    if a.is_constant and b.is_constant:
+        return AffineLowerBound(Affine(max(a.const, b.const)))
+    if a == b:
+        return AffineLowerBound(a)
+    return AffineLowerBound(a, b)

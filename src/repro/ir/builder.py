@@ -1,0 +1,170 @@
+"""Ergonomic construction of loop-nest programs.
+
+The builder lets kernels be written close to the paper's pseudocode::
+
+    b = LoopBuilder("transpose_naive")
+    mat = b.array("mat", DType.F64, (n, n))
+    with b.loop("i", 0, n) as i:
+        with b.loop("j", i + 1, n) as j:
+            b.local("t", mat[i, j])
+            b.store(mat, (i, j), mat[j, i])
+            b.store(mat, (j, i), b.ref("t"))
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.affine import Affine, AffineBound
+from repro.ir.expr import Expr, ExprLike, Load, LocalRef, wrap_expr
+from repro.ir.program import Array, Program
+from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
+from repro.ir.types import DType
+
+
+class ArrayHandle:
+    """Wraps an :class:`Array` so ``arr[i, j]`` builds a :class:`Load`."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: Array):
+        self.array = array
+
+    def __getitem__(self, indices) -> Load:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return Load(self.array, [_as_affine(ix) for ix in indices])
+
+    @property
+    def name(self) -> str:
+        return self.array.name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.array.shape
+
+
+def _as_affine(value) -> Affine:
+    if isinstance(value, Affine):
+        return value
+    if isinstance(value, int):
+        return Affine(value)
+    raise IRError(f"array subscripts must be affine, got {value!r}")
+
+
+class LoopBuilder:
+    """Imperative builder producing an immutable :class:`Program`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._arrays: Dict[str, Array] = {}
+        self._stack: List[List[Stmt]] = [[]]
+        self._built = False
+
+    # -- declarations ------------------------------------------------------
+
+    def array(
+        self,
+        name: str,
+        dtype: DType,
+        shape: Sequence[int],
+        scope: str = "global",
+        data: Optional[np.ndarray] = None,
+    ) -> ArrayHandle:
+        """Declare an array and return a subscriptable handle."""
+        if name in self._arrays:
+            raise IRError(f"array {name!r} already declared")
+        arr = Array(name, dtype, shape, scope=scope, data=data)
+        self._arrays[name] = arr
+        return ArrayHandle(arr)
+
+    def constant_array(self, name: str, data: np.ndarray) -> ArrayHandle:
+        """Declare a global array initialized with fixed contents."""
+        data = np.asarray(data)
+        from repro.ir.types import from_numpy
+
+        return self.array(name, from_numpy(data.dtype), data.shape, data=data)
+
+    # -- structure ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def loop(
+        self,
+        var: str,
+        lo,
+        hi,
+        step: int = 1,
+        parallel: bool = False,
+        schedule: str = "static",
+        chunk: Optional[int] = None,
+    ):
+        """Open a loop; yields the loop variable as an :class:`Affine`."""
+        self._stack.append([])
+        try:
+            yield Affine.var(var)
+        finally:
+            body = Block(self._stack.pop())
+            self._emit(
+                For(
+                    var,
+                    lo,
+                    hi,
+                    body,
+                    step=step,
+                    parallel=parallel,
+                    schedule=schedule,
+                    chunk=chunk,
+                )
+            )
+
+    def parallel_loop(self, var: str, lo, hi, step: int = 1, schedule: str = "static", chunk=None):
+        return self.loop(var, lo, hi, step=step, parallel=True, schedule=schedule, chunk=chunk)
+
+    # -- leaves --------------------------------------------------------------
+
+    def store(self, target: Union[ArrayHandle, Array], indices, value: ExprLike, accumulate: bool = False) -> None:
+        array = target.array if isinstance(target, ArrayHandle) else target
+        if not isinstance(indices, (tuple, list)):
+            indices = (indices,)
+        self._emit(Store(array, [_as_affine(ix) for ix in indices], value, accumulate))
+
+    def accumulate(self, target, indices, value: ExprLike) -> None:
+        """``target[indices] += value`` (the blur's row accumulation)."""
+        self.store(target, indices, value, accumulate=True)
+
+    def local(self, name: str, value: ExprLike, accumulate: bool = False) -> LocalRef:
+        """Assign a scalar local; returns a reference for later reads."""
+        self._emit(LocalAssign(name, value, accumulate))
+        return LocalRef(name)
+
+    def ref(self, name: str) -> LocalRef:
+        return LocalRef(name)
+
+    # -- assembly ------------------------------------------------------------
+
+    def _emit(self, stmt: Stmt) -> None:
+        if self._built:
+            raise IRError("builder already produced its program")
+        self._stack[-1].append(stmt)
+
+    def build(self) -> Program:
+        """Finalize and return the program."""
+        if len(self._stack) != 1:
+            raise IRError("unbalanced loop() contexts at build time")
+        self._built = True
+        body = Block(self._stack[0])
+        program = Program(self.name, body)
+        declared = {a.name for a in self._arrays.values()}
+        used = {a.name for a in program.arrays}
+        missing = used - declared
+        if missing:
+            raise IRError(f"arrays used but not declared through this builder: {missing}")
+        # Keep declared-but-unused arrays too (e.g. output images whose
+        # borders a kernel never writes are still part of the footprint).
+        program.arrays = list(self._arrays.values())
+        return program

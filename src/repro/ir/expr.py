@@ -1,0 +1,206 @@
+"""Value expressions of the loop-nest IR.
+
+Expressions compute scalar values (the right-hand sides of stores and local
+assignments).  Array subscripts are *not* expressions: they are
+:class:`repro.ir.affine.Affine` objects, which keeps every memory reference
+statically analyzable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.affine import Affine
+from repro.ir.types import DType
+
+BINARY_OPS = ("+", "-", "*", "/", "min", "max")
+
+
+class Expr:
+    """Base class of all value expressions (immutable)."""
+
+    __slots__ = ()
+
+    # Sugar so kernels read naturally: a + b, a * k, ...
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", self, wrap_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", wrap_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", self, wrap_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", wrap_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", self, wrap_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", wrap_expr(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", self, wrap_expr(other))
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+
+ExprLike = object  # Expr | int | float
+
+
+def wrap_expr(value: ExprLike) -> Expr:
+    """Coerce python numbers into :class:`Const` expressions."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise IRError("booleans are not IR values")
+    if isinstance(value, int):
+        return Const(value, DType.I64)
+    if isinstance(value, float):
+        return Const(value, DType.F64)
+    raise IRError(f"cannot interpret {value!r} as an IR expression")
+
+
+class Const(Expr):
+    """A scalar literal."""
+
+    __slots__ = ("value", "dtype")
+
+    def __init__(self, value, dtype: DType = DType.F64):
+        self.value = value
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return f"{self.value}"
+
+
+class LocalRef(Expr):
+    """A read of a scalar local variable (see ``LocalAssign``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class IndexValue(Expr):
+    """An affine index expression used as an arithmetic *value*.
+
+    Needed for kernels that compute with the loop counter itself (none of
+    the paper's kernels do, but initialization programs and tests do).
+    """
+
+    __slots__ = ("affine",)
+
+    def __init__(self, affine: Affine):
+        self.affine = Affine.wrap(affine)
+
+    def __repr__(self) -> str:
+        return f"({self.affine!r})"
+
+
+class Load(Expr):
+    """A read of ``array[indices...]`` with affine subscripts."""
+
+    __slots__ = ("array", "indices")
+
+    def __init__(self, array, indices: Sequence):
+        indices = tuple(Affine.wrap(ix) for ix in indices)
+        if len(indices) != len(array.shape):
+            raise IRError(
+                f"array {array.name!r} has rank {len(array.shape)}, got "
+                f"{len(indices)} subscripts"
+            )
+        self.array = array
+        self.indices = indices
+
+    def __repr__(self) -> str:
+        subs = ", ".join(repr(ix) for ix in self.indices)
+        return f"{self.array.name}[{subs}]"
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: ExprLike, rhs: ExprLike):
+        if op not in BINARY_OPS:
+            raise IRError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.lhs = wrap_expr(lhs)
+        self.rhs = wrap_expr(rhs)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.lhs!r}, {self.rhs!r})"
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class Cast(Expr):
+    """Convert a value to another scalar type."""
+
+    __slots__ = ("dtype", "operand")
+
+    def __init__(self, dtype: DType, operand: ExprLike):
+        self.dtype = dtype
+        self.operand = wrap_expr(operand)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"{self.dtype.value}({self.operand!r})"
+
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk_expr(child)
+
+
+def loads_in(expr: Expr) -> Iterator[Load]:
+    """Yield every :class:`Load` inside ``expr``."""
+    for node in walk_expr(expr):
+        if isinstance(node, Load):
+            yield node
+
+
+def substitute_expr(expr: Expr, var: str, replacement) -> Expr:
+    """Substitute a loop variable inside every affine subscript of ``expr``."""
+    if isinstance(expr, Load):
+        return Load(expr.array, [ix.substitute(var, replacement) for ix in expr.indices])
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            substitute_expr(expr.lhs, var, replacement),
+            substitute_expr(expr.rhs, var, replacement),
+        )
+    if isinstance(expr, Cast):
+        return Cast(expr.dtype, substitute_expr(expr.operand, var, replacement))
+    if isinstance(expr, IndexValue):
+        return IndexValue(expr.affine.substitute(var, replacement))
+    return expr
+
+
+def rename_expr(expr: Expr, mapping) -> Expr:
+    """Rename loop variables inside every affine subscript of ``expr``."""
+    if isinstance(expr, Load):
+        return Load(expr.array, [ix.rename(mapping) for ix in expr.indices])
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, rename_expr(expr.lhs, mapping), rename_expr(expr.rhs, mapping))
+    if isinstance(expr, Cast):
+        return Cast(expr.dtype, rename_expr(expr.operand, mapping))
+    if isinstance(expr, IndexValue):
+        return IndexValue(expr.affine.rename(mapping))
+    return expr

@@ -1,0 +1,79 @@
+"""Human-readable pretty printer for IR programs.
+
+The output is C-like pseudocode matching the listings in the paper, which
+makes it easy to eyeball that a transformed kernel is the variant the paper
+describes (``repro.kernels`` doctests rely on this).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.expr import BinOp, Cast, Const, Expr, IndexValue, Load, LocalRef
+from repro.ir.program import Program
+from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
+
+INDENT = "  "
+
+
+def format_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, LocalRef):
+        return expr.name
+    if isinstance(expr, IndexValue):
+        return f"({expr.affine!r})"
+    if isinstance(expr, Load):
+        subs = "][".join(repr(ix) for ix in expr.indices)
+        return f"{expr.array.name}[{subs}]"
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return f"{expr.op}({format_expr(expr.lhs)}, {format_expr(expr.rhs)})"
+        return f"({format_expr(expr.lhs)} {expr.op} {format_expr(expr.rhs)})"
+    if isinstance(expr, Cast):
+        return f"({expr.dtype.value}){format_expr(expr.operand)}"
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def format_stmt(stmt: Stmt, depth: int = 0) -> List[str]:
+    pad = INDENT * depth
+    if isinstance(stmt, Block):
+        lines: List[str] = []
+        for child in stmt.stmts:
+            lines.extend(format_stmt(child, depth))
+        return lines
+    if isinstance(stmt, For):
+        qualifiers = []
+        if stmt.parallel:
+            sched = stmt.schedule
+            if stmt.chunk is not None:
+                sched += f",{stmt.chunk}"
+            qualifiers.append(f"parallel({sched})")
+        if stmt.vectorized:
+            qualifiers.append("vectorized")
+        prefix = (" ".join(qualifiers) + " ") if qualifiers else ""
+        step = f"; {stmt.var} += {stmt.step}" if stmt.step != 1 else f"; {stmt.var}++"
+        header = f"{pad}{prefix}for ({stmt.var} = {stmt.lo!r}; {stmt.var} < {stmt.hi!r}{step}) {{"
+        lines = [header]
+        lines.extend(format_stmt(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, Store):
+        subs = "][".join(repr(ix) for ix in stmt.indices)
+        op = "+=" if stmt.accumulate else "="
+        return [f"{pad}{stmt.array.name}[{subs}] {op} {format_expr(stmt.value)};"]
+    if isinstance(stmt, LocalAssign):
+        op = "+=" if stmt.accumulate else "="
+        return [f"{pad}{stmt.name} {op} {format_expr(stmt.value)};"]
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def format_program(program: Program) -> str:
+    lines = [f"// program {program.name}"]
+    for arr in program.arrays:
+        dims = "][".join(str(d) for d in arr.shape)
+        scope = "" if arr.scope == "global" else f" /* {arr.scope} */"
+        init = " /* initialized */" if arr.data is not None else ""
+        lines.append(f"{arr.dtype.value} {arr.name}[{dims}];{scope}{init}")
+    lines.extend(format_stmt(program.body))
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Arrays, programs and memory layout.
+
+A :class:`Program` is a named loop nest plus the arrays it touches.  Kernels
+are built for *concrete* sizes (like the paper's benchmarks, which compile a
+fixed problem size into the binary); parameters are plain Python ints baked
+into the affine expressions at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.stmt import Block, Stmt, loops_in, stores_in, walk_stmts
+from repro.ir.expr import Load, loads_in
+from repro.ir.types import DType
+
+SCOPES = ("global", "local", "register")
+
+
+class Array:
+    """A statically shaped, row-major array.
+
+    ``scope='global'`` arrays live in DRAM and are shared by all cores.
+    ``scope='local'`` arrays are per-thread scratch buffers (the manually
+    managed cache block of the paper's "Manual_blocking" transpose); the
+    layout engine gives each core its own copy.
+    ``scope='register'`` arrays model tiny per-thread accumulators that a
+    compiler keeps entirely in registers after unrolling (scalar
+    replacement): they generate no memory traffic, only arithmetic — the
+    3-entry per-channel accumulator of the blur's "Unit-stride" variant is
+    the canonical example.
+    """
+
+    __slots__ = ("name", "dtype", "shape", "scope", "data")
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DType,
+        shape: Sequence[int],
+        scope: str = "global",
+        data: Optional[np.ndarray] = None,
+    ):
+        if scope not in SCOPES:
+            raise IRError(f"unknown array scope {scope!r}")
+        shape = tuple(int(dim) for dim in shape)
+        if not shape or any(dim <= 0 for dim in shape):
+            raise IRError(f"array {name!r} has invalid shape {shape}")
+        if data is not None:
+            data = np.asarray(data, dtype=dtype.numpy)
+            if data.shape != shape:
+                raise IRError(
+                    f"initial data shape {data.shape} does not match array "
+                    f"shape {shape} for {name!r}"
+                )
+        self.name = name
+        self.dtype = dtype
+        self.shape = shape
+        self.scope = scope
+        self.data = data
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def elements(self) -> int:
+        n = 1
+        for dim in self.shape:
+            n *= dim
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.elements * self.dtype.size
+
+    def strides(self) -> Tuple[int, ...]:
+        """Row-major strides, in elements."""
+        strides = [1] * self.rank
+        for axis in range(self.rank - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * self.shape[axis + 1]
+        return tuple(strides)
+
+    def linearize(self, indices) -> "object":
+        """Flatten N-D affine subscripts into one affine element offset."""
+        strides = self.strides()
+        offset = None
+        for index, stride in zip(indices, strides):
+            term = index * stride
+            offset = term if offset is None else offset + term
+        return offset
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"Array({self.name}: {self.dtype.value}[{dims}], {self.scope})"
+
+
+class Program:
+    """A complete kernel: arrays plus a statement tree."""
+
+    def __init__(self, name: str, body: Stmt, arrays: Optional[Sequence[Array]] = None):
+        self.name = name
+        self.body = body if isinstance(body, Block) else Block([body])
+        if arrays is None:
+            arrays = collect_arrays(self.body)
+        self.arrays = list(arrays)
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise IRError(f"duplicate array names in program {name!r}: {names}")
+
+    def array(self, name: str) -> Array:
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        raise IRError(f"program {self.name!r} has no array {name!r}")
+
+    @property
+    def global_arrays(self) -> List[Array]:
+        return [a for a in self.arrays if a.scope == "global"]
+
+    @property
+    def local_arrays(self) -> List[Array]:
+        return [a for a in self.arrays if a.scope == "local"]
+
+    def footprint_bytes(self) -> int:
+        """Total bytes of global arrays (the working set living in DRAM)."""
+        return sum(a.nbytes for a in self.global_arrays)
+
+    def with_body(self, body: Stmt, name: Optional[str] = None) -> "Program":
+        """A copy of this program with a new body (used by passes)."""
+        return Program(name or self.name, body, arrays=None)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, arrays={[a.name for a in self.arrays]})"
+
+
+def collect_arrays(stmt: Stmt) -> List[Array]:
+    """All arrays referenced by a statement tree, in first-use order."""
+    seen: Dict[str, Array] = {}
+    for node in walk_stmts(stmt):
+        refs: List[Array] = []
+        if hasattr(node, "array"):
+            refs.append(node.array)
+        if hasattr(node, "value"):
+            refs.extend(load.array for load in loads_in(node.value))
+        for arr in refs:
+            prior = seen.get(arr.name)
+            if prior is None:
+                seen[arr.name] = arr
+            elif prior is not arr:
+                raise IRError(f"two distinct arrays named {arr.name!r} in one program")
+    return list(seen.values())
+
+
+class MemoryLayout:
+    """Assigns flat byte addresses to every array instance.
+
+    Global arrays get one page-aligned extent each.  Local (per-thread)
+    arrays get one cache-line-aligned extent *per core* so different cores'
+    scratch buffers never share cache lines (as a real ``malloc``-per-thread
+    or stack allocation would behave).
+    """
+
+    PAGE = 4096
+
+    def __init__(self, program: Program, num_threads: int = 1, base: int = 0x10000):
+        self.program = program
+        self.num_threads = max(1, int(num_threads))
+        self.base = base
+        self._global: Dict[str, int] = {}
+        self._local: Dict[Tuple[str, int], int] = {}
+        cursor = base
+        for arr in program.global_arrays:
+            cursor = _align(cursor, self.PAGE)
+            self._global[arr.name] = cursor
+            cursor += arr.nbytes
+        for arr in program.local_arrays:
+            for thread in range(self.num_threads):
+                cursor = _align(cursor, self.PAGE)
+                self._local[(arr.name, thread)] = cursor
+                cursor += arr.nbytes
+        self.end = _align(cursor, self.PAGE)
+
+    def address_of(self, array: Array, thread: int = 0) -> int:
+        """Base byte address of an array instance for a given thread."""
+        if array.scope == "register":
+            raise IRError(f"register-promoted array {array.name!r} has no address")
+        if array.scope == "global":
+            return self._global[array.name]
+        return self._local[(array.name, thread)]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.end - self.base
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment

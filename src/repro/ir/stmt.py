@@ -1,0 +1,263 @@
+"""Statements of the loop-nest IR.
+
+The statement language is deliberately small — a block-structured tree of
+``For`` loops around ``Store`` / ``LocalAssign`` leaves — because that is
+exactly the shape of the paper's kernels, and a small language keeps every
+transformation auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.affine import Affine, AffineBound, AffineLowerBound
+from repro.ir.expr import Expr, ExprLike, rename_expr, substitute_expr, wrap_expr
+
+SCHEDULES = ("static", "dynamic")
+
+
+class Stmt:
+    """Base class of all statements."""
+
+    __slots__ = ()
+
+
+class Block(Stmt):
+    """A sequence of statements executed in order."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        flat: List[Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, Block):
+                flat.extend(stmt.stmts)
+            elif isinstance(stmt, Stmt):
+                flat.append(stmt)
+            else:
+                raise IRError(f"{stmt!r} is not a statement")
+        self.stmts = tuple(flat)
+
+
+class For(Stmt):
+    """A counted loop ``for var in range(lo, hi, step)``.
+
+    Attributes
+    ----------
+    parallel:
+        When true the iterations are distributed over the device's cores
+        (the IR analogue of ``#pragma omp parallel for``).
+    schedule, chunk:
+        OpenMP-style schedule for parallel loops.  ``static`` splits the
+        iteration space into one contiguous slab per core; ``dynamic`` hands
+        out ``chunk``-sized pieces to whichever core is free — the paper's
+        "Dynamic" transpose variant relies on this to balance the triangular
+        iteration space.
+    vectorized:
+        Set by the ``vectorize`` pass on unit-stride innermost loops; the
+        timing model then issues vector instead of scalar operations
+        (modelling compiler auto-vectorization, which the paper credits for
+        the >19x "Memory" speedup on the Xeon).
+    """
+
+    __slots__ = ("var", "lo", "hi", "step", "body", "parallel", "schedule", "chunk", "vectorized")
+
+    def __init__(
+        self,
+        var: str,
+        lo,
+        hi,
+        body: Stmt,
+        step: int = 1,
+        parallel: bool = False,
+        schedule: str = "static",
+        chunk: Optional[int] = None,
+        vectorized: bool = False,
+    ):
+        if step <= 0:
+            raise IRError(f"loop step must be positive, got {step}")
+        if schedule not in SCHEDULES:
+            raise IRError(f"unknown schedule {schedule!r}")
+        self.var = var
+        self.lo = AffineLowerBound.wrap(lo)
+        self.hi = AffineBound.wrap(hi)
+        self.step = int(step)
+        self.body = body
+        self.parallel = parallel
+        self.schedule = schedule
+        self.chunk = chunk
+        self.vectorized = vectorized
+
+    def with_(self, **updates) -> "For":
+        """Functional update — returns a copy with the given fields replaced."""
+        kwargs = {
+            "var": self.var,
+            "lo": self.lo,
+            "hi": self.hi,
+            "body": self.body,
+            "step": self.step,
+            "parallel": self.parallel,
+            "schedule": self.schedule,
+            "chunk": self.chunk,
+            "vectorized": self.vectorized,
+        }
+        kwargs.update(updates)
+        return For(**kwargs)
+
+    def trip_count(self, env) -> int:
+        """Number of iterations under a binding of enclosing loop variables."""
+        lo = self.lo.evaluate(env)
+        hi = self.hi.evaluate(env)
+        if hi <= lo:
+            return 0
+        return (hi - lo + self.step - 1) // self.step
+
+    def iter_values(self, env) -> range:
+        """The concrete ``range`` of this loop under ``env``."""
+        return range(self.lo.evaluate(env), self.hi.evaluate(env), self.step)
+
+
+class Store(Stmt):
+    """``array[indices...] = value`` or ``+= value`` when ``accumulate``."""
+
+    __slots__ = ("array", "indices", "value", "accumulate")
+
+    def __init__(self, array, indices: Sequence, value: ExprLike, accumulate: bool = False):
+        indices = tuple(Affine.wrap(ix) for ix in indices)
+        if len(indices) != len(array.shape):
+            raise IRError(
+                f"array {array.name!r} has rank {len(array.shape)}, got "
+                f"{len(indices)} subscripts"
+            )
+        self.array = array
+        self.indices = indices
+        self.value = wrap_expr(value)
+        self.accumulate = accumulate
+
+
+class LocalAssign(Stmt):
+    """``name = value`` (or ``+=``) for a scalar register-resident local.
+
+    Locals model values the compiler keeps in registers (the ``sum``
+    accumulator of the blur, the temporary of an in-place swap).  They
+    generate no memory traffic.
+    """
+
+    __slots__ = ("name", "value", "accumulate")
+
+    def __init__(self, name: str, value: ExprLike, accumulate: bool = False):
+        self.name = name
+        self.value = wrap_expr(value)
+        self.accumulate = accumulate
+
+
+def substitute_stmt(stmt: Stmt, var: str, replacement) -> Stmt:
+    """Substitute loop variable ``var`` throughout a statement tree."""
+    if isinstance(stmt, Block):
+        return Block([substitute_stmt(s, var, replacement) for s in stmt.stmts])
+    if isinstance(stmt, For):
+        if stmt.var == var:
+            raise IRError(f"substitution target {var!r} is shadowed by a loop")
+        return stmt.with_(
+            lo=stmt.lo.substitute(var, replacement),
+            hi=stmt.hi.substitute(var, replacement),
+            body=substitute_stmt(stmt.body, var, replacement),
+        )
+    if isinstance(stmt, Store):
+        return Store(
+            stmt.array,
+            [ix.substitute(var, replacement) for ix in stmt.indices],
+            substitute_expr(stmt.value, var, replacement),
+            stmt.accumulate,
+        )
+    if isinstance(stmt, LocalAssign):
+        return LocalAssign(stmt.name, substitute_expr(stmt.value, var, replacement), stmt.accumulate)
+    raise IRError(f"unknown statement {stmt!r}")
+
+
+def rename_stmt(stmt: Stmt, mapping) -> Stmt:
+    """Rename loop variables (both binders and uses) in a statement tree."""
+    if isinstance(stmt, Block):
+        return Block([rename_stmt(s, mapping) for s in stmt.stmts])
+    if isinstance(stmt, For):
+        return stmt.with_(
+            var=mapping.get(stmt.var, stmt.var),
+            lo=stmt.lo.rename(mapping),
+            hi=stmt.hi.rename(mapping),
+            body=rename_stmt(stmt.body, mapping),
+        )
+    if isinstance(stmt, Store):
+        return Store(
+            stmt.array,
+            [ix.rename(mapping) for ix in stmt.indices],
+            rename_expr(stmt.value, mapping),
+            stmt.accumulate,
+        )
+    if isinstance(stmt, LocalAssign):
+        return LocalAssign(stmt.name, rename_expr(stmt.value, mapping), stmt.accumulate)
+    raise IRError(f"unknown statement {stmt!r}")
+
+
+def walk_stmts(stmt: Stmt) -> Iterator[Stmt]:
+    """Yield ``stmt`` and every nested statement, pre-order."""
+    yield stmt
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            yield from walk_stmts(child)
+    elif isinstance(stmt, For):
+        yield from walk_stmts(stmt.body)
+
+
+def loops_in(stmt: Stmt) -> Iterator[For]:
+    for node in walk_stmts(stmt):
+        if isinstance(node, For):
+            yield node
+
+
+def stores_in(stmt: Stmt) -> Iterator[Store]:
+    for node in walk_stmts(stmt):
+        if isinstance(node, Store):
+            yield node
+
+
+def find_loop(stmt: Stmt, var: str) -> For:
+    """Find the unique loop binding ``var``; raises if absent."""
+    found = [loop for loop in loops_in(stmt) if loop.var == var]
+    if not found:
+        raise IRError(f"no loop over {var!r} in statement tree")
+    if len(found) > 1:
+        raise IRError(f"multiple loops bind {var!r}")
+    return found[0]
+
+
+def map_loops(stmt: Stmt, fn) -> Stmt:
+    """Rebuild a statement tree applying ``fn`` to every ``For`` bottom-up.
+
+    ``fn`` receives a ``For`` whose body has already been processed and
+    returns a replacement statement.
+    """
+    if isinstance(stmt, Block):
+        return Block([map_loops(s, fn) for s in stmt.stmts])
+    if isinstance(stmt, For):
+        rebuilt = stmt.with_(body=map_loops(stmt.body, fn))
+        out = fn(rebuilt)
+        if not isinstance(out, Stmt):
+            raise IRError("map_loops callback must return a statement")
+        return out
+    return stmt
+
+
+def loop_nest_vars(stmt: Stmt) -> Tuple[str, ...]:
+    """Variables of the outermost perfect loop nest, outside-in."""
+    out: List[str] = []
+    node = stmt
+    while True:
+        if isinstance(node, Block) and len(node.stmts) == 1:
+            node = node.stmts[0]
+            continue
+        if isinstance(node, For):
+            out.append(node.var)
+            node = node.body
+            continue
+        return tuple(out)

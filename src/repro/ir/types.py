@@ -1,0 +1,71 @@
+"""Scalar data types used by the loop-nest IR.
+
+The kernels in the paper use ``double`` (matrix transposition, STREAM) and
+``float`` (Gaussian blur, where pixel intensities are converted to float).
+Integer types exist for index computations and for the RISC-V backend.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """A scalar element type with a fixed byte width."""
+
+    F32 = "f32"
+    F64 = "f64"
+    I8 = "i8"
+    I16 = "i16"
+    I32 = "i32"
+    I64 = "i64"
+    U8 = "u8"
+
+    @property
+    def size(self) -> int:
+        """Width of one element in bytes."""
+        return _SIZES[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.F32, DType.F64)
+
+    @property
+    def numpy(self) -> np.dtype:
+        """The corresponding numpy dtype object."""
+        return _NUMPY[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+_SIZES = {
+    DType.F32: 4,
+    DType.F64: 8,
+    DType.I8: 1,
+    DType.I16: 2,
+    DType.I32: 4,
+    DType.I64: 8,
+    DType.U8: 1,
+}
+
+_NUMPY = {
+    DType.F32: np.dtype(np.float32),
+    DType.F64: np.dtype(np.float64),
+    DType.I8: np.dtype(np.int8),
+    DType.I16: np.dtype(np.int16),
+    DType.I32: np.dtype(np.int32),
+    DType.I64: np.dtype(np.int64),
+    DType.U8: np.dtype(np.uint8),
+}
+
+
+def from_numpy(dtype: np.dtype) -> DType:
+    """Map a numpy dtype back to the IR :class:`DType`."""
+    dtype = np.dtype(dtype)
+    for ir_dtype, np_dtype in _NUMPY.items():
+        if np_dtype == dtype:
+            return ir_dtype
+    raise ValueError(f"unsupported numpy dtype {dtype!r}")

@@ -1,0 +1,178 @@
+"""Structural validation of IR programs.
+
+``validate_program`` is run by the pass manager after every transformation,
+so a buggy pass fails loudly instead of producing silently wrong traces.
+
+Checks performed:
+
+* every loop variable is bound exactly once on any path (no shadowing);
+* every variable used in bounds or subscripts is in scope;
+* every scalar local is assigned before it is read;
+* subscripts of constant-shape arrays stay in bounds for the loop ranges
+  that are statically evaluable (interval analysis over the affine forms);
+* parallel loops are not nested inside other parallel loops (the paper's
+  kernels use a single level of OpenMP parallelism).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.ir.affine import Affine, AffineBound
+from repro.ir.expr import Expr, IndexValue, Load, LocalRef, walk_expr
+from repro.ir.program import Program
+from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
+
+Interval = Tuple[int, int]  # inclusive bounds
+
+
+def _affine_range(expr: Affine, ranges: Dict[str, Interval]) -> Optional[Interval]:
+    """Interval of an affine expression given variable intervals."""
+    lo = hi = expr.const
+    for var, coeff in expr.terms.items():
+        interval = ranges.get(var)
+        if interval is None:
+            return None
+        vlo, vhi = interval
+        if coeff >= 0:
+            lo += coeff * vlo
+            hi += coeff * vhi
+        else:
+            lo += coeff * vhi
+            hi += coeff * vlo
+    return lo, hi
+
+
+def _bound_max(bound: AffineBound, ranges: Dict[str, Interval]) -> Optional[int]:
+    """A safe upper bound of ``min(...)`` — min of the operand maxima."""
+    maxima = []
+    for op in bound.operands:
+        interval = _affine_range(op, ranges)
+        if interval is None:
+            return None
+        maxima.append(interval[1])
+    return min(maxima)
+
+
+def _bound_min(bound, ranges: Dict[str, Interval]) -> Optional[int]:
+    """A safe lower bound of ``max(...)`` — max of the operand minima."""
+    minima = []
+    for op in bound.operands:
+        interval = _affine_range(op, ranges)
+        if interval is None:
+            return None
+        minima.append(interval[0])
+    return max(minima)
+
+
+class _Validator:
+    def __init__(self, program: Program):
+        self.program = program
+        self.errors = []
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def run(self) -> None:
+        self._stmt(
+            self.program.body,
+            ranges={},
+            scope=set(),
+            locals_defined=set(),
+            in_parallel=False,
+        )
+        if self.errors:
+            raise ValidationError(
+                f"program {self.program.name!r} failed validation:\n  "
+                + "\n  ".join(self.errors)
+            )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_scope(self, expr: Affine, scope: Set[str], what: str) -> None:
+        for var in expr.variables:
+            if var not in scope:
+                self.error(f"{what} uses unbound variable {var!r}")
+
+    def _check_subscripts(self, array, indices, ranges, scope) -> None:
+        for axis, (index, dim) in enumerate(zip(indices, array.shape)):
+            self._check_scope(index, scope, f"subscript of {array.name!r}")
+            interval = _affine_range(index, ranges)
+            if interval is None:
+                continue
+            lo, hi = interval
+            if lo < 0 or hi >= dim:
+                self.error(
+                    f"subscript {index!r} of {array.name!r} axis {axis} may "
+                    f"reach [{lo}, {hi}] outside [0, {dim - 1}]"
+                )
+
+    def _expr(self, expr: Expr, ranges, scope, locals_defined: Set[str]) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, Load):
+                self._check_subscripts(node.array, node.indices, ranges, scope)
+            elif isinstance(node, LocalRef):
+                if node.name not in locals_defined:
+                    self.error(f"local {node.name!r} read before assignment")
+            elif isinstance(node, IndexValue):
+                self._check_scope(node.affine, scope, "index value")
+
+    # -- statement walk ------------------------------------------------------
+
+    def _stmt(
+        self,
+        stmt: Stmt,
+        ranges: Dict[str, Interval],
+        scope: Set[str],
+        locals_defined: Set[str],
+        in_parallel: bool,
+    ) -> None:
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                self._stmt(child, ranges, scope, locals_defined, in_parallel)
+            return
+        if isinstance(stmt, For):
+            if stmt.var in scope:
+                self.error(f"loop variable {stmt.var!r} shadows an enclosing binding")
+            if stmt.parallel and in_parallel:
+                self.error(f"parallel loop {stmt.var!r} nested inside a parallel loop")
+            for op in stmt.lo.operands:
+                self._check_scope(op, scope, f"lower bound of loop {stmt.var!r}")
+            for op in stmt.hi.operands:
+                self._check_scope(op, scope, f"upper bound of loop {stmt.var!r}")
+            lo_min = _bound_min(stmt.lo, ranges)
+            hi_max = _bound_max(stmt.hi, ranges)
+            inner = dict(ranges)
+            if lo_min is not None and hi_max is not None:
+                var_lo = lo_min
+                if hi_max - 1 < var_lo:
+                    return  # statically zero-trip: the body never runs
+                span = hi_max - 1 - var_lo
+                var_hi = var_lo + (span // stmt.step) * stmt.step
+                inner[stmt.var] = (var_lo, var_hi)
+            self._stmt(
+                stmt.body,
+                inner,
+                scope | {stmt.var},
+                set(locals_defined),
+                in_parallel or stmt.parallel,
+            )
+            return
+        if isinstance(stmt, Store):
+            self._check_subscripts(stmt.array, stmt.indices, ranges, scope)
+            self._expr(stmt.value, ranges, scope, locals_defined)
+            return
+        if isinstance(stmt, LocalAssign):
+            if stmt.accumulate and stmt.name not in locals_defined:
+                self.error(f"local {stmt.name!r} accumulated before assignment")
+            self._expr(stmt.value, ranges, scope, locals_defined)
+            locals_defined.add(stmt.name)
+            return
+        self.error(f"unknown statement type {type(stmt).__name__}")
+
+
+def validate_program(program: Program) -> Program:
+    """Validate; returns the program unchanged so calls can be chained."""
+    _Validator(program).run()
+    return program

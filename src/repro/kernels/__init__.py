@@ -1,0 +1,13 @@
+"""The paper's benchmark kernels as IR programs.
+
+* :mod:`repro.kernels.stream` — STREAM copy/scale/add/triad (Section 4.1);
+* :mod:`repro.kernels.transpose` — five in-place transposition variants
+  (Section 4.2, Listings 1-3);
+* :mod:`repro.kernels.blur` — five Gaussian-blur variants (Section 4.3,
+  Listings 4-5);
+* :mod:`repro.kernels.common` — filter weights and input generators.
+"""
+
+from repro.kernels import blur, common, stream, transpose
+
+__all__ = ["blur", "common", "stream", "transpose"]

@@ -1,0 +1,112 @@
+"""The STREAM benchmark (McCalpin) as IR programs.
+
+Four tests, exactly the paper's Section 4.1 inventory:
+
+========  =================  ==============  ==========
+test      operation          bytes per iter  FLOP/iter
+========  =================  ==============  ==========
+COPY      a[i] = b[i]        16              0
+SCALE     a[i] = d*b[i]      16              1
+SUM       a[i] = b[i]+c[i]   24              1
+TRIAD     a[i] = b[i]+d*c[i] 24              2
+========  =================  ==============  ==========
+
+("bytes per iter" is the STREAM accounting convention — reads plus the
+store, not counting the write-allocate fill.  :func:`stream_bytes` applies
+it when converting simulated time to reported bandwidth, as the original
+benchmark and the paper both do.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import IRError
+from repro.ir.builder import LoopBuilder
+from repro.ir.program import Program
+from repro.ir.types import DType
+
+SCALAR = 3.0  # the multiplicative constant d
+
+
+@dataclass(frozen=True)
+class StreamTest:
+    """Metadata of one STREAM test."""
+
+    name: str
+    arrays: int           # how many vectors it touches
+    bytes_per_iter: int   # STREAM accounting convention
+    flops_per_iter: int
+    build: Callable[..., Program]
+
+
+def _builder(name: str, n: int, arrays: int, parallel: bool):
+    b = LoopBuilder(f"stream_{name}_{n}")
+    handles = [b.array(chr(ord("a") + k), DType.F64, (n,)) for k in range(arrays)]
+    return b, handles
+
+
+def copy(n: int, parallel: bool = True) -> Program:
+    """COPY: a[i] = b[i]."""
+    b, (a, src) = _builder("copy", n, 2, parallel)
+    with b.loop("i", 0, n, parallel=parallel) as i:
+        b.store(a, i, src[i])
+    return b.build()
+
+
+def scale(n: int, parallel: bool = True) -> Program:
+    """SCALE: a[i] = d * b[i]."""
+    b, (a, src) = _builder("scale", n, 2, parallel)
+    with b.loop("i", 0, n, parallel=parallel) as i:
+        b.store(a, i, SCALAR * src[i])
+    return b.build()
+
+
+def add(n: int, parallel: bool = True) -> Program:
+    """SUM: a[i] = b[i] + c[i]."""
+    b, (a, x, y) = _builder("add", n, 3, parallel)
+    with b.loop("i", 0, n, parallel=parallel) as i:
+        b.store(a, i, x[i] + y[i])
+    return b.build()
+
+
+def triad(n: int, parallel: bool = True) -> Program:
+    """TRIAD: a[i] = b[i] + d * c[i] (one FMA per element)."""
+    b, (a, x, y) = _builder("triad", n, 3, parallel)
+    with b.loop("i", 0, n, parallel=parallel) as i:
+        b.store(a, i, x[i] + SCALAR * y[i])
+    return b.build()
+
+
+TESTS: Dict[str, StreamTest] = {
+    "copy": StreamTest("copy", 2, 16, 0, copy),
+    "scale": StreamTest("scale", 2, 16, 1, scale),
+    "add": StreamTest("add", 3, 24, 1, add),
+    "triad": StreamTest("triad", 3, 24, 2, triad),
+}
+
+
+def build(test: str, n: int, parallel: bool = True) -> Program:
+    """Build one STREAM test by name."""
+    try:
+        spec = TESTS[test]
+    except KeyError:
+        raise IRError(f"unknown STREAM test {test!r}; known: {sorted(TESTS)}")
+    return spec.build(n, parallel=parallel)
+
+
+def stream_bytes(test: str, n: int) -> int:
+    """Reported bytes of one repetition under the STREAM convention."""
+    return TESTS[test].bytes_per_iter * n
+
+
+def array_elements_for_footprint(test: str, footprint_bytes: int) -> int:
+    """Vector length so the test's total arrays occupy ``footprint_bytes``.
+
+    STREAM sizes its arrays per memory level: small enough to live in the
+    level under test, too big for the level above (Section 4.1).
+    """
+    arrays = TESTS[test].arrays
+    n = footprint_bytes // (arrays * 8)
+    return max(64, n)

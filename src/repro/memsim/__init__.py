@@ -1,0 +1,58 @@
+"""Trace-driven memory-hierarchy simulator.
+
+* :mod:`repro.memsim.cache` — set-associative write-back caches;
+* :mod:`repro.memsim.replacement` — LRU / random / tree-PLRU policies
+  (the U74 documents random replacement, Section 3.1 of the paper);
+* :mod:`repro.memsim.prefetch` — stride prefetcher models per device;
+* :mod:`repro.memsim.tlb` — two-level Sv39-style TLBs;
+* :mod:`repro.memsim.dram` — DRAM traffic counters;
+* :mod:`repro.memsim.hierarchy` — the composed per-core hierarchy;
+* :mod:`repro.memsim.stats` — snapshot/delta statistics.
+"""
+
+from repro.memsim.cache import Cache, CacheStats
+from repro.memsim.dram import DramCounters
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.prefetch import (
+    A72_PREFETCH,
+    C906_PREFETCH,
+    NO_PREFETCH,
+    PrefetcherSpec,
+    StridePrefetcher,
+    U74_PREFETCH,
+    XEON_PREFETCH,
+)
+from repro.memsim.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+from repro.memsim.stats import HierarchySnapshot, LevelSnapshot, snapshot
+from repro.memsim.tlb import PAGE_SIZE, Tlb, TlbSpec
+
+__all__ = [
+    "A72_PREFETCH",
+    "C906_PREFETCH",
+    "Cache",
+    "CacheStats",
+    "DramCounters",
+    "HierarchySnapshot",
+    "LevelSnapshot",
+    "LruPolicy",
+    "MemoryHierarchy",
+    "NO_PREFETCH",
+    "PAGE_SIZE",
+    "PrefetcherSpec",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "StridePrefetcher",
+    "Tlb",
+    "TlbSpec",
+    "TreePlruPolicy",
+    "U74_PREFETCH",
+    "XEON_PREFETCH",
+    "make_policy",
+    "snapshot",
+]

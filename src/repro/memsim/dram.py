@@ -1,0 +1,39 @@
+"""DRAM traffic accounting.
+
+The memory simulator is event-exact but time-free: this module only counts
+lines read from and written to DRAM.  Latency and bandwidth are applied by
+:mod:`repro.timing` using the device's DRAM parameters, including
+multi-core bandwidth contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DramCounters:
+    """Line-granular DRAM traffic of one core's hierarchy."""
+
+    read_lines: int = 0
+    written_lines: int = 0
+    line_size: int = 64
+
+    @property
+    def read_bytes(self) -> int:
+        return self.read_lines * self.line_size
+
+    @property
+    def written_bytes(self) -> int:
+        return self.written_lines * self.line_size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.written_bytes
+
+    def reset(self) -> None:
+        self.read_lines = 0
+        self.written_lines = 0
+
+    def copy(self) -> "DramCounters":
+        return DramCounters(self.read_lines, self.written_lines, self.line_size)

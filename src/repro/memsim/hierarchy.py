@@ -1,0 +1,220 @@
+"""Composed memory hierarchy: caches + prefetcher + TLB + DRAM counters.
+
+One :class:`MemoryHierarchy` instance models what a single core sees.
+Shared levels (the U74's shared L2, the Xeon's shared L3) are modelled by
+capacity partitioning: a device with ``n`` active cores builds each core's
+hierarchy with ``shared_size / n`` at the shared levels (see
+``repro.devices.build_hierarchy``), which keeps per-core streams
+independent and the simulation single-pass.  DESIGN.md §5.3 discusses the
+approximation; the ablation bench sweeps it.
+
+The hierarchy consumes compressed trace segments.  Per segment it:
+
+1. touches the TLB once per distinct page;
+2. asks the prefetcher how many of the distinct lines are covered;
+3. walks each distinct line through the cache levels with write-back /
+   write-allocate semantics, cascading dirty evictions downward, counting
+   DRAM line reads and writes at the bottom.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.exec.trace import Segment
+from repro.memsim.cache import Cache
+from repro.memsim.dram import DramCounters
+from repro.memsim.prefetch import NO_PREFETCH, PrefetcherSpec, StridePrefetcher
+from repro.memsim.tlb import PAGE_SIZE, Tlb, TlbSpec
+
+
+class MemoryHierarchy:
+    """A single core's view of the memory system."""
+
+    def __init__(
+        self,
+        caches: Sequence[Cache],
+        prefetch: PrefetcherSpec = NO_PREFETCH,
+        tlb: Optional[TlbSpec] = None,
+        line_size: int = 64,
+    ):
+        if not caches:
+            raise SimulationError("hierarchy needs at least one cache level")
+        for cache in caches:
+            if cache.line_size != line_size:
+                raise SimulationError(
+                    f"cache {cache.name} line size {cache.line_size} != {line_size}"
+                )
+        self.caches = list(caches)
+        self.prefetcher = StridePrefetcher(prefetch, line_size)
+        self.tlb = tlb.build() if tlb is not None else None
+        self.dram = DramCounters(line_size=line_size)
+        self.line_size = line_size
+
+    # -- core access paths ---------------------------------------------------
+
+    def _access_line(self, line: int, is_write: bool, covered: bool) -> None:
+        caches = self.caches
+        last = len(caches) - 1
+        level = 0
+        while level <= last:
+            cache = caches[level]
+            hit, writeback = cache.access(line, is_write and level == 0)
+            if writeback is not None:
+                self._install_writeback(writeback, level + 1)
+            if hit:
+                return
+            if covered:
+                cache.stats.prefetch_hits += 1
+            level += 1
+        # Missed everywhere: fill from DRAM.
+        self.dram.read_lines += 1
+
+    def _install_writeback(self, line: int, level: int) -> None:
+        """A dirty line evicted from ``level - 1`` lands at ``level``."""
+        if level >= len(self.caches):
+            self.dram.written_lines += 1
+            return
+        cache = self.caches[level]
+        set_idx = cache.set_index(line)
+        where = cache._where[set_idx]
+        way = where.get(line)
+        if way is not None:
+            cache._dirty[set_idx][way] = True
+            cache.policy.on_hit(set_idx, way)
+            return
+        # Allocate without a fill-read: the whole line is being written.
+        lines = cache._lines[set_idx]
+        dirty = cache._dirty[set_idx]
+        if len(where) < cache.ways:
+            way = lines.index(None)
+        else:
+            way = cache.policy.victim(set_idx)
+            old = lines[way]
+            del where[old]
+            if dirty[way]:
+                cache.stats.writebacks += 1
+                self._install_writeback(old, level + 1)
+        lines[way] = line
+        dirty[way] = True
+        where[line] = way
+        cache.policy.on_fill(set_idx, way)
+
+    # -- segment processing ------------------------------------------------------
+
+    def process_segment(self, seg: Segment) -> None:
+        count = seg.count
+        if count <= 0:
+            return
+        base = seg.base
+        stride = seg.stride
+        line_size = self.line_size
+        is_write = seg.is_write
+
+        # Distinct lines, in access order.
+        if stride == 0 or count == 1:
+            first_line = base // line_size
+            last_line = (base + seg.elem_size - 1) // line_size
+            line_list = range(first_line, last_line + 1)
+        elif 0 < stride < line_size or -line_size < stride < 0:
+            # Sub-line stride: a contiguous range of lines, walked in the
+            # direction of the accesses.
+            lo_byte = base if stride > 0 else base + stride * (count - 1)
+            hi_byte = (base + stride * (count - 1) if stride > 0 else base) + seg.elem_size - 1
+            first = lo_byte // line_size
+            last = hi_byte // line_size
+            if stride > 0:
+                line_list = range(first, last + 1)
+            else:
+                line_list = range(last, first - 1, -1)
+        else:
+            # Line-or-larger stride: one (or a few) lines per access.
+            line_list = self._strided_lines(base, stride, count, seg.elem_size)
+
+        if self.tlb is not None:
+            self._touch_pages(base, stride, count, seg.elem_size)
+
+        distinct = len(line_list)
+        covered = self.prefetcher.segment_coverage(seg, distinct)
+        uncovered_prefix = distinct - covered
+
+        access = self._access_line
+        for index, line in enumerate(line_list):
+            access(line, is_write, index >= uncovered_prefix)
+
+    def _strided_lines(self, base: int, stride: int, count: int, elem_size: int) -> List[int]:
+        line_size = self.line_size
+        out: List[int] = []
+        prev = None
+        for k in range(count):
+            addr = base + k * stride
+            first = addr // line_size
+            if first != prev:
+                out.append(first)
+                prev = first
+            last = (addr + elem_size - 1) // line_size
+            if last != first:  # element straddles a line boundary
+                out.append(last)
+                prev = last
+        return out
+
+    def _touch_pages(self, base: int, stride: int, count: int, elem_size: int) -> None:
+        tlb = self.tlb
+        if stride == 0 or count == 1:
+            span = elem_size
+            first = base // PAGE_SIZE
+            last = (base + span - 1) // PAGE_SIZE
+            for page in range(first, last + 1):
+                tlb.access_page(page)
+            return
+        if abs(stride) <= PAGE_SIZE:
+            lo = base if stride > 0 else base + stride * (count - 1)
+            hi = (base + stride * (count - 1) if stride > 0 else base) + elem_size - 1
+            first, last = lo // PAGE_SIZE, hi // PAGE_SIZE
+            pages = range(first, last + 1) if stride > 0 else range(last, first - 1, -1)
+            for page in pages:
+                tlb.access_page(page)
+            return
+        prev = None
+        for k in range(count):
+            page = (base + k * stride) // PAGE_SIZE
+            if page != prev:
+                tlb.access_page(page)
+                prev = page
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def run(self, segments) -> None:
+        process = self.process_segment
+        for seg in segments:
+            process(seg)
+
+    def reset(self) -> None:
+        for cache in self.caches:
+            cache.reset()
+        self.prefetcher.reset()
+        if self.tlb is not None:
+            self.tlb.reset()
+        self.dram.reset()
+
+    def flush(self) -> None:
+        """Charge every currently dirty line as a DRAM writeback.
+
+        Used by one-shot (non-steady-state) measurements so that written
+        data is accounted even if it never got evicted.  A line dirty at
+        several levels is charged once (it would coalesce on the way out).
+        """
+        dirty_lines = set()
+        for cache in self.caches:
+            for set_idx in range(cache.num_sets):
+                lines = cache._lines[set_idx]
+                dirty = cache._dirty[set_idx]
+                for way in range(cache.ways):
+                    if dirty[way] and lines[way] is not None:
+                        dirty_lines.add(lines[way])
+        self.dram.written_lines += len(dirty_lines)
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram.total_bytes

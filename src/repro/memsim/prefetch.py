@@ -1,0 +1,131 @@
+"""Hardware prefetcher models.
+
+The paper documents (Section 3.1):
+
+* **C906 (Mango Pi)** — instruction prefetch plus data prefetch "forward
+  and backward consecutive and stride-based prefetch with stride less or
+  equal 16 cache lines";
+* **U74 (VisionFive)** — "forward and backward stride-based prefetch with
+  large strides and automatically increased prefetch distance";
+* **Cortex-A72 / Xeon** — aggressive multi-stream stride prefetchers.
+
+Because the trace is segment-compressed, the model classifies *miss
+latency coverage* instead of injecting prefetch requests line by line:
+for a stream the prefetcher can follow, misses after a short training
+window still consume DRAM bandwidth but their latency is hidden (counted
+as ``prefetch_hits``).  The timing model charges hidden misses the level's
+hit cost plus bandwidth, and exposed misses the full miss penalty.
+
+Cross-segment training: the tracer gives every static array reference a
+stable id (its "PC"); a stream table keyed by that id detects constant
+deltas between successive segment bases, so a column walk (many short
+segments with a fixed base delta) trains exactly like it would on silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exec.trace import Segment
+
+
+@dataclass(frozen=True)
+class PrefetcherSpec:
+    """Capabilities of one device's data prefetcher."""
+
+    name: str
+    max_stride_lines: int       # largest line stride it can follow (0 = none)
+    train_lines: int = 2        # misses observed before it locks on
+    streams: int = 8            # concurrent streams it can track
+    cross_segment: bool = True  # can it follow a per-PC stream across loop
+                                # iterations (constant base delta)?
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_stride_lines > 0
+
+
+NO_PREFETCH = PrefetcherSpec(name="none", max_stride_lines=0, train_lines=0, streams=0, cross_segment=False)
+
+
+class _Stream:
+    __slots__ = ("last_base", "delta", "confidence")
+
+    def __init__(self, base: int):
+        self.last_base = base
+        self.delta: Optional[int] = None
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Classifies how many of a segment's line touches are covered."""
+
+    def __init__(self, spec: PrefetcherSpec, line_size: int = 64):
+        self.spec = spec
+        self.line_size = line_size
+        self._streams: Dict[int, _Stream] = {}
+        self.covered_lines = 0
+        self.uncovered_lines = 0
+
+    def reset(self) -> None:
+        self._streams.clear()
+        self.covered_lines = 0
+        self.uncovered_lines = 0
+
+    def segment_coverage(self, seg: Segment, distinct_lines: int) -> int:
+        """How many of ``distinct_lines`` touches are prefetch-covered.
+
+        Covered lines that miss in the cache become ``prefetch_hits``.
+        """
+        spec = self.spec
+        if not spec.enabled or distinct_lines == 0:
+            self.uncovered_lines += distinct_lines
+            return 0
+
+        line_stride = abs(seg.stride) // self.line_size if seg.stride else 0
+        within = 0
+        if distinct_lines > 1:
+            # Within-segment stream: consecutive distinct lines are
+            # line_stride (or 1 for sub-line strides) apart.
+            step = max(1, line_stride)
+            if step <= spec.max_stride_lines:
+                within = max(0, distinct_lines - spec.train_lines)
+
+        # Cross-segment stream (constant delta between segment bases of the
+        # same static reference).
+        cross = 0
+        if spec.cross_segment:
+            stream = self._streams.get(seg.ref)
+            if stream is None:
+                if len(self._streams) >= spec.streams:
+                    # Evict an arbitrary stream (hardware has finite slots).
+                    self._streams.pop(next(iter(self._streams)))
+                self._streams[seg.ref] = _Stream(seg.base)
+            else:
+                delta = seg.base - stream.last_base
+                delta_lines = abs(delta) // self.line_size
+                if stream.delta == delta and delta != 0:
+                    stream.confidence += 1
+                else:
+                    stream.confidence = 0
+                stream.delta = delta
+                stream.last_base = seg.base
+                if (
+                    stream.confidence >= 1
+                    and 0 < delta_lines <= spec.max_stride_lines
+                ):
+                    # The whole segment was predicted by the stream.
+                    cross = distinct_lines
+
+        covered = min(distinct_lines, max(within, cross))
+        self.covered_lines += covered
+        self.uncovered_lines += distinct_lines - covered
+        return covered
+
+
+# Device prefetcher presets (see repro.devices.catalog for usage).
+C906_PREFETCH = PrefetcherSpec(name="c906", max_stride_lines=16, train_lines=2, streams=4, cross_segment=True)
+U74_PREFETCH = PrefetcherSpec(name="u74", max_stride_lines=256, train_lines=3, streams=8, cross_segment=True)
+A72_PREFETCH = PrefetcherSpec(name="a72", max_stride_lines=32, train_lines=2, streams=8, cross_segment=True)
+XEON_PREFETCH = PrefetcherSpec(name="xeon", max_stride_lines=64, train_lines=1, streams=16, cross_segment=True)

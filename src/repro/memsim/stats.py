@@ -1,0 +1,102 @@
+"""Snapshot/delta statistics for hierarchies.
+
+Steady-state measurements (STREAM repeats its kernels many times) need the
+counters of *one* repetition after warm-up: take a snapshot before and
+after the repetition and diff them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.memsim.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class LevelSnapshot:
+    name: str
+    hits: int
+    misses: int
+    prefetch_hits: int
+    writebacks: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __sub__(self, other: "LevelSnapshot") -> "LevelSnapshot":
+        return LevelSnapshot(
+            self.name,
+            self.hits - other.hits,
+            self.misses - other.misses,
+            self.prefetch_hits - other.prefetch_hits,
+            self.writebacks - other.writebacks,
+        )
+
+
+@dataclass
+class HierarchySnapshot:
+    """All counters of one core's hierarchy at one point in time."""
+
+    levels: List[LevelSnapshot]
+    dram_read_lines: int
+    dram_written_lines: int
+    tlb_walks: int
+    line_size: int = 64
+
+    @property
+    def dram_bytes(self) -> int:
+        return (self.dram_read_lines + self.dram_written_lines) * self.line_size
+
+    def __sub__(self, other: "HierarchySnapshot") -> "HierarchySnapshot":
+        return HierarchySnapshot(
+            [a - b for a, b in zip(self.levels, other.levels)],
+            self.dram_read_lines - other.dram_read_lines,
+            self.dram_written_lines - other.dram_written_lines,
+            self.tlb_walks - other.tlb_walks,
+            self.line_size,
+        )
+
+    def level(self, name: str) -> LevelSnapshot:
+        for lvl in self.levels:
+            if lvl.name == name:
+                return lvl
+        raise KeyError(name)
+
+    def as_dict(self) -> Dict[str, int]:
+        out: Dict[str, int] = {
+            "dram_read_lines": self.dram_read_lines,
+            "dram_written_lines": self.dram_written_lines,
+            "tlb_walks": self.tlb_walks,
+        }
+        for lvl in self.levels:
+            out[f"{lvl.name}_hits"] = lvl.hits
+            out[f"{lvl.name}_misses"] = lvl.misses
+            out[f"{lvl.name}_prefetch_hits"] = lvl.prefetch_hits
+        return out
+
+
+def snapshot(hierarchy: MemoryHierarchy) -> HierarchySnapshot:
+    """Capture the current counters of a hierarchy."""
+    levels = [
+        LevelSnapshot(
+            cache.name,
+            cache.stats.hits,
+            cache.stats.misses,
+            cache.stats.prefetch_hits,
+            cache.stats.writebacks,
+        )
+        for cache in hierarchy.caches
+    ]
+    return HierarchySnapshot(
+        levels,
+        hierarchy.dram.read_lines,
+        hierarchy.dram.written_lines,
+        hierarchy.tlb.walks if hierarchy.tlb is not None else 0,
+        hierarchy.line_size,
+    )

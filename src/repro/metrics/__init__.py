@@ -1,0 +1,48 @@
+"""Performance metrics.
+
+* :mod:`repro.metrics.bandwidth` — STREAM bandwidth per memory level;
+* :mod:`repro.metrics.utilization` — the paper's Section 3.3 relative
+  memory-bandwidth utilization metric;
+* :mod:`repro.metrics.speedup` — speedup-over-naive tables;
+* :mod:`repro.metrics.roofline` — roofline placement (extension).
+"""
+
+from repro.metrics.bandwidth import (
+    BandwidthPoint,
+    best_dram_bandwidth_gbs,
+    dram_bandwidth_gbs,
+    level_footprint_bytes,
+    measure,
+    measure_all,
+)
+from repro.metrics.roofline import (
+    RooflinePoint,
+    arithmetic_intensity,
+    peak_gflops,
+    roofline_point,
+)
+from repro.metrics.speedup import SpeedupRow, best_variant, speedup_row
+from repro.metrics.utilization import (
+    essential_bytes,
+    relative_bandwidth_utilization,
+    utilization_of,
+)
+
+__all__ = [
+    "BandwidthPoint",
+    "RooflinePoint",
+    "SpeedupRow",
+    "arithmetic_intensity",
+    "best_dram_bandwidth_gbs",
+    "best_variant",
+    "dram_bandwidth_gbs",
+    "essential_bytes",
+    "level_footprint_bytes",
+    "measure",
+    "measure_all",
+    "peak_gflops",
+    "relative_bandwidth_utilization",
+    "roofline_point",
+    "speedup_row",
+    "utilization_of",
+]

@@ -1,0 +1,98 @@
+"""Roofline model (extension beyond the paper).
+
+Places each kernel on the classic roofline: attainable performance is
+``min(peak_flops, bandwidth * arithmetic_intensity)``.  The paper reasons
+informally that all three benchmarks are memory-bound; the roofline makes
+the claim quantitative and `examples/device_comparison.py` renders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.footprint import essential_traffic_bytes
+from repro.analysis.opcount import count_program
+from repro.devices.spec import DeviceSpec
+from repro.ir.program import Program
+
+
+@dataclass
+class RooflinePoint:
+    """One kernel placed against one device's roofline."""
+
+    program_name: str
+    device_key: str
+    arithmetic_intensity: float   # flops per essential DRAM byte
+    peak_gflops: float
+    bandwidth_gbs: float
+    attainable_gflops: float
+    memory_bound: bool
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity at which the device turns compute-bound."""
+        return self.peak_gflops / self.bandwidth_gbs
+
+
+def peak_gflops(device: DeviceSpec, vectorized: bool = True, elem_bytes: int = 8) -> float:
+    """Peak FP throughput: FMA pipes x lanes x 2 flops x frequency."""
+    cpu = device.cpu
+    lanes = 1
+    if vectorized and cpu.vector_bits:
+        lanes = max(1, cpu.vector_bits // (8 * elem_bytes))
+    per_core = cpu.flop_pipes * lanes * 2 * cpu.freq_ghz
+    return per_core * device.cores
+
+
+def arithmetic_intensity(program: Program) -> float:
+    """Flops per byte of essential DRAM traffic."""
+    flops = count_program(program).flops
+    traffic = essential_traffic_bytes(program)
+    return flops / traffic if traffic else float("inf")
+
+
+def roofline_point(
+    program: Program,
+    device: DeviceSpec,
+    bandwidth_gbs: float,
+    vectorized: bool = None,
+    elem_bytes: int = 8,
+) -> RooflinePoint:
+    """Place ``program`` on ``device``'s roofline.
+
+    ``bandwidth_gbs`` should be the STREAM-achieved DRAM bandwidth (use
+    :func:`repro.metrics.bandwidth.dram_bandwidth_gbs`).
+    """
+    if vectorized is None:
+        vectorized = device.cpu.vector_bits > 0
+    intensity = arithmetic_intensity(program)
+    peak = peak_gflops(device, vectorized, elem_bytes)
+    attainable = min(peak, bandwidth_gbs * intensity)
+    return RooflinePoint(
+        program_name=program.name,
+        device_key=device.key,
+        arithmetic_intensity=intensity,
+        peak_gflops=peak,
+        bandwidth_gbs=bandwidth_gbs,
+        attainable_gflops=attainable,
+        memory_bound=bandwidth_gbs * intensity < peak,
+    )
+
+
+def render_ascii(points: List[RooflinePoint], width: int = 60) -> str:
+    """A small textual roofline chart (log-intensity axis)."""
+    import math
+
+    if not points:
+        return "(no points)"
+    lines = ["intensity (flop/byte)   bound        attainable"]
+    for p in sorted(points, key=lambda q: q.arithmetic_intensity):
+        bound = "memory " if p.memory_bound else "compute"
+        bar_len = max(1, int(width * p.attainable_gflops / max(q.attainable_gflops for q in points)))
+        lines.append(
+            f"{p.arithmetic_intensity:10.3f}  {bound}  {p.attainable_gflops:10.2f} GF/s "
+            + "#" * bar_len
+            + f"  {p.program_name}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Speedup tables — the labels above the bars in Figs. 2 and 6."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+
+@dataclass
+class SpeedupRow:
+    """One device's bar group: the naive time plus per-variant speedups."""
+
+    device_key: str
+    naive_seconds: float
+    speedups: Dict[str, float]  # variant -> naive_time / variant_time
+    seconds: Dict[str, float]   # variant -> absolute time
+
+    def speedup(self, variant: str) -> float:
+        return self.speedups[variant]
+
+
+def speedup_row(device_key: str, seconds: Mapping[str, float], naive_label: str = "Naive") -> SpeedupRow:
+    """Build a row from absolute per-variant times."""
+    naive = seconds[naive_label]
+    speedups = {name: naive / t for name, t in seconds.items()}
+    return SpeedupRow(
+        device_key=device_key,
+        naive_seconds=naive,
+        speedups=dict(speedups),
+        seconds=dict(seconds),
+    )
+
+
+def best_variant(row: SpeedupRow, exclude: List[str] = ()) -> str:
+    """The fastest variant of a row (used by Fig. 3's "best optimized")."""
+    candidates = {k: v for k, v in row.seconds.items() if k not in exclude}
+    return min(candidates, key=candidates.get)

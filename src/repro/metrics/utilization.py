@@ -1,0 +1,71 @@
+"""The paper's Section 3.3 "relative memory bandwidth utilization" metric.
+
+    utilization = (essential_bytes / computation_time) / stream_bandwidth
+
+* ``essential_bytes`` — the number of bytes that *needs* to be moved
+  between DRAM and CPU: every distinct input element fetched once, every
+  distinct output element written once (from
+  :func:`repro.analysis.footprint.essential_traffic_bytes`);
+* ``stream_bandwidth`` — the achieved DRAM bandwidth the STREAM benchmark
+  measured on the same device.
+
+The result is dimensionless in [0, 1] (clamped; an algorithm whose
+working set fits in cache can nominally exceed 1 because it stops being
+DRAM-bound — the paper's metric shares this property and both Fig. 3 and
+Fig. 7 interpret values near 1 as "rational use of the memory channels").
+
+For Fig. 7 the paper computes the metric for all blur variants with the
+*1D_kernels* algorithm as the traffic baseline; pass that program (or its
+byte count) via ``baseline``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.analysis.footprint import essential_traffic_bytes
+from repro.errors import ReproError
+from repro.ir.program import Program
+from repro.simulate import SimulationResult
+
+
+def essential_bytes(program_or_bytes: Union[Program, int]) -> int:
+    if isinstance(program_or_bytes, Program):
+        return essential_traffic_bytes(program_or_bytes)
+    return int(program_or_bytes)
+
+
+def relative_bandwidth_utilization(
+    seconds: float,
+    stream_gbs: float,
+    traffic: Union[Program, int],
+    clamp: bool = True,
+) -> float:
+    """The Section 3.3 metric from raw ingredients."""
+    if seconds <= 0:
+        raise ReproError("computation time must be positive")
+    if stream_gbs <= 0:
+        raise ReproError("STREAM bandwidth must be positive")
+    achieved = essential_bytes(traffic) / seconds / 1e9
+    value = achieved / stream_gbs
+    if clamp:
+        value = min(1.0, value)
+    return value
+
+
+def utilization_of(
+    result: SimulationResult,
+    stream_gbs: float,
+    baseline: Optional[Union[Program, int]] = None,
+    program: Optional[Program] = None,
+    clamp: bool = True,
+) -> float:
+    """Metric for a finished simulation.
+
+    ``baseline`` overrides the traffic numerator (Fig. 7's 1D_kernels
+    convention); otherwise ``program`` supplies it.
+    """
+    traffic = baseline if baseline is not None else program
+    if traffic is None:
+        raise ReproError("need a program or explicit byte count for the numerator")
+    return relative_bandwidth_utilization(result.seconds, stream_gbs, traffic, clamp)

@@ -1,0 +1,56 @@
+"""RISC-V toolchain: ISA tables, assembler, emulator, code generator.
+
+The paper's subject is RISC-V hardware; this package lets the kernels run
+as actual RV64 machine code:
+
+* :mod:`repro.riscv.isa` / :mod:`repro.riscv.encode` /
+  :mod:`repro.riscv.decode` — RV64IMFD (+RVV 1.0 slice) encodings;
+* :mod:`repro.riscv.assembler` — two-pass assembler with the usual
+  pseudo-instructions;
+* :mod:`repro.riscv.emulator` — functional emulator whose memory accesses
+  feed the same trace format as the IR trace generator;
+* :mod:`repro.riscv.codegen` — IR -> assembly lowering (scalar and RVV),
+  with an end-to-end ``compile_and_run`` harness checked against the IR
+  interpreter.
+"""
+
+from repro.riscv.assembler import AssembledProgram, Assembler, assemble, expand_li
+from repro.riscv.codegen import CodeGenerator, CodegenError, compile_and_run, generate_assembly
+from repro.riscv.decode import decode
+from repro.riscv.disasm import disassemble, format_instruction
+from repro.riscv.emulator import Emulator, EmulatorStats, Memory, run_assembly
+from repro.riscv.encode import Instruction, encode
+from repro.riscv.isa import SPECS, InsnSpec
+from repro.riscv.registers import fname, freg, vname, vreg, xname, xreg
+from repro.riscv.timing import EmulatedTiming, time_emulated_run, time_program_on_device
+
+__all__ = [
+    "AssembledProgram",
+    "Assembler",
+    "CodeGenerator",
+    "CodegenError",
+    "EmulatedTiming",
+    "Emulator",
+    "EmulatorStats",
+    "InsnSpec",
+    "Instruction",
+    "Memory",
+    "SPECS",
+    "assemble",
+    "compile_and_run",
+    "decode",
+    "disassemble",
+    "encode",
+    "format_instruction",
+    "expand_li",
+    "fname",
+    "freg",
+    "generate_assembly",
+    "run_assembly",
+    "time_emulated_run",
+    "time_program_on_device",
+    "vname",
+    "vreg",
+    "xname",
+    "xreg",
+]

@@ -1,0 +1,349 @@
+"""Two-pass RISC-V assembler.
+
+Accepts the GNU-as flavoured subset the code generator emits: labels,
+comments (``#``), the instructions of :mod:`repro.riscv.isa`, and the
+common pseudo-instructions (``li`` with full 64-bit materialization,
+``mv``, ``j``, ``ret``, ``beqz``/``bnez``/``bgt``/``ble``, ``fmv.d``,
+``vsetvli`` with symbolic vtype like ``e64,m1,ta,ma``).
+
+Pass 1 expands pseudos and assigns addresses; pass 2 resolves label
+references into PC-relative immediates and encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AsmSyntaxError, EncodingError
+from repro.riscv.encode import Instruction, encode
+from repro.riscv.isa import SEW_CODES, SPECS
+from repro.riscv.registers import freg, vreg, xreg
+
+
+@dataclass
+class AssembledProgram:
+    """The output of the assembler."""
+
+    base: int
+    instructions: List[Instruction]
+    words: List[int]
+    labels: Dict[str, int]
+    source_lines: List[str] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self.instructions)
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AsmSyntaxError(f"undefined label {label!r}")
+
+
+# A pending instruction: either final, or branch/jump waiting for a label.
+@dataclass
+class _Pending:
+    mnemonic: str
+    operands: Tuple
+    label: Optional[str] = None  # branch/jump target to resolve
+    line_number: int = 0
+    line: str = ""
+
+
+def _parse_int(token: str, line_number: int, line: str) -> int:
+    token = token.strip()
+    try:
+        if token.lower().startswith("0x") or token.lower().startswith("-0x"):
+            return int(token, 16)
+        return int(token, 10)
+    except ValueError:
+        raise AsmSyntaxError(f"expected integer, got {token!r}", line_number, line)
+
+
+def expand_li(rd: int, value: int) -> List[Instruction]:
+    """Materialize an arbitrary 64-bit constant into ``rd``.
+
+    Classic recursive construction: 12-bit -> addi; 32-bit -> lui+addiw;
+    wider -> materialize the upper part, shift, add chunks of 12 bits.
+    """
+    value &= 0xFFFFFFFFFFFFFFFF
+    signed = value - (1 << 64) if value >= (1 << 63) else value
+    if -2048 <= signed <= 2047:
+        return [Instruction("addi", rd=rd, rs1=0, imm=signed)]
+    if -(1 << 31) <= signed < (1 << 31):
+        upper = (signed + 0x800) >> 12
+        lower = signed - (upper << 12)
+        out = [Instruction("lui", rd=rd, imm=upper & 0xFFFFF)]
+        if lower:
+            out.append(Instruction("addiw", rd=rd, rs1=rd, imm=lower))
+        return out
+    # Wide constant: build the high part, then shift in 12-bit chunks.
+    chunks: List[int] = []
+    rest = signed
+    shift_total = 0
+    while not (-(1 << 31) <= rest < (1 << 31)):
+        chunks.append(rest & 0xFFF)
+        rest >>= 12
+        shift_total += 12
+    out = expand_li(rd, rest)
+    for chunk in reversed(chunks):
+        out.append(Instruction("slli", rd=rd, rs1=rd, imm=12))
+        if chunk:
+            signed_chunk = chunk - 0x1000 if chunk >= 0x800 else chunk
+            if signed_chunk < 0:
+                # Compensate: add 1 <<12 before shifting... simpler: use ori
+                out.append(Instruction("ori", rd=rd, rs1=rd, imm=chunk & 0x7FF))
+                if chunk & 0x800:
+                    # Set bit 11 via a temporary-free sequence: xori can't;
+                    # use addi of 0x800 split into two 0x400 adds.
+                    out.append(Instruction("addi", rd=rd, rs1=rd, imm=0x400))
+                    out.append(Instruction("addi", rd=rd, rs1=rd, imm=0x400))
+            else:
+                out.append(Instruction("addi", rd=rd, rs1=rd, imm=signed_chunk))
+    return out
+
+
+def parse_vtype(tokens: List[str], line_number: int, line: str) -> int:
+    """vtype immediate from symbolic fields like ``e64, m1, ta, ma``."""
+    sew = None
+    lmul = 0
+    ta = 0
+    ma = 0
+    for token in tokens:
+        token = token.strip().lower()
+        if token.startswith("e"):
+            bits = int(token[1:])
+            if bits not in SEW_CODES:
+                raise AsmSyntaxError(f"unsupported SEW {token!r}", line_number, line)
+            sew = SEW_CODES[bits]
+        elif token.startswith("m") and token != "ma":
+            name = token[1:]
+            lmul = {"1": 0, "2": 1, "4": 2, "8": 3, "f2": 7, "f4": 6, "f8": 5}.get(name)
+            if lmul is None:
+                raise AsmSyntaxError(f"unsupported LMUL {token!r}", line_number, line)
+        elif token == "ta":
+            ta = 1
+        elif token == "tu":
+            ta = 0
+        elif token == "ma":
+            ma = 1
+        elif token == "mu":
+            ma = 0
+        else:
+            raise AsmSyntaxError(f"unknown vtype field {token!r}", line_number, line)
+    if sew is None:
+        raise AsmSyntaxError("vtype needs an SEW field (e8/e16/e32/e64)", line_number, line)
+    return (ma << 7) | (ta << 6) | (sew << 3) | lmul
+
+
+class Assembler:
+    """Two-pass assembler producing an :class:`AssembledProgram`."""
+
+    def __init__(self, base: int = 0x1000):
+        self.base = base
+
+    # -- public ----------------------------------------------------------------
+
+    def assemble(self, source: str) -> AssembledProgram:
+        pending, labels, lines = self._first_pass(source)
+        instructions: List[Instruction] = []
+        for index, item in enumerate(pending):
+            if item.label is not None:
+                pc = self.base + 4 * index
+                try:
+                    target = labels[item.label]
+                except KeyError:
+                    raise AsmSyntaxError(
+                        f"undefined label {item.label!r}", item.line_number, item.line
+                    )
+                offset = target - pc
+                instructions.append(self._with_offset(item, offset))
+            else:
+                instructions.append(Instruction(item.mnemonic, **dict(item.operands)))
+        words = []
+        for index, insn in enumerate(instructions):
+            try:
+                words.append(encode(insn))
+            except EncodingError as exc:
+                raise AsmSyntaxError(f"encoding failed: {exc}", 0, repr(insn))
+        return AssembledProgram(
+            base=self.base,
+            instructions=instructions,
+            words=words,
+            labels=labels,
+            source_lines=lines,
+        )
+
+    def _with_offset(self, item: _Pending, offset: int) -> Instruction:
+        fields = dict(item.operands)
+        fields["imm"] = offset
+        return Instruction(item.mnemonic, **fields)
+
+    # -- pass 1 -------------------------------------------------------------------
+
+    def _first_pass(self, source: str):
+        pending: List[_Pending] = []
+        labels: Dict[str, int] = {}
+        lines = source.splitlines()
+        for number, raw in enumerate(lines, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            while ":" in line:
+                label, _, rest = line.partition(":")
+                label = label.strip()
+                if not label.replace("_", "").replace(".", "").isalnum():
+                    raise AsmSyntaxError(f"bad label {label!r}", number, raw)
+                labels[label] = self.base + 4 * len(pending)
+                line = rest.strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                continue  # directives are accepted and ignored
+            pending.extend(self._parse_line(line, number, raw))
+        return pending, labels, lines
+
+    def _parse_line(self, line: str, number: int, raw: str) -> List[_Pending]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        operands = [op.strip() for op in rest.split(",")] if rest.strip() else []
+        return self._build(mnemonic, operands, number, raw)
+
+    # -- instruction building -----------------------------------------------------
+
+    def _build(self, m: str, ops: List[str], n: int, raw: str) -> List[_Pending]:
+        def err(msg: str):
+            return AsmSyntaxError(msg, n, raw)
+
+        def final(mnemonic: str, **fields) -> _Pending:
+            return _Pending(mnemonic, tuple(fields.items()), None, n, raw)
+
+        def branchy(mnemonic: str, label: str, **fields) -> _Pending:
+            return _Pending(mnemonic, tuple(fields.items()), label, n, raw)
+
+        def mem_operand(token: str) -> Tuple[int, int]:
+            token = token.strip()
+            if "(" not in token or not token.endswith(")"):
+                raise err(f"expected off(reg), got {token!r}")
+            off_str, reg_str = token[:-1].split("(", 1)
+            offset = _parse_int(off_str, n, raw) if off_str.strip() else 0
+            return offset, xreg(reg_str)
+
+        # ---- pseudo-instructions ----
+        if m == "nop":
+            return [final("addi", rd=0, rs1=0, imm=0)]
+        if m == "li":
+            if len(ops) != 2:
+                raise err("li rd, imm")
+            rd = xreg(ops[0])
+            value = _parse_int(ops[1], n, raw)
+            return [
+                _Pending(i.mnemonic, (("rd", i.rd), ("rs1", i.rs1), ("imm", i.imm)), None, n, raw)
+                for i in expand_li(rd, value)
+            ]
+        if m == "mv":
+            return [final("addi", rd=xreg(ops[0]), rs1=xreg(ops[1]), imm=0)]
+        if m == "not":
+            return [final("xori", rd=xreg(ops[0]), rs1=xreg(ops[1]), imm=-1)]
+        if m == "neg":
+            return [final("sub", rd=xreg(ops[0]), rs1=0, rs2=xreg(ops[1]))]
+        if m == "j":
+            return [branchy("jal", ops[0], rd=0)]
+        if m == "jr":
+            return [final("jalr", rd=0, rs1=xreg(ops[0]), imm=0)]
+        if m == "ret":
+            return [final("jalr", rd=0, rs1=1, imm=0)]
+        if m == "beqz":
+            return [branchy("beq", ops[1], rs1=xreg(ops[0]), rs2=0)]
+        if m == "bnez":
+            return [branchy("bne", ops[1], rs1=xreg(ops[0]), rs2=0)]
+        if m == "blez":
+            return [branchy("bge", ops[1], rs1=0, rs2=xreg(ops[0]))]
+        if m == "bgtz":
+            return [branchy("blt", ops[1], rs1=0, rs2=xreg(ops[0]))]
+        if m == "bgt":
+            return [branchy("blt", ops[2], rs1=xreg(ops[1]), rs2=xreg(ops[0]))]
+        if m == "ble":
+            return [branchy("bge", ops[2], rs1=xreg(ops[1]), rs2=xreg(ops[0]))]
+        if m in ("fmv.d", "fmv.s"):
+            suffix = m[-1]
+            return [
+                final(f"fsgnj.{suffix}", rd=freg(ops[0]), rs1=freg(ops[1]), rs2=freg(ops[1]))
+            ]
+
+        spec = SPECS.get(m)
+        if spec is None:
+            raise err(f"unknown mnemonic {m!r}")
+
+        fmt = spec.fmt
+        if fmt == "R":
+            return [final(m, rd=xreg(ops[0]), rs1=xreg(ops[1]), rs2=xreg(ops[2]))]
+        if fmt == "I":
+            if m == "jalr" and len(ops) == 2 and "(" in ops[1]:
+                offset, rs1 = mem_operand(ops[1])
+                return [final(m, rd=xreg(ops[0]), rs1=rs1, imm=offset)]
+            return [final(m, rd=xreg(ops[0]), rs1=xreg(ops[1]), imm=_parse_int(ops[2], n, raw))]
+        if fmt == "I-shift":
+            return [final(m, rd=xreg(ops[0]), rs1=xreg(ops[1]), imm=_parse_int(ops[2], n, raw))]
+        if fmt == "LOAD":
+            offset, rs1 = mem_operand(ops[1])
+            return [final(m, rd=xreg(ops[0]), rs1=rs1, imm=offset)]
+        if fmt == "FLOAD":
+            offset, rs1 = mem_operand(ops[1])
+            return [final(m, rd=freg(ops[0]), rs1=rs1, imm=offset)]
+        if fmt == "STORE":
+            offset, rs1 = mem_operand(ops[1])
+            return [final(m, rs2=xreg(ops[0]), rs1=rs1, imm=offset)]
+        if fmt == "FSTORE":
+            offset, rs1 = mem_operand(ops[1])
+            return [final(m, rs2=freg(ops[0]), rs1=rs1, imm=offset)]
+        if fmt == "B":
+            return [branchy(m, ops[2], rs1=xreg(ops[0]), rs2=xreg(ops[1]))]
+        if fmt == "U":
+            return [final(m, rd=xreg(ops[0]), imm=_parse_int(ops[1], n, raw))]
+        if fmt == "J":
+            return [branchy(m, ops[1], rd=xreg(ops[0]))]
+        if fmt == "R-fp":
+            if spec.rs2_field is not None:
+                # Unary (fsqrt, fcvt, fmv): op fd/rd, fs1/rs1
+                is_int_rd = m.startswith(("fcvt.w", "fcvt.l", "fmv.x"))
+                is_int_rs1 = m.startswith(("fcvt.d.w", "fcvt.d.l", "fcvt.s.w", "fcvt.s.l", "fmv.d.x", "fmv.w.x"))
+                rd = xreg(ops[0]) if is_int_rd else freg(ops[0])
+                rs1 = xreg(ops[1]) if is_int_rs1 else freg(ops[1])
+                return [final(m, rd=rd, rs1=rs1)]
+            if m.startswith(("feq", "flt", "fle")):
+                return [final(m, rd=xreg(ops[0]), rs1=freg(ops[1]), rs2=freg(ops[2]))]
+            return [final(m, rd=freg(ops[0]), rs1=freg(ops[1]), rs2=freg(ops[2]))]
+        if fmt == "R4":
+            return [
+                final(m, rd=freg(ops[0]), rs1=freg(ops[1]), rs2=freg(ops[2]), rs3=freg(ops[3]))
+            ]
+        if fmt == "SYS":
+            return [final(m)]
+        if fmt == "VSETVLI":
+            vtypei = parse_vtype(ops[2:], n, raw)
+            return [final(m, rd=xreg(ops[0]), rs1=xreg(ops[1]), vtypei=vtypei)]
+        if fmt in ("VLOAD", "VSTORE"):
+            reg_token = ops[1].strip()
+            if not (reg_token.startswith("(") and reg_token.endswith(")")):
+                raise err(f"expected (reg), got {reg_token!r}")
+            return [final(m, rd=vreg(ops[0]), rs1=xreg(reg_token[1:-1]))]
+        if fmt == "VARITH":
+            # Spec syntax: vfadd.vv vd, vs2, vs1 — but vfmacc.vv vd, vs1, vs2.
+            if m.startswith("vfmacc"):
+                return [final(m, rd=vreg(ops[0]), rs1=vreg(ops[1]), rs2=vreg(ops[2]))]
+            return [final(m, rd=vreg(ops[0]), rs2=vreg(ops[1]), rs1=vreg(ops[2]))]
+        if fmt == "VARITH-F":
+            # Spec syntax: vfadd.vf vd, vs2, rs1 — but vfmacc.vf vd, rs1, vs2.
+            if m.startswith("vfmacc"):
+                return [final(m, rd=vreg(ops[0]), rs1=freg(ops[1]), rs2=vreg(ops[2]))]
+            return [final(m, rd=vreg(ops[0]), rs2=vreg(ops[1]), rs1=freg(ops[2]))]
+        raise err(f"cannot assemble format {fmt!r}")
+
+
+def assemble(source: str, base: int = 0x1000) -> AssembledProgram:
+    """One-shot assembly with the default base address."""
+    return Assembler(base).assemble(source)

@@ -1,0 +1,471 @@
+"""IR -> RISC-V RV64 code generation.
+
+Lowers loop-nest programs to the assembly dialect of
+:mod:`repro.riscv.assembler`:
+
+* loops become labelled compare-and-branch structures with induction
+  variables in saved registers;
+* affine subscripts become ``li``/``mul``/``slli``/``add`` address
+  arithmetic against the absolute addresses of a
+  :class:`~repro.ir.program.MemoryLayout`;
+* scalar FP expressions are evaluated stack-style in ``ft`` registers,
+  with ``a + b*c`` fused into ``fmadd``;
+* loops marked ``vectorized`` are emitted as RVV 1.0 strip-mined
+  ``vsetvli`` loops when their bodies fit the supported pattern
+  (unit-stride loads/stores, +-*, scalar broadcasts — which covers all
+  four STREAM kernels and the blur's "Memory" pass); anything else falls
+  back to scalar code.
+
+``compile_and_run`` closes the loop: it assembles, emulates, and returns
+the arrays — the test-suite checks the results against the IR interpreter
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError, SimulationError
+from repro.ir.affine import Affine
+from repro.ir.expr import BinOp, Cast, Const, Expr, IndexValue, Load, LocalRef
+from repro.ir.program import MemoryLayout, Program
+from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
+from repro.ir.types import DType
+
+
+class CodegenError(ReproError):
+    """The program uses a feature the code generator does not support."""
+
+
+class _VectorUnsupported(Exception):
+    """Internal: body does not fit the RVV pattern; fall back to scalar."""
+
+
+INT_POOL = [f"s{i}" for i in range(1, 12)] + ["t3", "t4", "t5", "t6"]
+LOCAL_POOL = [f"fs{i}" for i in range(12)]
+FT_POOL = [f"ft{i}" for i in range(8)]
+V_POOL = [f"v{i}" for i in range(1, 8)]
+
+
+class CodeGenerator:
+    """Generates assembly for one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        layout: Optional[MemoryLayout] = None,
+        use_rvv: bool = False,
+    ):
+        self.program = program
+        self.layout = layout or MemoryLayout(program, num_threads=1, base=0x100000)
+        self.use_rvv = use_rvv
+        self.lines: List[str] = []
+        self._label = 0
+        self._int_free = list(INT_POOL)
+        self._var_reg: Dict[str, str] = {}
+        self._locals: Dict[str, str] = {}
+        self._ft_depth = 0
+
+    # -- public ------------------------------------------------------------
+
+    def generate(self) -> str:
+        """Full program: kernel body then an exit ecall."""
+        self.emit(f"# generated from IR program {self.program.name!r}")
+        self.emit(".text")
+        self.emit("main:")
+        self._stmt(self.program.body)
+        self.emit("li a0, 0")
+        self.emit("li a7, 93")
+        self.emit("ecall")
+        return "\n".join(self.lines) + "\n"
+
+    # -- infrastructure ------------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def _new_label(self, stem: str) -> str:
+        self._label += 1
+        return f".L{stem}{self._label}"
+
+    def _alloc_int(self, what: str) -> str:
+        if not self._int_free:
+            raise CodegenError(f"out of integer registers allocating {what}")
+        return self._int_free.pop(0)
+
+    def _free_int(self, reg: str) -> None:
+        self._int_free.insert(0, reg)
+
+    def _local_reg(self, name: str) -> str:
+        if name not in self._locals:
+            if len(self._locals) >= len(LOCAL_POOL):
+                raise CodegenError(f"out of FP registers for local {name!r}")
+            self._locals[name] = LOCAL_POOL[len(self._locals)]
+        return self._locals[name]
+
+    def _push_ft(self) -> str:
+        if self._ft_depth >= len(FT_POOL):
+            raise CodegenError("FP expression too deep for the ft register stack")
+        reg = FT_POOL[self._ft_depth]
+        self._ft_depth += 1
+        return reg
+
+    def _pop_ft(self) -> None:
+        self._ft_depth -= 1
+
+    # -- integer / address expressions ----------------------------------------
+
+    def _eval_affine(self, affine: Affine, target: str, scratch: str) -> None:
+        """acc = affine, using var registers."""
+        self.emit(f"li {target}, {affine.const}")
+        for var, coeff in affine.terms.items():
+            reg = self._var_reg.get(var)
+            if reg is None:
+                raise CodegenError(f"unbound loop variable {var!r}")
+            if coeff == 1:
+                self.emit(f"add {target}, {target}, {reg}")
+            elif coeff == -1:
+                self.emit(f"sub {target}, {target}, {reg}")
+            elif coeff > 0 and coeff & (coeff - 1) == 0:
+                shift = coeff.bit_length() - 1
+                self.emit(f"slli {scratch}, {reg}, {shift}")
+                self.emit(f"add {target}, {target}, {scratch}")
+            else:
+                self.emit(f"li {scratch}, {coeff}")
+                self.emit(f"mul {scratch}, {reg}, {scratch}")
+                self.emit(f"add {target}, {target}, {scratch}")
+
+    def _eval_address(self, array, indices, target: str = "t0", scratch: str = "t1") -> str:
+        """target = byte address of array[indices...]."""
+        offset = array.linearize(indices)
+        self._eval_affine(offset, target, scratch)
+        shift = int(math.log2(array.dtype.size))
+        if array.dtype.size != 1 << shift:
+            raise CodegenError(f"element size {array.dtype.size} not a power of two")
+        if shift:
+            self.emit(f"slli {target}, {target}, {shift}")
+        base = self.layout.address_of(array, 0)
+        self.emit(f"li {scratch}, {base}")
+        self.emit(f"add {target}, {target}, {scratch}")
+        return target
+
+    def _eval_bound(self, operands, kind: str, target: str, scratch: str) -> None:
+        """target = min/max over affine operands."""
+        self._eval_affine(operands[0], target, scratch)
+        for op in operands[1:]:
+            self._eval_affine(op, scratch, "t2")
+            keep = self._new_label("bnd")
+            if kind == "min":
+                self.emit(f"ble {target}, {scratch}, {keep}")
+            else:
+                self.emit(f"bge {target}, {scratch}, {keep}")
+            self.emit(f"mv {target}, {scratch}")
+            self.emit(f"{keep}:")
+
+    # -- statements --------------------------------------------------------------
+
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                self._stmt(child)
+            return
+        if isinstance(stmt, For):
+            self._for(stmt)
+            return
+        if isinstance(stmt, Store):
+            suffix = _suffix(stmt.array.dtype)
+            value = self._expr(stmt.value, stmt.array.dtype)
+            addr = self._eval_address(stmt.array, stmt.indices)
+            if stmt.accumulate:
+                extra = self._push_ft()
+                self.emit(f"fl{_mem_suffix(stmt.array.dtype)} {extra}, 0({addr})")
+                self.emit(f"fadd.{suffix} {value}, {value}, {extra}")
+                self._pop_ft()
+            self.emit(f"fs{_mem_suffix(stmt.array.dtype)} {value}, 0({addr})")
+            self._pop_ft()
+            return
+        if isinstance(stmt, LocalAssign):
+            dtype = _value_dtype(stmt.value) or DType.F64
+            reg = self._local_reg(stmt.name)
+            value = self._expr(stmt.value, dtype)
+            if stmt.accumulate:
+                self.emit(f"fadd.{_suffix(dtype)} {reg}, {reg}, {value}")
+            else:
+                self.emit(f"fmv.{_suffix(dtype)} {reg}, {value}")
+            self._pop_ft()
+            return
+        raise CodegenError(f"cannot lower statement {stmt!r}")
+
+    def _for(self, loop: For) -> None:
+        var_reg = self._alloc_int(f"loop var {loop.var}")
+        hi_reg = self._alloc_int(f"loop bound {loop.var}")
+        self._var_reg[loop.var] = var_reg
+        self._eval_bound(loop.lo.operands, "max", var_reg, "t0")
+        self._eval_bound(loop.hi.operands, "min", hi_reg, "t0")
+        if self.use_rvv and loop.vectorized:
+            emitted = len(self.lines)
+            depth = self._ft_depth
+            try:
+                self._vector_loop(loop, var_reg, hi_reg)
+                self._ft_depth = depth
+                self._var_reg.pop(loop.var)
+                self._free_int(hi_reg)
+                self._free_int(var_reg)
+                return
+            except _VectorUnsupported:
+                del self.lines[emitted:]   # roll back partial emission
+                self._ft_depth = depth
+        head = self._new_label("for")
+        end = self._new_label("end")
+        self.emit(f"{head}:")
+        self.emit(f"bge {var_reg}, {hi_reg}, {end}")
+        self._stmt(loop.body)
+        self.emit(f"addi {var_reg}, {var_reg}, {loop.step}")
+        self.emit(f"j {head}")
+        self.emit(f"{end}:")
+        self._var_reg.pop(loop.var)
+        self._free_int(hi_reg)
+        self._free_int(var_reg)
+
+    # -- scalar expressions ---------------------------------------------------------
+
+    def _expr(self, expr: Expr, dtype: DType) -> str:
+        suffix = _suffix(dtype)
+        if isinstance(expr, Const):
+            reg = self._push_ft()
+            if dtype == DType.F32:
+                bits = int(np.float32(expr.value).view(np.int32))
+                self.emit(f"li t0, {bits}")
+                self.emit(f"fmv.w.x {reg}, t0")
+            else:
+                bits = int(np.float64(expr.value).view(np.int64))
+                self.emit(f"li t0, {bits}")
+                self.emit(f"fmv.d.x {reg}, t0")
+            return reg
+        if isinstance(expr, LocalRef):
+            reg = self._push_ft()
+            self.emit(f"fmv.{suffix} {reg}, {self._local_reg(expr.name)}")
+            return reg
+        if isinstance(expr, IndexValue):
+            self._eval_affine(expr.affine, "t0", "t1")
+            reg = self._push_ft()
+            cvt = "fcvt.s.l" if dtype == DType.F32 else "fcvt.d.l"
+            self.emit(f"{cvt} {reg}, t0")
+            return reg
+        if isinstance(expr, Load):
+            addr = self._eval_address(expr.array, expr.indices)
+            reg = self._push_ft()
+            self.emit(f"fl{_mem_suffix(expr.array.dtype)} {reg}, 0({addr})")
+            if expr.array.dtype != dtype:
+                if dtype == DType.F64:
+                    self.emit(f"fcvt.d.s {reg}, {reg}")
+                else:
+                    self.emit(f"fcvt.s.d {reg}, {reg}")
+            return reg
+        if isinstance(expr, BinOp):
+            # Fuse a + b*c into fmadd.
+            if expr.op == "+" and isinstance(expr.rhs, BinOp) and expr.rhs.op == "*":
+                acc = self._expr(expr.lhs, dtype)
+                lhs = self._expr(expr.rhs.lhs, dtype)
+                rhs = self._expr(expr.rhs.rhs, dtype)
+                self.emit(f"fmadd.{suffix} {acc}, {lhs}, {rhs}, {acc}")
+                self._pop_ft()
+                self._pop_ft()
+                return acc
+            if expr.op == "+" and isinstance(expr.lhs, BinOp) and expr.lhs.op == "*":
+                acc = self._expr(expr.rhs, dtype)
+                lhs = self._expr(expr.lhs.lhs, dtype)
+                rhs = self._expr(expr.lhs.rhs, dtype)
+                self.emit(f"fmadd.{suffix} {acc}, {lhs}, {rhs}, {acc}")
+                self._pop_ft()
+                self._pop_ft()
+                return acc
+            lhs = self._expr(expr.lhs, dtype)
+            rhs = self._expr(expr.rhs, dtype)
+            op = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv", "min": "fmin", "max": "fmax"}[expr.op]
+            self.emit(f"{op}.{suffix} {lhs}, {lhs}, {rhs}")
+            self._pop_ft()
+            return lhs
+        if isinstance(expr, Cast):
+            inner_dtype = _value_dtype(expr.operand) or expr.dtype
+            reg = self._expr(expr.operand, inner_dtype)
+            if expr.dtype == DType.F64 and inner_dtype == DType.F32:
+                self.emit(f"fcvt.d.s {reg}, {reg}")
+            elif expr.dtype == DType.F32 and inner_dtype == DType.F64:
+                self.emit(f"fcvt.s.d {reg}, {reg}")
+            return reg
+        raise CodegenError(f"cannot lower expression {expr!r}")
+
+    # -- RVV loop -----------------------------------------------------------------
+
+    def _vector_loop(self, loop: For, var_reg: str, hi_reg: str) -> None:
+        leaves = list(_leaves(loop.body))
+        if not leaves or not all(isinstance(s, Store) for s in leaves):
+            raise _VectorUnsupported()
+        dtype = leaves[0].array.dtype
+        if any(s.array.dtype != dtype for s in leaves) or dtype not in (DType.F32, DType.F64):
+            raise _VectorUnsupported()
+        sew = 32 if dtype == DType.F32 else 64
+
+        head = self._new_label("vfor")
+        end = self._new_label("vend")
+        self.emit(f"# RVV strip-mined loop over {loop.var}")
+        self.emit(f"{head}:")
+        self.emit(f"sub t2, {hi_reg}, {var_reg}")
+        self.emit(f"blez t2, {end}")
+        self.emit(f"vsetvli t2, t2, e{sew}, m1, ta, ma")
+        vfree = list(V_POOL)
+        for store in leaves:
+            if store.accumulate:
+                raise _VectorUnsupported()
+            result = self._vector_expr(store.value, loop.var, dtype, vfree)
+            if not isinstance(result, str) or not result.startswith("v"):
+                raise _VectorUnsupported()  # scalar-only RHS
+            offset = store.array.linearize(store.indices)
+            if offset.coefficient(loop.var) != 1:
+                raise _VectorUnsupported()
+            addr = self._eval_address(store.array, store.indices)
+            self.emit(f"vse{sew}.v {result}, ({addr})")
+        self.emit(f"add {var_reg}, {var_reg}, t2")
+        self.emit(f"j {head}")
+        self.emit(f"{end}:")
+
+    def _vector_expr(self, expr: Expr, var: str, dtype: DType, vfree: List[str]) -> str:
+        """Returns a v-register (vector value) or an f-register (scalar)."""
+        if isinstance(expr, Const):
+            return self._expr(expr, dtype)  # scalar freg (leaked on purpose)
+        if isinstance(expr, Load):
+            offset = expr.array.linearize(expr.indices)
+            coeff = offset.coefficient(var)
+            if coeff == 0:
+                return self._expr(expr, dtype)  # loop-invariant scalar
+            if coeff != 1 or expr.array.dtype != dtype:
+                raise _VectorUnsupported()
+            if not vfree:
+                raise _VectorUnsupported()
+            reg = vfree.pop(0)
+            sew = 32 if dtype == DType.F32 else 64
+            addr = self._eval_address(expr.array, expr.indices)
+            self.emit(f"vle{sew}.v {reg}, ({addr})")
+            return reg
+        if isinstance(expr, BinOp):
+            if expr.op not in ("+", "-", "*"):
+                raise _VectorUnsupported()
+            # FMA: vector + scalar*vector or vector + vector*vector
+            if expr.op == "+" and isinstance(expr.rhs, BinOp) and expr.rhs.op == "*":
+                acc = self._vector_expr(expr.lhs, var, dtype, vfree)
+                a = self._vector_expr(expr.rhs.lhs, var, dtype, vfree)
+                b = self._vector_expr(expr.rhs.rhs, var, dtype, vfree)
+                if acc.startswith("v"):
+                    if a.startswith("f") and b.startswith("v"):
+                        self.emit(f"vfmacc.vf {acc}, {a}, {b}")
+                        return acc
+                    if a.startswith("v") and b.startswith("v"):
+                        self.emit(f"vfmacc.vv {acc}, {a}, {b}")
+                        return acc
+                raise _VectorUnsupported()
+            lhs = self._vector_expr(expr.lhs, var, dtype, vfree)
+            rhs = self._vector_expr(expr.rhs, var, dtype, vfree)
+            lv, rv = lhs.startswith("v"), rhs.startswith("v")
+            if lv and rv:
+                op = {"+": "vfadd.vv", "-": "vfsub.vv", "*": "vfmul.vv"}[expr.op]
+                self.emit(f"{op} {lhs}, {lhs}, {rhs}")
+                return lhs
+            if lv != rv and expr.op in ("+", "*"):
+                vec = lhs if lv else rhs
+                scalar = rhs if lv else lhs
+                op = {"+": "vfadd.vf", "*": "vfmul.vf"}[expr.op]
+                self.emit(f"{op} {vec}, {vec}, {scalar}")
+                return vec
+            raise _VectorUnsupported()
+        raise _VectorUnsupported()
+
+
+def _suffix(dtype: DType) -> str:
+    if dtype == DType.F32:
+        return "s"
+    if dtype == DType.F64:
+        return "d"
+    raise CodegenError(f"unsupported FP dtype {dtype}")
+
+
+def _mem_suffix(dtype: DType) -> str:
+    return "w" if dtype == DType.F32 else "d"
+
+
+def _value_dtype(expr: Expr) -> Optional[DType]:
+    """Dtype of the arrays an expression reads (None when constant-only)."""
+    from repro.ir.expr import loads_in
+
+    for load in loads_in(expr):
+        return load.array.dtype
+    return None
+
+
+def _leaves(stmt: Stmt):
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            yield from _leaves(child)
+    else:
+        yield stmt
+
+
+# ---------------------------------------------------------------------------
+# Integration harness
+# ---------------------------------------------------------------------------
+
+def generate_assembly(program: Program, use_rvv: bool = False, layout: Optional[MemoryLayout] = None) -> str:
+    """Lower an IR program to RISC-V assembly text."""
+    return CodeGenerator(program, layout=layout, use_rvv=use_rvv).generate()
+
+
+def compile_and_run(
+    program: Program,
+    inputs: Optional[Dict[str, np.ndarray]] = None,
+    use_rvv: bool = False,
+    vlen_bits: int = 128,
+    max_steps: int = 200_000_000,
+    trace: bool = False,
+):
+    """Compile ``program`` to RV64 machine code, emulate it, and return
+    the final array contents (plus the emulator, for stats/trace access).
+
+    The result dict is directly comparable with
+    :func:`repro.exec.interp.run_program`.
+    """
+    from repro.riscv.assembler import assemble
+    from repro.riscv.emulator import Emulator, Memory
+
+    layout = MemoryLayout(program, num_threads=1, base=0x100000)
+    source = generate_assembly(program, use_rvv=use_rvv, layout=layout)
+    assembled = assemble(source)
+
+    memory = Memory(size=layout.end + (1 << 16), base=0)
+    for arr in program.arrays:
+        base = layout.address_of(arr, 0)
+        if inputs is not None and arr.name in inputs:
+            data = np.ascontiguousarray(inputs[arr.name], dtype=arr.dtype.numpy)
+            if data.shape != arr.shape:
+                raise SimulationError(
+                    f"input for {arr.name!r} has shape {data.shape}, expected {arr.shape}"
+                )
+        elif arr.data is not None:
+            data = arr.data
+        else:
+            data = np.zeros(arr.shape, dtype=arr.dtype.numpy)
+        memory.write_bytes(base, data.tobytes())
+
+    emulator = Emulator(assembled, memory=memory, vlen_bits=vlen_bits)
+    if trace:
+        memory.trace = []
+    emulator.run(max_steps=max_steps)
+
+    out: Dict[str, np.ndarray] = {}
+    for arr in program.arrays:
+        base = layout.address_of(arr, 0)
+        raw = memory.read_bytes(base, arr.nbytes)
+        out[arr.name] = np.frombuffer(raw, dtype=arr.dtype.numpy).reshape(arr.shape).copy()
+    return out, emulator

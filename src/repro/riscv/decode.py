@@ -1,0 +1,112 @@
+"""Binary decoding: 32-bit words back to :class:`Instruction`.
+
+The decoder consumes the same :mod:`repro.riscv.isa` tables as the
+encoder, and the property-based tests round-trip every mnemonic through
+``decode(encode(insn)) == insn``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import DecodingError
+from repro.riscv.encode import Instruction
+from repro.riscv.isa import SPECS, InsnSpec
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    return (value & (mask - 1)) - (value & mask)
+
+
+def _bits(word: int, hi: int, lo: int) -> int:
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+_BY_OPCODE: Dict[int, List[InsnSpec]] = {}
+for _spec in SPECS.values():
+    _BY_OPCODE.setdefault(_spec.opcode, []).append(_spec)
+
+
+def decode(word: int) -> Instruction:
+    """Decode one instruction word; raises :class:`DecodingError`."""
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    candidates = _BY_OPCODE.get(opcode)
+    if not candidates:
+        raise DecodingError(f"unknown opcode 0x{opcode:02x} in word 0x{word:08x}")
+
+    rd = _bits(word, 11, 7)
+    funct3 = _bits(word, 14, 12)
+    rs1 = _bits(word, 19, 15)
+    rs2 = _bits(word, 24, 20)
+    funct7 = _bits(word, 31, 25)
+
+    for spec in candidates:
+        if spec.fmt == "R":
+            if spec.funct3 == funct3 and spec.funct7 == funct7:
+                return Instruction(spec.mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+        elif spec.fmt in ("I", "LOAD", "FLOAD"):
+            if spec.funct3 == funct3:
+                return Instruction(
+                    spec.mnemonic, rd=rd, rs1=rs1, imm=_sign_extend(_bits(word, 31, 20), 12)
+                )
+        elif spec.fmt == "I-shift":
+            if spec.funct3 == funct3 and spec.funct6 == _bits(word, 31, 26):
+                return Instruction(spec.mnemonic, rd=rd, rs1=rs1, imm=_bits(word, 25, 20))
+        elif spec.fmt in ("STORE", "FSTORE"):
+            if spec.funct3 == funct3:
+                imm = (funct7 << 5) | rd
+                return Instruction(spec.mnemonic, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 12))
+        elif spec.fmt == "B":
+            if spec.funct3 == funct3:
+                imm = (
+                    (_bits(word, 31, 31) << 12)
+                    | (_bits(word, 7, 7) << 11)
+                    | (_bits(word, 30, 25) << 5)
+                    | (_bits(word, 11, 8) << 1)
+                )
+                return Instruction(spec.mnemonic, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 13))
+        elif spec.fmt == "U":
+            return Instruction(spec.mnemonic, rd=rd, imm=_bits(word, 31, 12))
+        elif spec.fmt == "J":
+            imm = (
+                (_bits(word, 31, 31) << 20)
+                | (_bits(word, 19, 12) << 12)
+                | (_bits(word, 20, 20) << 11)
+                | (_bits(word, 30, 21) << 1)
+            )
+            return Instruction(spec.mnemonic, rd=rd, imm=_sign_extend(imm, 21))
+        elif spec.fmt == "R-fp":
+            expected_f7 = spec.funct7 | (spec.fp_fmt or 0)
+            if funct7 != expected_f7:
+                continue
+            if spec.funct3 is not None and spec.funct3 != funct3:
+                continue
+            if spec.funct3 is None and funct3 != 0b111:
+                continue
+            if spec.rs2_field is not None and rs2 != spec.rs2_field:
+                continue
+            return Instruction(spec.mnemonic, rd=rd, rs1=rs1, rs2=0 if spec.rs2_field is not None else rs2)
+        elif spec.fmt == "R4":
+            if (spec.fp_fmt or 0) == _bits(word, 26, 25):
+                return Instruction(spec.mnemonic, rd=rd, rs1=rs1, rs2=rs2, rs3=_bits(word, 31, 27))
+        elif spec.fmt == "SYS":
+            if _bits(word, 31, 20) == (spec.rs2_field or 0) and rd == 0 and rs1 == 0 and funct3 == 0:
+                return Instruction(spec.mnemonic)
+        elif spec.fmt == "VSETVLI":
+            if funct3 == 7 and _bits(word, 31, 31) == 0:
+                return Instruction(spec.mnemonic, rd=rd, rs1=rs1, vtypei=_bits(word, 30, 20))
+        elif spec.fmt in ("VLOAD", "VSTORE"):
+            if (
+                spec.width == funct3
+                and _bits(word, 31, 26) == 0
+                and rs2 == 0
+            ):
+                return Instruction(spec.mnemonic, rd=rd, rs1=rs1, vm=_bits(word, 25, 25))
+        elif spec.fmt in ("VARITH", "VARITH-F"):
+            if spec.funct3 == funct3 and spec.funct6 == _bits(word, 31, 26):
+                return Instruction(
+                    spec.mnemonic, rd=rd, rs1=rs1, rs2=rs2, vm=_bits(word, 25, 25)
+                )
+    raise DecodingError(f"cannot decode word 0x{word:08x} (opcode 0x{opcode:02x})")

@@ -1,0 +1,130 @@
+"""Disassembler: instruction words back to assembly text.
+
+Produces text the bundled assembler accepts, so
+``assemble(disassemble(assemble(src)))`` is a fixed point — the
+property-based tests round-trip random instruction sequences through
+encode → disassemble → assemble → words.
+
+Branch/jump targets are rendered as generated local labels when the
+target lies inside the disassembled region, else as ``pc+offset``
+comments with a raw offset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import DecodingError
+from repro.riscv.decode import decode
+from repro.riscv.encode import Instruction
+from repro.riscv.isa import SEW_CODES, SPECS
+from repro.riscv.registers import fname, vname, xname
+
+_SEW_NAMES = {code: bits for bits, code in SEW_CODES.items()}
+_LMUL_NAMES = {0: "m1", 1: "m2", 2: "m4", 3: "m8", 5: "mf8", 6: "mf4", 7: "mf2"}
+
+
+def _vtype_text(vtypei: int) -> str:
+    sew = _SEW_NAMES.get((vtypei >> 3) & 0x7, 64)
+    lmul = _LMUL_NAMES.get(vtypei & 0x7, "m1")
+    ta = "ta" if vtypei & 0x40 else "tu"
+    ma = "ma" if vtypei & 0x80 else "mu"
+    return f"e{sew}, {lmul}, {ta}, {ma}"
+
+
+def format_instruction(insn: Instruction, target_label: str = None) -> str:
+    """Render one instruction as assembly text."""
+    m = insn.mnemonic
+    spec = SPECS[m]
+    fmt = spec.fmt
+    if fmt == "R":
+        return f"{m} {xname(insn.rd)}, {xname(insn.rs1)}, {xname(insn.rs2)}"
+    if fmt == "I":
+        if m == "jalr":
+            return f"{m} {xname(insn.rd)}, {insn.imm}({xname(insn.rs1)})"
+        return f"{m} {xname(insn.rd)}, {xname(insn.rs1)}, {insn.imm}"
+    if fmt == "I-shift":
+        return f"{m} {xname(insn.rd)}, {xname(insn.rs1)}, {insn.imm}"
+    if fmt == "LOAD":
+        return f"{m} {xname(insn.rd)}, {insn.imm}({xname(insn.rs1)})"
+    if fmt == "FLOAD":
+        return f"{m} {fname(insn.rd)}, {insn.imm}({xname(insn.rs1)})"
+    if fmt == "STORE":
+        return f"{m} {xname(insn.rs2)}, {insn.imm}({xname(insn.rs1)})"
+    if fmt == "FSTORE":
+        return f"{m} {fname(insn.rs2)}, {insn.imm}({xname(insn.rs1)})"
+    if fmt == "B":
+        target = target_label or str(insn.imm)
+        return f"{m} {xname(insn.rs1)}, {xname(insn.rs2)}, {target}"
+    if fmt == "U":
+        return f"{m} {xname(insn.rd)}, {insn.imm}"
+    if fmt == "J":
+        target = target_label or str(insn.imm)
+        return f"{m} {xname(insn.rd)}, {target}"
+    if fmt == "R-fp":
+        if spec.rs2_field is not None:
+            is_int_rd = m.startswith(("fcvt.w", "fcvt.l", "fmv.x"))
+            is_int_rs1 = m.startswith(
+                ("fcvt.d.w", "fcvt.d.l", "fcvt.s.w", "fcvt.s.l", "fmv.d.x", "fmv.w.x")
+            )
+            rd = xname(insn.rd) if is_int_rd else fname(insn.rd)
+            rs1 = xname(insn.rs1) if is_int_rs1 else fname(insn.rs1)
+            return f"{m} {rd}, {rs1}"
+        if m.startswith(("feq", "flt", "fle")):
+            return f"{m} {xname(insn.rd)}, {fname(insn.rs1)}, {fname(insn.rs2)}"
+        return f"{m} {fname(insn.rd)}, {fname(insn.rs1)}, {fname(insn.rs2)}"
+    if fmt == "R4":
+        return (
+            f"{m} {fname(insn.rd)}, {fname(insn.rs1)}, "
+            f"{fname(insn.rs2)}, {fname(insn.rs3)}"
+        )
+    if fmt == "SYS":
+        return m
+    if fmt == "VSETVLI":
+        return f"{m} {xname(insn.rd)}, {xname(insn.rs1)}, {_vtype_text(insn.vtypei)}"
+    if fmt in ("VLOAD", "VSTORE"):
+        return f"{m} {vname(insn.rd)}, ({xname(insn.rs1)})"
+    if fmt == "VARITH":
+        if m.startswith("vfmacc"):
+            return f"{m} {vname(insn.rd)}, {vname(insn.rs1)}, {vname(insn.rs2)}"
+        return f"{m} {vname(insn.rd)}, {vname(insn.rs2)}, {vname(insn.rs1)}"
+    if fmt == "VARITH-F":
+        if m.startswith("vfmacc"):
+            return f"{m} {vname(insn.rd)}, {fname(insn.rs1)}, {vname(insn.rs2)}"
+        return f"{m} {vname(insn.rd)}, {vname(insn.rs2)}, {fname(insn.rs1)}"
+    raise DecodingError(f"cannot format {m!r} ({fmt})")
+
+
+def disassemble(words: Sequence[int], base: int = 0x1000) -> str:
+    """Disassemble a word sequence into assembler-compatible text.
+
+    Branch/jump targets inside the region become ``.L<addr>`` labels.
+    """
+    instructions: List[Instruction] = [decode(w) for w in words]
+    end = base + 4 * len(words)
+
+    # Collect in-region control-flow targets.
+    labels: Dict[int, str] = {}
+    for index, insn in enumerate(instructions):
+        if SPECS[insn.mnemonic].fmt in ("B", "J"):
+            target = base + 4 * index + insn.imm
+            if base <= target <= end:
+                labels.setdefault(target, f".L{target:x}")
+
+    lines: List[str] = []
+    for index, insn in enumerate(instructions):
+        pc = base + 4 * index
+        if pc in labels:
+            lines.append(f"{labels[pc]}:")
+        label = None
+        if SPECS[insn.mnemonic].fmt in ("B", "J"):
+            label = labels.get(pc + insn.imm)
+            if label is None:
+                raise DecodingError(
+                    f"branch at 0x{pc:x} targets 0x{pc + insn.imm:x} outside "
+                    "the disassembled region"
+                )
+        lines.append("    " + format_instruction(insn, label))
+    if end in labels:  # branch to just past the last instruction
+        lines.append(f"{labels[end]}:")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,512 @@
+"""Functional RV64IMFD(+RVV slice) emulator.
+
+Executes an :class:`~repro.riscv.assembler.AssembledProgram` over a flat
+byte-addressed memory.  Two integration points with the rest of the
+library:
+
+* ``trace`` — every data access is recorded as a
+  :class:`repro.exec.trace.Segment`, so machine-code runs feed the same
+  memory-hierarchy models as IR traces;
+* the code generator (:mod:`repro.riscv.codegen`) compiles IR kernels to
+  assembly, and the test-suite checks emulated results against the IR
+  interpreter bit for bit.
+
+The vector unit implements unit-stride RVV 1.0 loads/stores and the
+FP add/sub/mul/macc forms with a configurable VLEN (the C906 carries a
+vector unit; GCC does not target it, but hand-written or generated RVV
+code is exactly what the paper's outlook anticipates).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import EmulationError
+from repro.exec.trace import Segment
+from repro.riscv.assembler import AssembledProgram
+from repro.riscv.isa import VECTOR_WIDTH_BYTES
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+EXIT_SYSCALL = 93
+
+
+def _signed(value: int) -> int:
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class Memory:
+    """Flat little-endian memory with optional access tracing."""
+
+    def __init__(self, size: int = 1 << 24, base: int = 0):
+        self.base = base
+        self.data = bytearray(size)
+        self.trace: Optional[List[Segment]] = None
+
+    def _at(self, addr: int, size: int) -> int:
+        offset = addr - self.base
+        if offset < 0 or offset + size > len(self.data):
+            raise EmulationError(
+                f"memory access at 0x{addr:x} (+{size}) outside "
+                f"[0x{self.base:x}, 0x{self.base + len(self.data):x})"
+            )
+        return offset
+
+    def load(self, addr: int, size: int, signed: bool = True) -> int:
+        offset = self._at(addr, size)
+        raw = int.from_bytes(self.data[offset : offset + size], "little")
+        if self.trace is not None:
+            self.trace.append(Segment(-2, addr, 0, 1, False, size))
+        if signed:
+            top = 1 << (8 * size - 1)
+            if raw >= top:
+                raw -= 1 << (8 * size)
+        return raw
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        offset = self._at(addr, size)
+        self.data[offset : offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+        if self.trace is not None:
+            self.trace.append(Segment(-2, addr, 0, 1, True, size))
+
+    def load_f32(self, addr: int) -> float:
+        offset = self._at(addr, 4)
+        if self.trace is not None:
+            self.trace.append(Segment(-2, addr, 0, 1, False, 4))
+        return struct.unpack_from("<f", self.data, offset)[0]
+
+    def store_f32(self, addr: int, value: float) -> None:
+        offset = self._at(addr, 4)
+        struct.pack_into("<f", self.data, offset, np.float32(value))
+        if self.trace is not None:
+            self.trace.append(Segment(-2, addr, 0, 1, True, 4))
+
+    def load_f64(self, addr: int) -> float:
+        offset = self._at(addr, 8)
+        if self.trace is not None:
+            self.trace.append(Segment(-2, addr, 0, 1, False, 8))
+        return struct.unpack_from("<d", self.data, offset)[0]
+
+    def store_f64(self, addr: int, value: float) -> None:
+        offset = self._at(addr, 8)
+        struct.pack_into("<d", self.data, offset, value)
+        if self.trace is not None:
+            self.trace.append(Segment(-2, addr, 0, 1, True, 8))
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        offset = self._at(addr, len(payload))
+        self.data[offset : offset + len(payload)] = payload
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        offset = self._at(addr, size)
+        return bytes(self.data[offset : offset + size])
+
+
+@dataclass
+class EmulatorStats:
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    flops: int = 0
+    branches: int = 0
+    vector_ops: int = 0
+
+
+class Emulator:
+    """Executes assembled programs; halts on ``ebreak`` or exit ``ecall``."""
+
+    def __init__(
+        self,
+        program: AssembledProgram,
+        memory: Optional[Memory] = None,
+        vlen_bits: int = 128,
+    ):
+        self.program = program
+        self.memory = memory or Memory()
+        self.x = [0] * 32
+        self.f = [0.0] * 32
+        self.pc = program.base
+        self.vlen_bits = vlen_bits
+        self.vl = 0
+        self.sew_bytes = 8
+        self.v = [np.zeros(vlen_bits // 8, dtype=np.uint8) for _ in range(32)]
+        self.stats = EmulatorStats()
+        self.halted = False
+        self.exit_code: Optional[int] = None
+        self._by_addr: Dict[int, int] = {
+            program.base + 4 * i: i for i in range(len(program.instructions))
+        }
+
+    # -- register helpers -------------------------------------------------------
+
+    def set_x(self, number: int, value: int) -> None:
+        if number:
+            self.x[number] = value & MASK64
+
+    def get_x(self, number: int) -> int:
+        return _signed(self.x[number])
+
+    def _velems(self, reg: int) -> np.ndarray:
+        dtype = np.float32 if self.sew_bytes == 4 else np.float64
+        return self.v[reg].view(dtype)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, max_steps: int = 50_000_000) -> int:
+        """Run to halt; returns the exit code (0 for ebreak halts)."""
+        steps = 0
+        while not self.halted:
+            if steps >= max_steps:
+                raise EmulationError(f"exceeded {max_steps} steps at pc=0x{self.pc:x}")
+            self.step()
+            steps += 1
+        return self.exit_code or 0
+
+    def step(self) -> None:
+        index = self._by_addr.get(self.pc)
+        if index is None:
+            raise EmulationError(f"pc 0x{self.pc:x} outside the program")
+        insn = self.program.instructions[index]
+        self.stats.instructions += 1
+        next_pc = self.pc + 4
+        m = insn.mnemonic
+        x = self.get_x
+        fregs = self.f
+        mem = self.memory
+
+        if m == "addi":
+            self.set_x(insn.rd, x(insn.rs1) + insn.imm)
+        elif m == "add":
+            self.set_x(insn.rd, x(insn.rs1) + x(insn.rs2))
+        elif m == "sub":
+            self.set_x(insn.rd, x(insn.rs1) - x(insn.rs2))
+        elif m == "mul":
+            self.set_x(insn.rd, x(insn.rs1) * x(insn.rs2))
+        elif m == "slli":
+            self.set_x(insn.rd, x(insn.rs1) << insn.imm)
+        elif m == "srli":
+            self.set_x(insn.rd, (x(insn.rs1) & MASK64) >> insn.imm)
+        elif m == "srai":
+            self.set_x(insn.rd, x(insn.rs1) >> insn.imm)
+        elif m in ("ld", "lw", "lh", "lb", "lwu", "lhu", "lbu"):
+            size = {"ld": 8, "lw": 4, "lh": 2, "lb": 1, "lwu": 4, "lhu": 2, "lbu": 1}[m]
+            signed = m in ("ld", "lw", "lh", "lb")
+            self.set_x(insn.rd, mem.load(x(insn.rs1) + insn.imm, size, signed))
+            self.stats.loads += 1
+        elif m in ("sd", "sw", "sh", "sb"):
+            size = {"sd": 8, "sw": 4, "sh": 2, "sb": 1}[m]
+            mem.store(x(insn.rs1) + insn.imm, size, self.x[insn.rs2])
+            self.stats.stores += 1
+        elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            a, b = x(insn.rs1), x(insn.rs2)
+            ua, ub = self.x[insn.rs1], self.x[insn.rs2]
+            taken = {
+                "beq": a == b,
+                "bne": a != b,
+                "blt": a < b,
+                "bge": a >= b,
+                "bltu": ua < ub,
+                "bgeu": ua >= ub,
+            }[m]
+            self.stats.branches += 1
+            if taken:
+                next_pc = self.pc + insn.imm
+        elif m == "jal":
+            self.set_x(insn.rd, self.pc + 4)
+            next_pc = self.pc + insn.imm
+        elif m == "jalr":
+            target = (x(insn.rs1) + insn.imm) & ~1
+            self.set_x(insn.rd, self.pc + 4)
+            next_pc = target
+        elif m == "lui":
+            self.set_x(insn.rd, _signed32(insn.imm << 12))
+        elif m == "auipc":
+            self.set_x(insn.rd, self.pc + _signed32(insn.imm << 12))
+        elif m in ("andi", "ori", "xori"):
+            op = {"andi": int.__and__, "ori": int.__or__, "xori": int.__xor__}[m]
+            self.set_x(insn.rd, op(x(insn.rs1), insn.imm))
+        elif m in ("and", "or", "xor"):
+            op = {"and": int.__and__, "or": int.__or__, "xor": int.__xor__}[m]
+            self.set_x(insn.rd, op(x(insn.rs1), x(insn.rs2)))
+        elif m in ("slt", "sltu", "slti", "sltiu"):
+            if m == "slt":
+                value = x(insn.rs1) < x(insn.rs2)
+            elif m == "sltu":
+                value = self.x[insn.rs1] < self.x[insn.rs2]
+            elif m == "slti":
+                value = x(insn.rs1) < insn.imm
+            else:
+                value = self.x[insn.rs1] < (insn.imm & MASK64)
+            self.set_x(insn.rd, int(value))
+        elif m in ("sll", "srl", "sra"):
+            shamt = self.x[insn.rs2] & 63
+            if m == "sll":
+                self.set_x(insn.rd, x(insn.rs1) << shamt)
+            elif m == "srl":
+                self.set_x(insn.rd, (self.x[insn.rs1]) >> shamt)
+            else:
+                self.set_x(insn.rd, x(insn.rs1) >> shamt)
+        elif m in ("addiw", "addw", "subw", "mulw", "slliw", "srliw", "sraiw", "sllw", "srlw", "sraw"):
+            if m == "addiw":
+                value = x(insn.rs1) + insn.imm
+            elif m == "addw":
+                value = x(insn.rs1) + x(insn.rs2)
+            elif m == "subw":
+                value = x(insn.rs1) - x(insn.rs2)
+            elif m == "mulw":
+                value = x(insn.rs1) * x(insn.rs2)
+            elif m == "slliw":
+                value = x(insn.rs1) << insn.imm
+            elif m == "srliw":
+                value = (self.x[insn.rs1] & 0xFFFFFFFF) >> insn.imm
+            elif m == "sraiw":
+                value = _signed32(self.x[insn.rs1]) >> insn.imm
+            elif m == "sllw":
+                value = x(insn.rs1) << (self.x[insn.rs2] & 31)
+            elif m == "srlw":
+                value = (self.x[insn.rs1] & 0xFFFFFFFF) >> (self.x[insn.rs2] & 31)
+            else:
+                value = _signed32(self.x[insn.rs1]) >> (self.x[insn.rs2] & 31)
+            self.set_x(insn.rd, _signed32(value))
+        elif m in ("div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw"):
+            self._divide(m, insn)
+        elif m == "fld":
+            fregs[insn.rd] = mem.load_f64(x(insn.rs1) + insn.imm)
+            self.stats.loads += 1
+        elif m == "flw":
+            fregs[insn.rd] = mem.load_f32(x(insn.rs1) + insn.imm)
+            self.stats.loads += 1
+        elif m == "fsd":
+            mem.store_f64(x(insn.rs1) + insn.imm, fregs[insn.rs2])
+            self.stats.stores += 1
+        elif m == "fsw":
+            mem.store_f32(x(insn.rs1) + insn.imm, fregs[insn.rs2])
+            self.stats.stores += 1
+        elif m.startswith(("fadd", "fsub", "fmul", "fdiv", "fmin", "fmax", "fsqrt")):
+            self._fp_arith(m, insn)
+        elif m.startswith("fsgnj"):
+            self._fp_sign(m, insn)
+        elif m.startswith(("feq", "flt", "fle")):
+            a, b = fregs[insn.rs1], fregs[insn.rs2]
+            value = {"feq": a == b, "flt": a < b, "fle": a <= b}[m[:3]]
+            self.set_x(insn.rd, int(value))
+        elif m.startswith(("fmadd", "fmsub", "fnmsub", "fnmadd")):
+            self._fp_fma(m, insn)
+        elif m.startswith("fcvt") or m.startswith("fmv."):
+            self._fp_convert(m, insn)
+        elif m == "ecall":
+            if x(17) == EXIT_SYSCALL:  # a7
+                self.halted = True
+                self.exit_code = x(10) & 0xFF  # a0
+            # Other syscalls are ignored (nops), like a minimal proxy kernel.
+        elif m == "ebreak":
+            self.halted = True
+            self.exit_code = 0
+        elif m == "vsetvli":
+            self._vsetvli(insn)
+        elif m in ("vle32.v", "vle64.v", "vse32.v", "vse64.v"):
+            self._vector_mem(m, insn)
+        elif m in ("vfadd.vv", "vfsub.vv", "vfmul.vv", "vfmacc.vv", "vfadd.vf", "vfmul.vf", "vfmacc.vf"):
+            self._vector_arith(m, insn)
+        else:
+            raise EmulationError(f"unimplemented instruction {m!r}")
+        self.pc = next_pc
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _divide(self, m: str, insn) -> None:
+        x = self.get_x
+        if m.endswith("w"):
+            a = _signed32(self.x[insn.rs1])
+            b = _signed32(self.x[insn.rs2])
+            ua = self.x[insn.rs1] & 0xFFFFFFFF
+            ub = self.x[insn.rs2] & 0xFFFFFFFF
+        else:
+            a, b = x(insn.rs1), x(insn.rs2)
+            ua, ub = self.x[insn.rs1], self.x[insn.rs2]
+        signed = not ("u" in m.replace("w", ""))
+        if signed:
+            num, den = a, b
+        else:
+            num, den = ua, ub
+        if den == 0:
+            quotient, remainder = -1, num
+        else:
+            quotient = abs(num) // abs(den)
+            if (num < 0) != (den < 0):
+                quotient = -quotient
+            remainder = num - quotient * den
+        value = quotient if m.startswith("div") else remainder
+        if m.endswith("w"):
+            value = _signed32(value)
+        self.set_x(insn.rd, value)
+
+    def _fp_round(self, m: str, value: float) -> float:
+        if m.endswith(".s"):
+            return float(np.float32(value))
+        return value
+
+    def _fp_arith(self, m: str, insn) -> None:
+        f = self.f
+        self.stats.flops += 1
+        a = f[insn.rs1]
+        base = m.split(".")[0]
+        if base == "fsqrt":
+            f[insn.rd] = self._fp_round(m, a ** 0.5)
+            return
+        b = f[insn.rs2]
+        if base == "fadd":
+            out = a + b
+        elif base == "fsub":
+            out = a - b
+        elif base == "fmul":
+            out = a * b
+        elif base == "fdiv":
+            out = a / b
+        elif base == "fmin":
+            out = min(a, b)
+        else:
+            out = max(a, b)
+        f[insn.rd] = self._fp_round(m, out)
+
+    def _fp_sign(self, m: str, insn) -> None:
+        import math
+
+        f = self.f
+        a, b = f[insn.rs1], f[insn.rs2]
+        base = m.split(".")[0]
+        if base == "fsgnj":
+            out = math.copysign(abs(a), b)
+        elif base == "fsgnjn":
+            out = math.copysign(abs(a), -b)
+        else:  # fsgnjx
+            sign = -1.0 if (a < 0) != (b < 0) else 1.0
+            out = abs(a) * sign
+        f[insn.rd] = self._fp_round(m, out)
+
+    def _fp_fma(self, m: str, insn) -> None:
+        f = self.f
+        self.stats.flops += 2
+        a, b, c = f[insn.rs1], f[insn.rs2], f[insn.rs3]
+        base = m.split(".")[0]
+        if base == "fmadd":
+            out = a * b + c
+        elif base == "fmsub":
+            out = a * b - c
+        elif base == "fnmsub":
+            out = -(a * b) + c
+        else:  # fnmadd
+            out = -(a * b) - c
+        f[insn.rd] = self._fp_round(m, out)
+
+    def _fp_convert(self, m: str, insn) -> None:
+        f = self.f
+        if m == "fcvt.d.w":
+            f[insn.rd] = float(_signed32(self.x[insn.rs1]))
+        elif m == "fcvt.d.l":
+            f[insn.rd] = float(self.get_x(insn.rs1))
+        elif m in ("fcvt.w.d", "fcvt.w.s"):
+            self.set_x(insn.rd, int(f[insn.rs1]))
+        elif m == "fcvt.l.d":
+            self.set_x(insn.rd, int(f[insn.rs1]))
+        elif m == "fcvt.s.d":
+            f[insn.rd] = float(np.float32(f[insn.rs1]))
+        elif m == "fcvt.d.s":
+            f[insn.rd] = f[insn.rs1]
+        elif m == "fcvt.s.w":
+            f[insn.rd] = float(np.float32(_signed32(self.x[insn.rs1])))
+        elif m == "fcvt.s.l":
+            f[insn.rd] = float(np.float32(self.get_x(insn.rs1)))
+        elif m == "fmv.x.d":
+            self.set_x(insn.rd, struct.unpack("<q", struct.pack("<d", f[insn.rs1]))[0])
+        elif m == "fmv.d.x":
+            f[insn.rd] = struct.unpack("<d", struct.pack("<q", self.get_x(insn.rs1)))[0]
+        elif m == "fmv.x.w":
+            bits = struct.unpack("<i", struct.pack("<f", np.float32(f[insn.rs1])))[0]
+            self.set_x(insn.rd, bits)
+        elif m == "fmv.w.x":
+            f[insn.rd] = struct.unpack("<f", struct.pack("<i", _signed32(self.x[insn.rs1])))[0]
+        else:
+            raise EmulationError(f"unimplemented conversion {m!r}")
+
+    # -- vector unit ---------------------------------------------------------------
+
+    def _vsetvli(self, insn) -> None:
+        sew_code = (insn.vtypei >> 3) & 0x7
+        self.sew_bytes = 1 << sew_code
+        vlmax = self.vlen_bits // (8 * self.sew_bytes)
+        avl = self.get_x(insn.rs1)
+        self.vl = min(avl, vlmax)
+        self.set_x(insn.rd, self.vl)
+
+    def _vector_mem(self, m: str, insn) -> None:
+        self.stats.vector_ops += 1
+        width = 4 if "32" in m else 8
+        if width != self.sew_bytes:
+            raise EmulationError(f"{m} with SEW={8 * self.sew_bytes} not supported")
+        addr = self.get_x(insn.rs1)
+        elems = self._velems(insn.rd)
+        mem = self.memory
+        if m.startswith("vle"):
+            raw = mem.read_bytes(addr, width * self.vl)
+            elems[: self.vl] = np.frombuffer(raw, dtype=elems.dtype, count=self.vl)
+            if mem.trace is not None:
+                mem.trace.append(Segment(-2, addr, width, self.vl, False, width))
+            self.stats.loads += 1
+        else:
+            mem.write_bytes(addr, elems[: self.vl].tobytes())
+            if mem.trace is not None:
+                mem.trace.append(Segment(-2, addr, width, self.vl, True, width))
+            self.stats.stores += 1
+
+    def _vector_arith(self, m: str, insn) -> None:
+        self.stats.vector_ops += 1
+        self.stats.flops += self.vl * (2 if "macc" in m else 1)
+        vl = self.vl
+        vd = self._velems(insn.rd)
+        vs2 = self._velems(insn.rs2)
+        if m.endswith(".vv"):
+            vs1 = self._velems(insn.rs1)
+            if m == "vfadd.vv":
+                vd[:vl] = vs2[:vl] + vs1[:vl]
+            elif m == "vfsub.vv":
+                vd[:vl] = vs2[:vl] - vs1[:vl]
+            elif m == "vfmul.vv":
+                vd[:vl] = vs2[:vl] * vs1[:vl]
+            else:  # vfmacc.vv: vd += vs1 * vs2
+                vd[:vl] = vd[:vl] + vs1[:vl] * vs2[:vl]
+        else:
+            scalar = vd.dtype.type(self.f[insn.rs1])
+            if m == "vfadd.vf":
+                vd[:vl] = vs2[:vl] + scalar
+            elif m == "vfmul.vf":
+                vd[:vl] = vs2[:vl] * scalar
+            else:  # vfmacc.vf: vd += f[rs1] * vs2
+                vd[:vl] = vd[:vl] + scalar * vs2[:vl]
+
+
+def run_assembly(
+    source: str,
+    memory: Optional[Memory] = None,
+    vlen_bits: int = 128,
+    max_steps: int = 50_000_000,
+) -> Emulator:
+    """Assemble and run ``source``; returns the halted emulator."""
+    from repro.riscv.assembler import assemble
+
+    program = assemble(source)
+    emulator = Emulator(program, memory=memory, vlen_bits=vlen_bits)
+    emulator.run(max_steps=max_steps)
+    return emulator

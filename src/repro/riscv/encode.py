@@ -1,0 +1,115 @@
+"""Instruction representation and binary encoding (RV64 subset + RVV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EncodingError
+from repro.riscv.isa import SPECS, InsnSpec
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded / to-be-encoded instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    rs3: int = 0
+    imm: int = 0          # sign-extended where applicable
+    vm: int = 1           # vector mask bit (1 = unmasked)
+    vtypei: int = 0       # vsetvli vtype immediate
+
+    @property
+    def spec(self) -> InsnSpec:
+        return SPECS[self.mnemonic]
+
+
+def _check_reg(value: int, what: str) -> int:
+    if not 0 <= value <= 31:
+        raise EncodingError(f"{what} out of range: {value}")
+    return value
+
+
+def _check_imm(value: int, bits: int, what: str) -> int:
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} {value} outside [{lo}, {hi}]")
+    return value & ((1 << bits) - 1)
+
+
+def encode(insn: Instruction) -> int:
+    """Encode an instruction into its 32-bit word."""
+    try:
+        spec = SPECS[insn.mnemonic]
+    except KeyError:
+        raise EncodingError(f"unknown mnemonic {insn.mnemonic!r}")
+    op = spec.opcode
+    rd = _check_reg(insn.rd, "rd")
+    rs1 = _check_reg(insn.rs1, "rs1")
+    rs2 = _check_reg(insn.rs2, "rs2")
+
+    if spec.fmt == "R":
+        return (spec.funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | op
+    if spec.fmt in ("I", "LOAD", "FLOAD"):
+        imm = _check_imm(insn.imm, 12, "immediate")
+        return (imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | op
+    if spec.fmt == "I-shift":
+        if not 0 <= insn.imm <= 63:
+            raise EncodingError(f"shift amount {insn.imm} outside [0, 63]")
+        return (spec.funct6 << 26) | (insn.imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | op
+    if spec.fmt in ("STORE", "FSTORE"):
+        imm = _check_imm(insn.imm, 12, "store offset")
+        hi = (imm >> 5) & 0x7F
+        lo = imm & 0x1F
+        return (hi << 25) | (rs2 << 20) | (rs1 << 15) | (spec.funct3 << 12) | (lo << 7) | op
+    if spec.fmt == "B":
+        imm = insn.imm
+        if imm % 2:
+            raise EncodingError(f"branch offset {imm} not 2-byte aligned")
+        imm = _check_imm(imm, 13, "branch offset")
+        b12 = (imm >> 12) & 1
+        b11 = (imm >> 11) & 1
+        b10_5 = (imm >> 5) & 0x3F
+        b4_1 = (imm >> 1) & 0xF
+        return (b12 << 31) | (b10_5 << 25) | (rs2 << 20) | (rs1 << 15) | (spec.funct3 << 12) | (b4_1 << 8) | (b11 << 7) | op
+    if spec.fmt == "U":
+        if not 0 <= insn.imm <= 0xFFFFF:
+            raise EncodingError(f"U-type immediate {insn.imm} outside [0, 2^20)")
+        return (insn.imm << 12) | (rd << 7) | op
+    if spec.fmt == "J":
+        imm = insn.imm
+        if imm % 2:
+            raise EncodingError(f"jump offset {imm} not 2-byte aligned")
+        imm = _check_imm(imm, 21, "jump offset")
+        b20 = (imm >> 20) & 1
+        b10_1 = (imm >> 1) & 0x3FF
+        b11 = (imm >> 11) & 1
+        b19_12 = (imm >> 12) & 0xFF
+        return (b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) | (rd << 7) | op
+    if spec.fmt == "R-fp":
+        funct7 = spec.funct7 | (spec.fp_fmt or 0)
+        funct3 = spec.funct3 if spec.funct3 is not None else 0b111  # dynamic rm
+        rs2_val = spec.rs2_field if spec.rs2_field is not None else rs2
+        return (funct7 << 25) | (rs2_val << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | op
+    if spec.fmt == "R4":
+        rs3 = _check_reg(insn.rs3, "rs3")
+        return (rs3 << 27) | ((spec.fp_fmt or 0) << 25) | (rs2 << 20) | (rs1 << 15) | (0b111 << 12) | (rd << 7) | op
+    if spec.fmt == "SYS":
+        return ((spec.rs2_field or 0) << 20) | op | (0 << 7)
+    if spec.fmt == "VSETVLI":
+        if not 0 <= insn.vtypei <= 0x7FF:
+            raise EncodingError(f"vtype immediate {insn.vtypei} outside [0, 2047]")
+        return (insn.vtypei << 20) | (rs1 << 15) | (0b111 << 12) | (rd << 7) | op
+    if spec.fmt == "VLOAD":
+        return ((insn.vm & 1) << 25) | (rs1 << 15) | (spec.width << 12) | (rd << 7) | op
+    if spec.fmt == "VSTORE":
+        return ((insn.vm & 1) << 25) | (rs1 << 15) | (spec.width << 12) | (rd << 7) | op
+    if spec.fmt == "VARITH":
+        # vd | funct3 | vs1 | vs2 | vm | funct6
+        return (spec.funct6 << 26) | ((insn.vm & 1) << 25) | (rs2 << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | op
+    if spec.fmt == "VARITH-F":
+        return (spec.funct6 << 26) | ((insn.vm & 1) << 25) | (rs2 << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | op
+    raise EncodingError(f"unencodable format {spec.fmt!r} for {insn.mnemonic}")

@@ -1,0 +1,74 @@
+"""RISC-V register files and ABI names (RV64GC + V).
+
+Integer registers x0-x31, floating point f0-f31 and vector v0-v31, with
+the standard psABI mnemonics (``a0``, ``t0``, ``fs3``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import AsmSyntaxError
+
+X_ABI: List[str] = (
+    ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1"]
+    + [f"a{i}" for i in range(8)]
+    + [f"s{i}" for i in range(2, 12)]
+    + [f"t{i}" for i in range(3, 7)]
+)
+
+F_ABI: List[str] = (
+    [f"ft{i}" for i in range(8)]
+    + ["fs0", "fs1"]
+    + [f"fa{i}" for i in range(8)]
+    + [f"fs{i}" for i in range(2, 12)]
+    + [f"ft{i}" for i in range(8, 12)]
+)
+
+_X_LOOKUP: Dict[str, int] = {}
+_F_LOOKUP: Dict[str, int] = {}
+for _i, _name in enumerate(X_ABI):
+    _X_LOOKUP[_name] = _i
+    _X_LOOKUP[f"x{_i}"] = _i
+_X_LOOKUP["fp"] = 8  # frame pointer alias for s0
+for _i, _name in enumerate(F_ABI):
+    _F_LOOKUP[_name] = _i
+    _F_LOOKUP[f"f{_i}"] = _i
+
+
+def xreg(name: str) -> int:
+    """Integer register number from an ABI or numeric name."""
+    try:
+        return _X_LOOKUP[name.lower()]
+    except KeyError:
+        raise AsmSyntaxError(f"unknown integer register {name!r}")
+
+
+def freg(name: str) -> int:
+    """FP register number from an ABI or numeric name."""
+    try:
+        return _F_LOOKUP[name.lower()]
+    except KeyError:
+        raise AsmSyntaxError(f"unknown FP register {name!r}")
+
+
+def vreg(name: str) -> int:
+    """Vector register number (v0-v31)."""
+    name = name.lower()
+    if name.startswith("v") and name[1:].isdigit():
+        number = int(name[1:])
+        if 0 <= number <= 31:
+            return number
+    raise AsmSyntaxError(f"unknown vector register {name!r}")
+
+
+def xname(number: int) -> str:
+    return X_ABI[number]
+
+
+def fname(number: int) -> str:
+    return F_ABI[number]
+
+
+def vname(number: int) -> str:
+    return f"v{number}"

@@ -1,0 +1,147 @@
+"""End-to-end simulation: program + device -> wall-clock estimate.
+
+This is the main entry point users call::
+
+    from repro import simulate, kernels, devices
+
+    program = kernels.transpose.blocking(512, block=16)
+    result = simulate(program, devices.xeon_4310t().scaled(16))
+    print(result.seconds, result.timing.bottleneck)
+
+It wires the trace generator, per-core memory hierarchies and the timing
+model together, with optional steady-state repetition (used by the STREAM
+benchmark, which reports the best of many repetitions of a warm loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.opcount import OpCounts
+from repro.devices.spec import DeviceSpec
+from repro.errors import SimulationError
+from repro.exec.trace import CoreWork
+from repro.exec.tracegen import TraceGenerator
+from repro.ir.program import Program
+from repro.ir.stmt import For, walk_stmts
+from repro.memsim.stats import HierarchySnapshot, snapshot
+from repro.timing.model import TimingResult, time_run
+
+
+def has_parallel_loop(program: Program) -> bool:
+    return any(
+        isinstance(node, For) and node.parallel for node in walk_stmts(program.body)
+    )
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulated run produced."""
+
+    program_name: str
+    device_key: str
+    active_cores: int
+    seconds: float
+    timing: TimingResult
+    works: List[CoreWork] = field(default_factory=list)
+    snapshots: List[HierarchySnapshot] = field(default_factory=list)
+
+    @property
+    def dram_bytes(self) -> int:
+        return sum(snap.dram_bytes for snap in self.snapshots)
+
+    @property
+    def total_ops(self) -> OpCounts:
+        total = OpCounts()
+        for work in self.works:
+            total = total + work.total
+        return total
+
+    @property
+    def achieved_dram_gbs(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.dram_bytes / self.seconds / 1e9
+
+    def level_misses(self, name: str) -> int:
+        return sum(snap.level(name).misses for snap in self.snapshots)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "seconds": self.seconds,
+            "dram_bytes": float(self.dram_bytes),
+            "achieved_dram_gbs": self.achieved_dram_gbs,
+            "flops": float(self.total_ops.flops),
+        }
+
+
+def simulate(
+    program: Program,
+    device: DeviceSpec,
+    active_cores: Optional[int] = None,
+    repetitions: int = 1,
+    steady_state: bool = False,
+    flush_writebacks: bool = False,
+    check_capacity: bool = True,
+) -> SimulationResult:
+    """Simulate one run of ``program`` on ``device``.
+
+    Parameters
+    ----------
+    active_cores:
+        Cores used.  Defaults to all device cores when the program has a
+        parallel loop, else 1 (the paper runs sequential code on the
+        single-core Mango Pi and ``OMP_NUM_THREADS = cores`` elsewhere).
+    repetitions / steady_state:
+        Run the access trace ``repetitions`` times through the hierarchy;
+        with ``steady_state=True`` the timing uses only the *last*
+        repetition (caches warm), which is how STREAM-style bandwidth is
+        measured.
+    flush_writebacks:
+        Charge dirty lines still cached at the end as DRAM writebacks.
+    check_capacity:
+        Raise :class:`~repro.errors.OutOfMemoryError` when the working set
+        exceeds device DRAM (Fig. 2's missing Mango Pi bars at 16384^2).
+    """
+    if repetitions < 1:
+        raise SimulationError("repetitions must be >= 1")
+    if steady_state and repetitions < 2:
+        raise SimulationError("steady_state needs at least 2 repetitions (warm-up + measured)")
+
+    if check_capacity:
+        device.check_capacity(program.footprint_bytes(), what=f"program {program.name!r}")
+
+    if active_cores is None:
+        active_cores = device.cores if has_parallel_loop(program) else 1
+
+    hierarchies = device.build_hierarchies(active_cores)
+    generator = TraceGenerator(program, num_cores=active_cores)
+
+    baselines = [snapshot(h) for h in hierarchies]
+    for rep in range(repetitions):
+        if rep == repetitions - 1:
+            baselines = [snapshot(h) for h in hierarchies]
+        for core, hierarchy in enumerate(hierarchies):
+            run = hierarchy.process_segment
+            for seg in generator.core_stream(core):
+                run(seg)
+
+    if flush_writebacks:
+        for hierarchy in hierarchies:
+            hierarchy.flush()
+
+    finals = [snapshot(h) for h in hierarchies]
+    deltas = [final - base for final, base in zip(finals, baselines)]
+    works = list(generator.work)  # per-core counts of one repetition
+
+    timing = time_run(device, works, deltas, active_cores)
+    return SimulationResult(
+        program_name=program.name,
+        device_key=device.key,
+        active_cores=active_cores,
+        seconds=timing.seconds,
+        timing=timing,
+        works=works,
+        snapshots=deltas,
+    )

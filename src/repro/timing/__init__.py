@@ -1,0 +1,25 @@
+"""Timing models: per-core pipelines plus shared-DRAM contention.
+
+* :mod:`repro.timing.cpu` — instruction-mix throughput model;
+* :mod:`repro.timing.model` — bounded-overlap core timing and device-level
+  combination;
+* :mod:`repro.timing.contention` — water-filling DRAM bandwidth sharing.
+"""
+
+from repro.timing.contention import equal_share_makespan, feasible, makespan
+from repro.timing.cpu import InstructionMix, compute_cycles, instruction_mix
+from repro.timing.model import CoreTiming, TimingResult, combine, time_core, time_run
+
+__all__ = [
+    "CoreTiming",
+    "InstructionMix",
+    "TimingResult",
+    "combine",
+    "compute_cycles",
+    "equal_share_makespan",
+    "feasible",
+    "instruction_mix",
+    "makespan",
+    "time_core",
+    "time_run",
+]

@@ -1,0 +1,105 @@
+"""Shared-DRAM bandwidth contention.
+
+Cores finish at different times; while several are active they share the
+memory controller.  We model the makespan with a water-filling allocation:
+find the smallest time ``T`` such that every core can stream its DRAM
+bytes within ``T`` minus its non-DRAM time, subject to a per-core link
+limit and the total bandwidth of the board.
+
+``makespan`` is exact for the fluid model (continuous bandwidth sharing,
+no queueing dynamics); DESIGN.md §5.3 discusses the approximation and the
+ablation bench compares it against naive equal-share division.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def demand_rate(bytes_needed: float, time_available: float) -> float:
+    """Bandwidth a core needs to move ``bytes_needed`` in ``time_available``."""
+    if bytes_needed <= 0:
+        return 0.0
+    if time_available <= 0:
+        return float("inf")
+    return bytes_needed / time_available
+
+
+def feasible(
+    deadline: float,
+    other_seconds: Sequence[float],
+    dram_bytes: Sequence[float],
+    total_bw: float,
+    core_bw: float,
+) -> bool:
+    """Can every core finish by ``deadline`` under the bandwidth limits?"""
+    total_needed = 0.0
+    for other, nbytes in zip(other_seconds, dram_bytes):
+        needed = demand_rate(nbytes, deadline - other)
+        if needed > core_bw * (1 + 1e-12):
+            return False
+        total_needed += needed
+    return total_needed <= total_bw * (1 + 1e-12)
+
+
+def makespan(
+    other_seconds: Sequence[float],
+    dram_bytes: Sequence[float],
+    total_bw: float,
+    core_bw: float,
+    iterations: int = 64,
+) -> float:
+    """Smallest completion time for all cores (water-filling allocation).
+
+    Parameters
+    ----------
+    other_seconds:
+        Per-core time spent on everything except streaming DRAM bytes
+        (compute, cache transfers, exposed miss latency).
+    dram_bytes:
+        Per-core DRAM traffic in bytes.
+    total_bw / core_bw:
+        Board-level and per-core-link bandwidth in bytes/second.
+    """
+    if len(other_seconds) != len(dram_bytes):
+        raise ValueError("per-core inputs must have equal length")
+    if not other_seconds:
+        return 0.0
+    if total_bw <= 0 or core_bw <= 0:
+        raise ValueError("bandwidths must be positive")
+
+    lo = max(other_seconds)
+    total_bytes = float(sum(dram_bytes))
+    lo = max(lo, total_bytes / total_bw)
+    if total_bytes == 0:
+        return lo
+    # An upper bound: run cores' DRAM phases one after another at the
+    # slower of the two limits.
+    hi = max(other_seconds) + total_bytes / min(total_bw, core_bw)
+    if feasible(lo, other_seconds, dram_bytes, total_bw, core_bw):
+        return lo
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if feasible(mid, other_seconds, dram_bytes, total_bw, core_bw):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def equal_share_makespan(
+    other_seconds: Sequence[float],
+    dram_bytes: Sequence[float],
+    total_bw: float,
+    core_bw: float,
+) -> float:
+    """Baseline contention model for the ablation: every core gets a fixed
+    1/n slice of the board bandwidth regardless of demand."""
+    n = len(other_seconds)
+    if n == 0:
+        return 0.0
+    share = min(core_bw, total_bw / n)
+    return max(
+        other + nbytes / share if nbytes else other
+        for other, nbytes in zip(other_seconds, dram_bytes)
+    )

@@ -1,0 +1,65 @@
+"""Per-core compute-cycle estimation.
+
+Converts a core's operation counts into pipeline cycles under the device's
+issue width, memory-port and FP-pipe throughput, with vectorized loop work
+divided across vector lanes.  This is a throughput (not latency) model;
+miss latency is accounted separately in :mod:`repro.timing.model`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.spec import CpuSpec
+from repro.exec.trace import CoreWork
+
+
+@dataclass
+class InstructionMix:
+    """Estimated dynamic instruction counts of one core."""
+
+    mem: float = 0.0
+    fp: float = 0.0
+    integer: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.mem + self.fp + self.integer
+
+
+def instruction_mix(work: CoreWork, cpu: CpuSpec) -> InstructionMix:
+    """Instructions after FMA fusion and vectorization."""
+    mix = InstructionMix()
+
+    scalar = work.scalar
+    mix.mem += scalar.loads + scalar.stores
+    mix.fp += max(0, scalar.flops - scalar.fmas)
+    mix.integer += scalar.int_ops
+
+    vector = work.vector
+    v_refs = vector.loads + vector.stores
+    if v_refs:
+        if cpu.vector_bits > 0:
+            avg_elem = max(1.0, vector.bytes_referenced / v_refs)
+            lanes = max(1.0, cpu.vector_bits / (8.0 * avg_elem))
+        else:
+            lanes = 1.0
+        mix.mem += v_refs / lanes
+        mix.fp += max(0, vector.flops - vector.fmas) / lanes
+        # Loop overhead amortizes across lanes too.
+        mix.integer += vector.int_ops / lanes
+    else:
+        mix.fp += max(0, vector.flops - vector.fmas)
+        mix.integer += vector.int_ops
+    return mix
+
+
+def compute_cycles(work: CoreWork, cpu: CpuSpec) -> float:
+    """Pipeline cycles to issue/execute the instruction mix."""
+    mix = instruction_mix(work, cpu)
+    return max(
+        mix.total / cpu.issue_width,
+        mix.mem / cpu.mem_ports,
+        mix.fp / cpu.flop_pipes,
+    )

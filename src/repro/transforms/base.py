@@ -1,0 +1,70 @@
+"""Pass infrastructure.
+
+A :class:`Pass` rewrites a :class:`~repro.ir.program.Program` into a new
+program; the :class:`PassManager` chains passes, validates the IR after
+every step, and records provenance so an optimized kernel can report the
+exact recipe that produced it (the labels in the paper's figures — "Naive",
+"Parallel", "Blocking", ... — map one-to-one onto recipes).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import TransformError
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+
+
+class Pass(abc.ABC):
+    """A semantic-preserving program rewrite."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def run(self, program: Program) -> Program:
+        """Return the transformed program (inputs are never mutated)."""
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+@dataclass
+class PassManager:
+    """Applies a pipeline of passes with validation between steps."""
+
+    passes: List[Pass] = field(default_factory=list)
+    validate: bool = True
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, program: Program, rename: Optional[str] = None) -> Program:
+        if self.validate:
+            validate_program(program)
+        current = program
+        for pass_ in self.passes:
+            current = pass_.run(current)
+            if not isinstance(current, Program):
+                raise TransformError(f"pass {pass_.name} did not return a Program")
+            if self.validate:
+                validate_program(current)
+        if rename is not None:
+            current = current.with_body(current.body, name=rename)
+        return current
+
+    def describe(self) -> str:
+        return " | ".join(p.describe() for p in self.passes) or "<identity>"
+
+
+def apply_passes(program: Program, passes: Sequence[Pass], rename: Optional[str] = None) -> Program:
+    """Convenience wrapper: run ``passes`` over ``program`` with validation."""
+    return PassManager(list(passes)).run(program, rename=rename)

@@ -1,0 +1,75 @@
+"""Loop interchange.
+
+Swaps two directly nested loops of a perfect nest.  Interchange is the
+mechanism behind the blur's "Unit-stride" optimization (moving the channel
+loop inward turns strided filter accesses into unit-stride ones) and is a
+building block of tiling.
+
+Legality: the pass refuses structurally impossible interchanges (bounds of
+the inner loop depending on the outer variable — a triangular nest needs
+:func:`repro.transforms.tiling.tile_triangular` instead).  Semantic
+legality (dependence direction vectors) is certified concretely by
+``repro.analysis.dependence.certify_interchange`` in the test-suite for
+each kernel family.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.program import Program
+from repro.ir.stmt import Block, For, Stmt, map_loops
+from repro.transforms.base import Pass
+
+
+def _sole_inner_loop(body: Stmt):
+    """The single For directly inside ``body``, or None."""
+    node = body
+    while isinstance(node, Block):
+        if len(node.stmts) != 1:
+            return None
+        node = node.stmts[0]
+    return node if isinstance(node, For) else None
+
+
+class Interchange(Pass):
+    """Swap loop ``outer_var`` with the loop immediately inside it."""
+
+    def __init__(self, outer_var: str, inner_var: str):
+        self.outer_var = outer_var
+        self.inner_var = inner_var
+
+    def describe(self) -> str:
+        return f"interchange({self.outer_var}<->{self.inner_var})"
+
+    def run(self, program: Program) -> Program:
+        state = {"applied": False}
+
+        def rewrite(loop: For) -> Stmt:
+            if loop.var != self.outer_var:
+                return loop
+            inner = _sole_inner_loop(loop.body)
+            if inner is None or inner.var != self.inner_var:
+                raise TransformError(
+                    f"loop {self.outer_var!r} does not immediately enclose "
+                    f"a single loop {self.inner_var!r}"
+                )
+            for bound in (inner.lo, inner.hi):
+                if self.outer_var in bound.variables:
+                    raise TransformError(
+                        f"bounds of {self.inner_var!r} depend on "
+                        f"{self.outer_var!r}; interchange would change the "
+                        "iteration space (use triangular tiling instead)"
+                    )
+            for bound in (loop.lo, loop.hi):
+                if self.inner_var in bound.variables:
+                    raise TransformError("outer bounds reference the inner variable")
+            state["applied"] = True
+            new_inner = loop.with_(body=inner.body)
+            return inner.with_(body=Block([new_inner]))
+
+        body = map_loops(program.body, rewrite)
+        if not state["applied"]:
+            raise TransformError(
+                f"no interchangeable pair ({self.outer_var!r}, {self.inner_var!r}) found"
+            )
+        return program.with_body(body)

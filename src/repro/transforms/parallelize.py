@@ -1,0 +1,78 @@
+"""Parallelization (the IR analogue of ``#pragma omp parallel for``).
+
+The pass marks a loop parallel with a schedule.  Legality (no loop-carried
+dependence) can be certified concretely via
+:func:`repro.analysis.dependence.certify_parallel`; the kernel test-suite
+certifies every schedule the paper uses at representative sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TransformError
+from repro.ir.program import Program
+from repro.ir.stmt import For, Stmt, map_loops
+from repro.transforms.base import Pass
+
+
+class Parallelize(Pass):
+    """Mark loop ``var`` parallel with the given OpenMP-style schedule."""
+
+    def __init__(
+        self,
+        var: str,
+        schedule: str = "static",
+        chunk: Optional[int] = None,
+        certify: bool = False,
+        certify_budget: int = 200_000,
+    ):
+        self.var = var
+        self.schedule = schedule
+        self.chunk = chunk
+        self.certify = certify
+        self.certify_budget = certify_budget
+
+    def describe(self) -> str:
+        chunk = f",{self.chunk}" if self.chunk is not None else ""
+        return f"parallelize({self.var}, {self.schedule}{chunk})"
+
+    def run(self, program: Program) -> Program:
+        if self.certify:
+            from repro.analysis.dependence import certify_parallel
+
+            certify_parallel(program, self.var, self.certify_budget)
+
+        state = {"applied": False}
+
+        def rewrite(loop: For) -> Stmt:
+            if loop.var != self.var:
+                return loop
+            state["applied"] = True
+            return loop.with_(parallel=True, schedule=self.schedule, chunk=self.chunk)
+
+        body = map_loops(program.body, rewrite)
+        if not state["applied"]:
+            raise TransformError(f"no loop {self.var!r} to parallelize")
+        return program.with_body(body)
+
+
+class Serialize(Pass):
+    """Remove the parallel marker from a loop (used to build the
+    single-core Mango Pi variants, where the paper runs sequential code)."""
+
+    def __init__(self, var: Optional[str] = None):
+        self.var = var
+
+    def describe(self) -> str:
+        return f"serialize({self.var or '*'})"
+
+    def run(self, program: Program) -> Program:
+        def rewrite(loop: For) -> Stmt:
+            if self.var is not None and loop.var != self.var:
+                return loop
+            if loop.parallel:
+                return loop.with_(parallel=False, schedule="static", chunk=None)
+            return loop
+
+        return program.with_body(map_loops(program.body, rewrite))

@@ -1,0 +1,175 @@
+"""Loop tiling (cache blocking).
+
+Two entry points:
+
+* :class:`StripMine` — split one loop into a block loop and an intra-block
+  loop.  Always legal (pure re-association of the iteration order within
+  one loop's range is the identity here: the intra-block loop visits the
+  same values in the same order).
+* :class:`TileTriangular2D` — the composite transformation producing the
+  paper's Listing 2 ("Blocking" transpose): block both loops of a
+  triangular ``for i / for j in [i+d, N)`` nest, visiting diagonal blocks
+  as triangles and off-diagonal blocks as full squares.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.affine import Affine, AffineBound, AffineLowerBound, affine_max, affine_min
+from repro.ir.program import Program
+from repro.ir.stmt import Block, For, Stmt, map_loops
+from repro.transforms.base import Pass
+from repro.transforms.interchange import _sole_inner_loop
+
+
+class StripMine(Pass):
+    """Split loop ``var`` into ``var_blk`` (step = factor*step) over blocks
+    and an inner ``var`` loop walking one block."""
+
+    def __init__(self, var: str, factor: int, block_var: str = None):
+        if factor < 2:
+            raise TransformError(f"strip-mine factor must be >= 2, got {factor}")
+        self.var = var
+        self.factor = factor
+        self.block_var = block_var or f"{var}_blk"
+
+    def describe(self) -> str:
+        return f"strip_mine({self.var}, {self.factor})"
+
+    def run(self, program: Program) -> Program:
+        state = {"applied": False}
+
+        def rewrite(loop: For) -> Stmt:
+            if loop.var != self.var or state["applied"]:
+                return loop
+            state["applied"] = True
+            block_step = self.factor * loop.step
+            inner_hi = AffineBound(
+                Affine.var(self.block_var) + block_step, *loop.hi.operands
+            )
+            inner = For(
+                loop.var,
+                Affine.var(self.block_var),
+                inner_hi,
+                loop.body,
+                step=loop.step,
+            )
+            return For(
+                self.block_var,
+                loop.lo,
+                loop.hi,
+                Block([inner]),
+                step=block_step,
+                parallel=loop.parallel,
+                schedule=loop.schedule,
+                chunk=loop.chunk,
+            )
+
+        body = map_loops(program.body, rewrite)
+        if not state["applied"]:
+            raise TransformError(f"no loop {self.var!r} to strip-mine")
+        return program.with_body(body)
+
+
+class TileTriangular2D(Pass):
+    """Block a triangular 2-loop nest — the paper's "Blocking" transpose.
+
+    Expects a perfect nest::
+
+        for i in [Li, Hi):            # plain bounds
+            for j in [i + d, Hj):     # 0 <= d <= tile
+                body
+
+    and produces::
+
+        for i_blk in [Li, Hi) step B:
+            for j_blk in [i_blk, Hj) step B:
+                for i in [i_blk, min(i_blk+B, Hi)):
+                    for j in [max(j_blk, i+d), min(j_blk+B, Hj)):
+                        body
+    """
+
+    def __init__(self, i_var: str, j_var: str, tile: int):
+        if tile < 2:
+            raise TransformError(f"tile size must be >= 2, got {tile}")
+        self.i_var = i_var
+        self.j_var = j_var
+        self.tile = tile
+
+    def describe(self) -> str:
+        return f"tile_triangular({self.i_var}, {self.j_var}, {self.tile})"
+
+    def run(self, program: Program) -> Program:
+        state = {"applied": False}
+
+        def rewrite(loop: For) -> Stmt:
+            if loop.var != self.i_var or state["applied"]:
+                return loop
+            inner = _sole_inner_loop(loop.body)
+            if inner is None or inner.var != self.j_var:
+                raise TransformError(
+                    f"loop {self.i_var!r} does not immediately enclose a "
+                    f"single loop {self.j_var!r}"
+                )
+            if loop.step != 1 or inner.step != 1:
+                raise TransformError("triangular tiling requires unit steps")
+            if not (loop.lo.is_plain and loop.hi.is_plain and inner.hi.is_plain):
+                raise TransformError("triangular tiling requires plain outer bounds")
+            if not inner.lo.is_plain:
+                raise TransformError("inner lower bound already a max()")
+            j_lo = inner.lo.plain
+            d = j_lo.const
+            if j_lo.terms not in ({}, {self.i_var: 1}):
+                raise TransformError(
+                    f"inner lower bound {j_lo!r} is not of the form {self.i_var} + d"
+                )
+            triangular = j_lo.terms == {self.i_var: 1}
+            if triangular and not (0 <= d <= self.tile):
+                raise TransformError(
+                    f"offset d={d} outside [0, tile={self.tile}]; blocks would be skipped"
+                )
+            state["applied"] = True
+
+            i_blk = f"{self.i_var}_blk"
+            j_blk = f"{self.j_var}_blk"
+            B = self.tile
+            i_var = Affine.var(self.i_var)
+            i_blk_var = Affine.var(i_blk)
+            j_blk_var = Affine.var(j_blk)
+
+            new_j = For(
+                self.j_var,
+                affine_max(j_blk_var, j_lo) if triangular else AffineLowerBound(j_blk_var),
+                AffineBound(j_blk_var + B, inner.hi.plain),
+                inner.body,
+            )
+            new_i = For(
+                self.i_var,
+                i_blk_var,
+                AffineBound(i_blk_var + B, loop.hi.plain),
+                Block([new_j]),
+            )
+            loop_j_blk = For(
+                j_blk,
+                i_blk_var if triangular else Affine(inner.lo.plain.const),
+                inner.hi.plain,
+                Block([new_i]),
+                step=B,
+            )
+            return For(
+                i_blk,
+                loop.lo.plain,
+                loop.hi.plain,
+                Block([loop_j_blk]),
+                step=B,
+                parallel=loop.parallel,
+                schedule=loop.schedule,
+                chunk=loop.chunk,
+            )
+
+        body = map_loops(program.body, rewrite)
+        if not state["applied"]:
+            raise TransformError(
+                f"no nest ({self.i_var!r}, {self.j_var!r}) found to tile"
+            )
+        return program.with_body(body)

@@ -1,0 +1,84 @@
+"""Loop unrolling.
+
+Replicates the body of a constant-trip-count loop ``factor`` times,
+reducing induction overhead and exposing instruction-level parallelism to
+the timing model (and to the RISC-V code generator, which maps each copy
+onto separate registers).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.affine import Affine
+from repro.ir.program import Program
+from repro.ir.stmt import Block, For, Stmt, map_loops, substitute_stmt
+from repro.transforms.base import Pass
+
+
+class Unroll(Pass):
+    """Unroll loop ``var`` by ``factor`` (epilogue loop for remainders).
+
+    Requires statically constant bounds; raises otherwise.
+    """
+
+    def __init__(self, var: str, factor: int):
+        if factor < 2:
+            raise TransformError(f"unroll factor must be >= 2, got {factor}")
+        self.var = var
+        self.factor = factor
+
+    def describe(self) -> str:
+        return f"unroll({self.var}, {self.factor})"
+
+    def run(self, program: Program) -> Program:
+        state = {"applied": False}
+
+        def rewrite(loop: For) -> Stmt:
+            if loop.var != self.var or state["applied"]:
+                return loop
+            if not (loop.lo.is_plain and loop.lo.plain.is_constant):
+                raise TransformError(f"loop {self.var!r} has non-constant lower bound")
+            if not (loop.hi.is_plain and loop.hi.plain.is_constant):
+                raise TransformError(f"loop {self.var!r} has non-constant upper bound")
+            state["applied"] = True
+            lo = loop.lo.plain.const
+            hi = loop.hi.plain.const
+            step = loop.step
+            trips = max(0, (hi - lo + step - 1) // step)
+            main_trips = (trips // self.factor) * self.factor
+            main_hi = lo + main_trips * step
+
+            var = Affine.var(loop.var)
+            copies = [
+                substitute_stmt(loop.body, loop.var, var + k * step)
+                for k in range(self.factor)
+            ]
+            main = For(
+                loop.var,
+                lo,
+                main_hi,
+                Block(copies),
+                step=step * self.factor,
+                parallel=loop.parallel,
+                schedule=loop.schedule,
+                chunk=loop.chunk,
+            )
+            if main_trips == trips:
+                return main
+            epilogue = For(f"{loop.var}__epi", main_hi, hi, _rename_body(loop, main_hi), step=step)
+            if main_trips == 0:
+                return epilogue
+            return Block([main, epilogue])
+
+        body = map_loops(program.body, rewrite)
+        if not state["applied"]:
+            raise TransformError(f"no loop {self.var!r} to unroll")
+        return program.with_body(body)
+
+
+def _rename_body(loop: For, start: int) -> Stmt:
+    """Body of the epilogue loop, with the variable renamed to avoid any
+    shadowing ambiguity in downstream tooling."""
+    from repro.ir.stmt import rename_stmt
+
+    return rename_stmt(loop.body, {loop.var: f"{loop.var}__epi"})

@@ -1,0 +1,182 @@
+"""Tests for affine expressions and loop bounds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.ir.affine import Affine, AffineBound, AffineLowerBound, affine_max, affine_min
+
+coeffs = st.integers(min_value=-100, max_value=100)
+names = st.sampled_from(["i", "j", "k", "n"])
+envs = st.fixed_dictionaries(
+    {"i": st.integers(-50, 50), "j": st.integers(-50, 50), "k": st.integers(-50, 50), "n": st.integers(-50, 50)}
+)
+
+
+def affines():
+    return st.builds(
+        lambda const, terms: Affine(const, terms),
+        st.integers(-100, 100),
+        st.dictionaries(names, coeffs, max_size=4),
+    )
+
+
+class TestConstruction:
+    def test_var(self):
+        i = Affine.var("i")
+        assert i.coefficient("i") == 1
+        assert i.const == 0
+
+    def test_zero_coefficients_dropped(self):
+        assert Affine(3, {"i": 0}).terms == {}
+
+    def test_wrap_int(self):
+        assert Affine.wrap(7) == Affine(7)
+
+    def test_wrap_passthrough(self):
+        a = Affine.var("i")
+        assert Affine.wrap(a) is a
+
+    def test_wrap_rejects_junk(self):
+        with pytest.raises(IRError):
+            Affine.wrap("i")
+
+    def test_equal_expressions_hash_equal(self):
+        a = Affine(1, {"i": 2})
+        b = Affine(1, {"i": 2, "j": 0})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestArithmetic:
+    def test_add(self):
+        expr = Affine.var("i") + Affine.var("j") + 5
+        assert expr.evaluate({"i": 2, "j": 3}) == 10
+
+    def test_sub(self):
+        expr = Affine.var("i") - 3
+        assert expr.evaluate({"i": 10}) == 7
+
+    def test_rsub(self):
+        expr = 10 - Affine.var("i")
+        assert expr.evaluate({"i": 4}) == 6
+
+    def test_mul_by_constant(self):
+        expr = Affine.var("i") * 4 + 1
+        assert expr.evaluate({"i": 3}) == 13
+
+    def test_mul_two_vars_rejected(self):
+        with pytest.raises(IRError):
+            Affine.var("i") * Affine.var("j")
+
+    def test_mul_by_constant_affine_ok(self):
+        assert (Affine.var("i") * Affine(3)).coefficient("i") == 3
+
+    def test_neg(self):
+        assert (-Affine.var("i")).evaluate({"i": 5}) == -5
+
+    @given(affines(), affines(), envs)
+    def test_add_homomorphism(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(affines(), coeffs, envs)
+    def test_mul_homomorphism(self, a, k, env):
+        assert (a * k).evaluate(env) == a.evaluate(env) * k
+
+    @given(affines(), affines(), envs)
+    def test_sub_homomorphism(self, a, b, env):
+        assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+
+class TestSubstitution:
+    def test_substitute_constant(self):
+        expr = Affine.var("i") * 2 + Affine.var("j")
+        assert expr.substitute("i", 5) == Affine.var("j") + 10
+
+    def test_substitute_expression(self):
+        expr = Affine.var("i") * 2
+        result = expr.substitute("i", Affine.var("k") + 1)
+        assert result.evaluate({"k": 3}) == 8
+
+    def test_substitute_absent_var_is_identity(self):
+        expr = Affine.var("i")
+        assert expr.substitute("z", 100) is expr
+
+    @given(affines(), st.integers(-20, 20), envs)
+    def test_substitute_matches_eval(self, a, value, env):
+        env2 = dict(env)
+        env2["i"] = value
+        assert a.substitute("i", value).evaluate(env) == a.evaluate(env2)
+
+    def test_rename(self):
+        expr = Affine.var("i") + 2 * Affine.var("j")
+        renamed = expr.rename({"i": "x", "j": "y"})
+        assert renamed == Affine.var("x") + 2 * Affine.var("y")
+
+    def test_rename_merges_collisions(self):
+        expr = Affine.var("i") + Affine.var("j")
+        assert expr.rename({"j": "i"}) == Affine.var("i") * 2
+
+    def test_unbound_evaluate_raises(self):
+        with pytest.raises(IRError):
+            Affine.var("i").evaluate({})
+
+
+class TestBounds:
+    def test_plain_bound(self):
+        bound = AffineBound.wrap(10)
+        assert bound.is_plain
+        assert bound.plain.const == 10
+
+    def test_min_bound_evaluates(self):
+        bound = affine_min(Affine.var("i") + 4, 10)
+        assert bound.evaluate({"i": 3}) == 7
+        assert bound.evaluate({"i": 100}) == 10
+
+    def test_min_constant_simplifies(self):
+        assert affine_min(3, 8).is_plain
+
+    def test_min_equal_simplifies(self):
+        assert affine_min(Affine.var("i"), Affine.var("i")).is_plain
+
+    def test_plain_accessor_rejects_min(self):
+        bound = affine_min(Affine.var("i"), 10)
+        with pytest.raises(IRError):
+            bound.plain
+
+    def test_max_bound_evaluates(self):
+        bound = affine_max(Affine.var("j"), Affine.var("i") + 1)
+        assert bound.evaluate({"i": 5, "j": 2}) == 6
+        assert bound.evaluate({"i": 0, "j": 9}) == 9
+
+    def test_max_constant_simplifies(self):
+        assert affine_max(3, 8).is_plain
+        assert affine_max(3, 8).plain.const == 8
+
+    def test_bound_substitute(self):
+        bound = affine_min(Affine.var("i") + 4, Affine.var("n"))
+        sub = bound.substitute("n", 100)
+        assert sub.evaluate({"i": 1}) == 5
+
+    def test_bound_variables(self):
+        bound = affine_min(Affine.var("i") + 4, Affine.var("n"))
+        assert bound.variables == frozenset({"i", "n"})
+
+    def test_lower_bound_wrap(self):
+        lower = AffineLowerBound.wrap(0)
+        assert lower.is_plain
+        assert lower.evaluate({}) == 0
+
+    def test_empty_bound_rejected(self):
+        with pytest.raises(IRError):
+            AffineBound()
+        with pytest.raises(IRError):
+            AffineLowerBound()
+
+    @given(affines(), affines(), envs)
+    def test_min_semantics(self, a, b, env):
+        assert affine_min(a, b).evaluate(env) == min(a.evaluate(env), b.evaluate(env))
+
+    @given(affines(), affines(), envs)
+    def test_max_semantics(self, a, b, env):
+        assert affine_max(a, b).evaluate(env) == max(a.evaluate(env), b.evaluate(env))

@@ -1,0 +1,182 @@
+"""Tests for summation, op counting, footprints and reuse distance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    LruStack,
+    count_program,
+    essential_traffic_bytes,
+    footprints,
+    iteration_cost,
+    lines_of_segments,
+    newton_sum,
+    reuse_histogram,
+    sum_over_range,
+    working_set_bytes,
+)
+from repro.exec.trace import Segment
+from repro.ir import DType, LoopBuilder, find_loop
+
+from tests.conftest import transpose_program, triad_program
+
+
+class TestSummation:
+    def test_constant(self):
+        assert sum_over_range(lambda v: 7, 0, 100) == 700
+
+    def test_linear(self):
+        assert sum_over_range(lambda v: v, 0, 1000) == sum(range(1000))
+
+    def test_quadratic(self):
+        assert sum_over_range(lambda v: v * v + 3, 5, 500) == sum(v * v + 3 for v in range(5, 500))
+
+    def test_cubic_with_step(self):
+        f = lambda v: v**3 - 2 * v
+        assert sum_over_range(f, 1, 400, 3) == sum(f(v) for v in range(1, 400, 3))
+
+    def test_empty_range(self):
+        assert sum_over_range(lambda v: v, 10, 10) == 0
+        assert sum_over_range(lambda v: v, 10, 5) == 0
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError):
+            sum_over_range(lambda v: v, 0, 10, 0)
+
+    def test_non_polynomial_falls_back_exactly(self):
+        f = lambda v: v % 7  # not polynomial
+        assert sum_over_range(f, 0, 500) == sum(v % 7 for v in range(500))
+
+    def test_newton_sum_matches_direct(self):
+        samples = [2, 5, 10, 17]  # v^2 + ... degree 2 actually quadratic
+        trips = 50
+        # polynomial through samples at t=0..3 is t^2+t... just check against eval
+        from repro.analysis.summation import _newton_eval
+
+        assert newton_sum(samples, trips) == sum(_newton_eval(samples, t) for t in range(trips))
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(-20, 20), min_size=1, max_size=4),
+        st.integers(0, 60),
+        st.integers(1, 60),
+        st.integers(1, 4),
+    )
+    def test_matches_bruteforce_for_polynomials(self, poly, lo, span, step):
+        def f(v):
+            return sum(c * v**k for k, c in enumerate(poly))
+
+        hi = lo + span
+        assert sum_over_range(f, lo, hi, step) == sum(f(v) for v in range(lo, hi, step))
+
+
+class TestOpCount:
+    def test_triad_counts(self):
+        n = 256
+        counts = count_program(triad_program(n))
+        assert counts.loads == 2 * n
+        assert counts.stores == n
+        assert counts.flops == 2 * n
+        assert counts.fmas == n
+        assert counts.bytes_loaded == 16 * n
+        assert counts.bytes_stored == 8 * n
+
+    def test_transpose_counts_triangular(self):
+        n = 64
+        counts = count_program(transpose_program(n))
+        pairs = n * (n - 1) // 2
+        assert counts.loads == 2 * pairs
+        assert counts.stores == 2 * pairs
+
+    def test_counts_scale_exactly_with_size(self):
+        # Closed-form summation must agree with itself across sizes.
+        c1 = count_program(transpose_program(32))
+        c2 = count_program(transpose_program(64))
+        pairs = lambda n: n * (n - 1) // 2
+        assert c2.loads / c1.loads == pairs(64) / pairs(32)
+
+    def test_register_scope_not_counted_as_memory(self):
+        b = LoopBuilder("p")
+        r = b.array("r", DType.F32, (3,), scope="register")
+        a = b.array("a", DType.F32, (16,))
+        with b.loop("i", 0, 16) as i:
+            with b.loop("c", 0, 3) as c:
+                b.accumulate(r, c, a[i])
+        counts = count_program(b.build())
+        assert counts.loads == 48  # the real array loads
+        assert counts.stores == 0  # register accumulators are free
+        assert counts.flops == 48  # but the adds still count
+
+    def test_iteration_cost_decreases_for_triangular_rows(self):
+        program = transpose_program(64)
+        loop = find_loop(program.body, "i")
+        assert iteration_cost(loop, 0) > iteration_cost(loop, 50)
+
+    def test_opcounts_add_and_scale(self):
+        c = count_program(triad_program(8))
+        doubled = c + c
+        assert doubled.loads == 2 * c.loads
+        assert (c * 3).flops == 3 * c.flops
+
+
+class TestFootprint:
+    def test_triad_footprints(self):
+        n = 128
+        fp = footprints(triad_program(n))
+        assert fp["a"].write_elements == n
+        assert fp["a"].read_elements == 0
+        assert fp["b"].read_elements == n
+        assert fp["c"].read_elements == n
+
+    def test_transpose_essential_traffic(self):
+        n = 32
+        assert essential_traffic_bytes(transpose_program(n)) == 2 * 8 * n * n
+
+    def test_working_set(self):
+        assert working_set_bytes(triad_program(100)) == 3 * 100 * 8
+
+    def test_local_scratch_excluded_from_essential(self):
+        from repro.kernels import transpose
+
+        n = 32
+        manual = transpose.manual_blocking(n, block=8)
+        assert essential_traffic_bytes(manual) == pytest.approx(2 * 8 * n * n, rel=0.01)
+
+    def test_blur_footprint_covers_interior(self):
+        from repro.kernels import blur
+
+        program = blur.naive(12, 10, 3)
+        fp = footprints(program)
+        assert fp["src"].read_elements > 0
+        assert fp["dst"].write_elements > 0
+        assert fp["dst"].read_elements == 0
+
+
+class TestReuse:
+    def test_stack_distances(self):
+        stack = LruStack()
+        assert stack.touch(1) is None
+        assert stack.touch(2) is None
+        assert stack.touch(1) == 1
+        assert stack.touch(1) == 0
+        assert stack.touch(2) == 1
+
+    def test_histogram_miss_ratio(self):
+        # Cyclic pattern over 4 lines: distance 3 reuses.
+        trace = [0, 1, 2, 3] * 10
+        hist = reuse_histogram(trace)
+        assert hist.cold == 4
+        assert hist.miss_ratio(4) == pytest.approx(4 / 40)
+        assert hist.miss_ratio(2) == 1.0  # distance 3 >= 2 always misses
+
+    def test_histogram_mean(self):
+        hist = reuse_histogram([0, 0, 0])
+        assert hist.mean_distance() == 0.0
+
+    def test_lines_of_segments(self):
+        segs = [Segment(0, 0, 8, 16, False, 8)]  # 128 bytes = 2 lines
+        assert list(lines_of_segments(segs)) == [0, 1]
+
+    def test_lines_collapse_repeats(self):
+        segs = [Segment(0, 0, 4, 16, False, 4)]  # 64 bytes = 1 line
+        assert list(lines_of_segments(segs)) == [0]

@@ -1,0 +1,107 @@
+"""Tests for dependence analysis and legality certification."""
+
+import pytest
+
+from repro.analysis import (
+    certify_interchange,
+    certify_parallel,
+    gcd_independent,
+    loop_conflicts,
+    may_alias,
+    ziv_independent,
+)
+from repro.errors import AnalysisError
+from repro.ir import Affine, DType, LoopBuilder
+
+from tests.conftest import transpose_program, triad_program
+
+
+class TestConservativeTests:
+    def test_ziv(self):
+        assert ziv_independent(Affine(3), Affine(5))
+        assert not ziv_independent(Affine(3), Affine(3))
+        assert not ziv_independent(Affine.var("i"), Affine(3))
+
+    def test_gcd_disproves(self):
+        # 2i and 2j+1 can never be equal.
+        assert gcd_independent(Affine.var("i") * 2, Affine.var("j") * 2 + 1)
+
+    def test_gcd_cannot_disprove_unit_coefficients(self):
+        assert not gcd_independent(Affine.var("i"), Affine.var("j") + 1)
+
+    def test_may_alias(self):
+        a = [Affine.var("i") * 2]
+        b = [Affine.var("j") * 2 + 1]
+        assert not may_alias(a, b)
+        assert may_alias([Affine.var("i")], [Affine.var("j")])
+
+
+def _scan_program(n):
+    """a[i] = a[i-1] + 1: a genuinely sequential loop."""
+    b = LoopBuilder("scan")
+    a = b.array("a", DType.F64, (n,))
+    with b.loop("i", 1, n) as i:
+        b.store(a, i, a[i - 1] + 1.0)
+    return b.build()
+
+
+class TestConcreteCertification:
+    def test_triad_parallel_legal(self):
+        certify_parallel(triad_program(64), "i")
+
+    def test_scan_parallel_illegal(self):
+        with pytest.raises(AnalysisError, match="carries dependences"):
+            certify_parallel(_scan_program(32), "i")
+
+    def test_scan_conflicts_identify_elements(self):
+        conflicts = loop_conflicts(_scan_program(16), "i")
+        assert conflicts
+        assert all(c.array == "a" for c in conflicts)
+
+    def test_transpose_outer_parallel_legal(self):
+        certify_parallel(transpose_program(24), "i")
+
+    def test_all_paper_parallel_schedules_legal(self):
+        from repro.kernels import blur, transpose
+
+        certify_parallel(transpose.parallel(16), "i")
+        certify_parallel(transpose.blocking(16, block=4), "i_blk")
+        certify_parallel(transpose.manual_blocking(16, block=4), "i_blk")
+        certify_parallel(transpose.dynamic(16, block=4), "i_blk")
+        certify_parallel(blur.parallel(12, 10, 3), "i")
+        certify_parallel(blur.parallel(12, 10, 3), "i2")
+
+    def test_budget_exceeded(self):
+        with pytest.raises(AnalysisError, match="too large"):
+            certify_parallel(triad_program(1024), "i", budget=100)
+
+    def test_reduction_into_array_conflicts(self):
+        b = LoopBuilder("reduce")
+        a = b.array("a", DType.F64, (8,))
+        out = b.array("out", DType.F64, (1,))
+        with b.loop("i", 0, 8) as i:
+            b.accumulate(out, 0, a[i])
+        with pytest.raises(AnalysisError):
+            certify_parallel(b.build(), "i")
+
+
+class TestInterchangeCertification:
+    def test_tiling_preserves_accesses(self):
+        from repro.transforms import TileTriangular2D, apply_passes
+
+        original = transpose_program(16)
+        tiled = apply_passes(original, [TileTriangular2D("i", "j", 4)])
+        certify_interchange(original, tiled)
+
+    def test_strip_mine_preserves_accesses(self):
+        from repro.transforms import StripMine, apply_passes
+
+        original = triad_program(37)  # deliberately not a multiple
+        mined = apply_passes(original, [StripMine("i", 8)])
+        certify_interchange(original, mined)
+
+    def test_detects_changed_access_multiset(self):
+        small = triad_program(16)
+        big = triad_program(17)
+        with pytest.raises(AnalysisError, match="multiset"):
+            certify_interchange(small, big)

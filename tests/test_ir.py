@@ -1,0 +1,266 @@
+"""Tests for IR construction: types, arrays, builder, statements, printer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Affine,
+    Array,
+    Block,
+    DType,
+    For,
+    LoopBuilder,
+    MemoryLayout,
+    Program,
+    Store,
+    find_loop,
+    format_program,
+    from_numpy,
+    loop_nest_vars,
+    loops_in,
+    stores_in,
+)
+from repro.ir.stmt import LocalAssign, rename_stmt, substitute_stmt
+
+from tests.conftest import transpose_program, triad_program
+
+
+class TestDType:
+    @pytest.mark.parametrize(
+        "dtype,size", [(DType.F32, 4), (DType.F64, 8), (DType.I8, 1), (DType.I64, 8), (DType.U8, 1)]
+    )
+    def test_sizes(self, dtype, size):
+        assert dtype.size == size
+
+    def test_is_float(self):
+        assert DType.F64.is_float and DType.F32.is_float
+        assert not DType.I32.is_float
+
+    def test_numpy_round_trip(self):
+        for dtype in DType:
+            assert from_numpy(dtype.numpy) == dtype
+
+    def test_from_numpy_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            from_numpy(np.dtype(np.complex128))
+
+
+class TestArray:
+    def test_strides_row_major(self):
+        arr = Array("a", DType.F64, (4, 5, 6))
+        assert arr.strides() == (30, 6, 1)
+
+    def test_linearize(self):
+        arr = Array("a", DType.F64, (4, 8))
+        offset = arr.linearize((Affine.var("i"), Affine.var("j")))
+        assert offset.evaluate({"i": 2, "j": 3}) == 19
+
+    def test_nbytes(self):
+        assert Array("a", DType.F32, (10, 10)).nbytes == 400
+
+    def test_invalid_shape(self):
+        with pytest.raises(IRError):
+            Array("a", DType.F64, (0,))
+
+    def test_invalid_scope(self):
+        with pytest.raises(IRError):
+            Array("a", DType.F64, (4,), scope="stack")
+
+    def test_data_shape_checked(self):
+        with pytest.raises(IRError):
+            Array("a", DType.F64, (4,), data=np.zeros((5,)))
+
+    def test_data_cast_to_dtype(self):
+        arr = Array("a", DType.F32, (2,), data=np.array([1.0, 2.0], dtype=np.float64))
+        assert arr.data.dtype == np.float32
+
+
+class TestBuilder:
+    def test_triad_structure(self):
+        program = triad_program(16)
+        loops = list(loops_in(program.body))
+        assert len(loops) == 1
+        assert loops[0].var == "i"
+        assert len(list(stores_in(program.body))) == 1
+
+    def test_duplicate_array_rejected(self):
+        b = LoopBuilder("p")
+        b.array("a", DType.F64, (4,))
+        with pytest.raises(IRError):
+            b.array("a", DType.F64, (4,))
+
+    def test_rank_mismatch_rejected(self):
+        b = LoopBuilder("p")
+        a = b.array("a", DType.F64, (4, 4))
+        with pytest.raises(IRError):
+            a[Affine.var("i")]
+
+    def test_non_affine_subscript_rejected(self):
+        b = LoopBuilder("p")
+        a = b.array("a", DType.F64, (4,))
+        with pytest.raises(IRError):
+            a[1.5]
+
+    def test_constant_array(self):
+        b = LoopBuilder("p")
+        k = b.constant_array("k", np.arange(4, dtype=np.float32))
+        with b.loop("i", 0, 4) as i:
+            b.store(k, i, k[i])
+        program = b.build()
+        assert program.array("k").data is not None
+        assert program.array("k").dtype == DType.F32
+
+    def test_build_twice_rejected(self):
+        b = LoopBuilder("p")
+        a = b.array("a", DType.F64, (4,))
+        with b.loop("i", 0, 4) as i:
+            b.store(a, i, 1.0)
+        b.build()
+        with pytest.raises(IRError):
+            b.store(a, 0, 1.0)
+
+    def test_declared_unused_arrays_kept(self):
+        b = LoopBuilder("p")
+        a = b.array("a", DType.F64, (4,))
+        b.array("unused", DType.F64, (4,))
+        with b.loop("i", 0, 4) as i:
+            b.store(a, i, 1.0)
+        program = b.build()
+        assert {arr.name for arr in program.arrays} == {"a", "unused"}
+
+
+class TestProgram:
+    def test_footprint_counts_global_only(self):
+        b = LoopBuilder("p")
+        a = b.array("a", DType.F64, (8,))
+        s = b.array("s", DType.F64, (8,), scope="local")
+        r = b.array("r", DType.F64, (2,), scope="register")
+        with b.loop("i", 0, 8) as i:
+            b.store(s, i, a[i])
+        with b.loop("j", 0, 2) as j:
+            b.store(r, j, 0.0)
+        program = b.build()
+        assert program.footprint_bytes() == 64
+
+    def test_array_lookup(self):
+        program = triad_program(8)
+        assert program.array("a").name == "a"
+        with pytest.raises(IRError):
+            program.array("zzz")
+
+    def test_distinct_arrays_same_name_rejected(self):
+        a1 = Array("a", DType.F64, (4,))
+        a2 = Array("a", DType.F64, (4,))
+        body = Block(
+            [
+                Store(a1, [Affine(0)], 1.0),
+                Store(a2, [Affine(0)], 2.0),
+            ]
+        )
+        with pytest.raises(IRError):
+            Program("p", body)
+
+
+class TestMemoryLayout:
+    def test_page_alignment(self):
+        program = triad_program(8)
+        layout = MemoryLayout(program)
+        for arr in program.arrays:
+            assert layout.address_of(arr) % 4096 == 0
+
+    def test_no_overlap(self):
+        program = triad_program(100)
+        layout = MemoryLayout(program)
+        spans = sorted(
+            (layout.address_of(arr), layout.address_of(arr) + arr.nbytes)
+            for arr in program.arrays
+        )
+        for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+            assert hi1 <= lo2
+
+    def test_local_arrays_per_thread(self):
+        b = LoopBuilder("p")
+        s = b.array("s", DType.F64, (16,), scope="local")
+        with b.loop("i", 0, 16) as i:
+            b.store(s, i, 1.0)
+        program = b.build()
+        layout = MemoryLayout(program, num_threads=4)
+        addresses = {layout.address_of(program.array("s"), t) for t in range(4)}
+        assert len(addresses) == 4
+
+    def test_register_array_has_no_address(self):
+        b = LoopBuilder("p")
+        r = b.array("r", DType.F32, (3,), scope="register")
+        with b.loop("i", 0, 3) as i:
+            b.store(r, i, 0.0)
+        program = b.build()
+        layout = MemoryLayout(program)
+        with pytest.raises(IRError):
+            layout.address_of(program.array("r"))
+
+
+class TestStatementUtilities:
+    def test_loop_nest_vars(self):
+        program = transpose_program(8)
+        assert loop_nest_vars(program.body) == ("i", "j")
+
+    def test_find_loop(self):
+        program = transpose_program(8)
+        assert find_loop(program.body, "j").var == "j"
+        with pytest.raises(IRError):
+            find_loop(program.body, "zz")
+
+    def test_substitute_stmt(self):
+        program = triad_program(8)
+        body = substitute_stmt(program.body, "n_missing", 1)  # no-op substitution
+        assert isinstance(body, Block)
+
+    def test_substitute_shadowed_var_rejected(self):
+        program = triad_program(8)
+        with pytest.raises(IRError):
+            substitute_stmt(program.body, "i", 3)
+
+    def test_rename_stmt(self):
+        program = transpose_program(4)
+        renamed = rename_stmt(program.body, {"i": "x"})
+        assert loop_nest_vars(renamed) == ("x", "j")
+
+    def test_for_trip_count(self):
+        loop = For("i", 3, 10, Block([]), step=2)
+        assert loop.trip_count({}) == 4
+        assert list(loop.iter_values({})) == [3, 5, 7, 9]
+
+    def test_for_zero_trips(self):
+        loop = For("i", 10, 3, Block([]))
+        assert loop.trip_count({}) == 0
+
+    def test_for_bad_step(self):
+        with pytest.raises(IRError):
+            For("i", 0, 4, Block([]), step=0)
+
+    def test_for_bad_schedule(self):
+        with pytest.raises(IRError):
+            For("i", 0, 4, Block([]), parallel=True, schedule="guided")
+
+
+class TestPrinter:
+    def test_format_transpose(self):
+        text = format_program(transpose_program(8))
+        assert "for (i = 0; i < 8; i++)" in text
+        assert "mat[i][j] = mat[j][i];" in text
+        assert "f64 mat[8][8];" in text
+
+    def test_format_parallel_and_min_bounds(self):
+        from repro.kernels import transpose
+
+        text = format_program(transpose.blocking(16, block=4))
+        assert "parallel(static)" in text
+        assert "min(" in text and "max(" in text
+
+    def test_format_accumulate(self):
+        b = LoopBuilder("p")
+        a = b.array("a", DType.F64, (4,))
+        with b.loop("i", 0, 4) as i:
+            b.accumulate(a, i, 2.0)
+        assert "+=" in format_program(b.build())

@@ -1,0 +1,147 @@
+"""Correctness tests for the paper's kernel suites (interpreter vs numpy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IRError
+from repro.exec import run_program
+from repro.kernels import blur, common, stream, transpose
+
+
+class TestStream:
+    @pytest.mark.parametrize("test", ["copy", "scale", "add", "triad"])
+    def test_semantics(self, test, rng):
+        n = 128
+        x, y = rng.random(n), rng.random(n)
+        out = run_program(stream.build(test, n), {"b": x, "c": y} if stream.TESTS[test].arrays == 3 else {"b": x})
+        expected = {
+            "copy": x,
+            "scale": stream.SCALAR * x,
+            "add": x + y,
+            "triad": x + stream.SCALAR * y,
+        }[test]
+        assert np.allclose(out["a"], expected)
+
+    def test_bytes_convention(self):
+        assert stream.stream_bytes("copy", 100) == 1600
+        assert stream.stream_bytes("triad", 100) == 2400
+
+    def test_footprint_sizing(self):
+        n = stream.array_elements_for_footprint("triad", 24 * 1024)
+        assert n * 3 * 8 == 24 * 1024
+
+    def test_unknown_test(self):
+        with pytest.raises(IRError):
+            stream.build("stride", 100)
+
+    def test_parallel_flag(self):
+        from repro.simulate import has_parallel_loop
+
+        assert has_parallel_loop(stream.build("copy", 64, parallel=True))
+        assert not has_parallel_loop(stream.build("copy", 64, parallel=False))
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("variant", transpose.VARIANT_ORDER)
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_all_variants_all_sizes(self, variant, n, rng):
+        mat = rng.random((n, n))
+        out = run_program(transpose.build(variant, n, block=4), {"mat": mat})
+        assert np.array_equal(out["mat"], mat.T)
+
+    def test_non_divisible_blocking(self, rng):
+        # The pure loop-transformation variants handle any size.
+        mat = rng.random((30, 30))
+        out = run_program(transpose.blocking(30, block=8), {"mat": mat})
+        assert np.array_equal(out["mat"], mat.T)
+
+    def test_manual_blocking_requires_divisibility(self):
+        with pytest.raises(IRError, match="block"):
+            transpose.manual_blocking(30, block=8)
+
+    def test_unknown_variant(self):
+        with pytest.raises(IRError):
+            transpose.build("SuperFast", 16)
+
+    def test_dynamic_schedule_set(self):
+        from repro.ir import loops_in
+
+        program = transpose.dynamic(16, block=4)
+        outer = [l for l in loops_in(program.body) if l.var == "i_blk"][0]
+        assert outer.parallel and outer.schedule == "dynamic"
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 24))
+    def test_naive_involution(self, n):
+        """Transposing twice is the identity — for any size."""
+        mat = np.arange(n * n, dtype=np.float64).reshape(n, n)
+        once = run_program(transpose.naive(n), {"mat": mat})["mat"]
+        twice = run_program(transpose.naive(n), {"mat": once})["mat"]
+        assert np.array_equal(twice, mat)
+
+    def test_scratch_buffers_are_local(self):
+        program = transpose.manual_blocking(16, block=4)
+        assert {a.name for a in program.local_arrays} == {"buf1", "buf2"}
+
+
+class TestBlur:
+    @pytest.mark.parametrize("variant", blur.VARIANT_ORDER)
+    def test_variants_match_reference(self, variant, rng):
+        h, w, F = 14, 12, 5
+        img = common.random_image(h, w, seed=3)
+        out = run_program(blur.build(variant, h, w, F), {"src": img})["dst"]
+        ref = blur.reference(img, F)
+        assert np.allclose(out, ref, atol=2e-4)
+
+    @pytest.mark.parametrize("size", [3, 5, 7])
+    def test_filter_sizes(self, size, rng):
+        h, w = 12, 11
+        img = common.random_image(h, w, seed=4)
+        out = run_program(blur.build("Memory", h, w, size), {"src": img})["dst"]
+        assert np.allclose(out, blur.reference(img, size), atol=2e-4)
+
+    def test_separable_equals_2d_exactly_in_f64(self):
+        k1 = common.gaussian_kernel_1d(7).astype(np.float64)
+        k2 = common.gaussian_kernel_2d(7).astype(np.float64)
+        assert np.allclose(np.outer(k1, k1), k2, atol=1e-7)
+
+    def test_kernel_normalized(self):
+        assert common.gaussian_kernel_1d(19).sum() == pytest.approx(1.0, abs=1e-6)
+        assert common.gaussian_kernel_2d(19).sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_kernel_symmetric(self):
+        k = common.gaussian_kernel_1d(9)
+        assert np.allclose(k, k[::-1])
+
+    def test_even_filter_rejected(self):
+        with pytest.raises(IRError):
+            blur.build("Naive", 20, 20, 4)
+        with pytest.raises(ValueError):
+            common.gaussian_kernel_1d(4)
+
+    def test_image_too_small_rejected(self):
+        with pytest.raises(IRError):
+            blur.build("Naive", 5, 20, 7)
+
+    def test_unknown_variant(self):
+        with pytest.raises(IRError):
+            blur.build("Turbo", 20, 20, 3)
+
+    def test_borders_left_zero(self, rng):
+        h, w, F = 12, 12, 3
+        img = common.random_image(h, w, seed=5)
+        out = run_program(blur.build("Naive", h, w, F), {"src": img})["dst"]
+        assert np.all(out[0, :] == 0)  # first row untouched
+
+    def test_unit_stride_uses_register_accumulators(self):
+        program = blur.unit_stride(12, 10, 3)
+        sums = program.array("sums")
+        assert sums.scope == "register"
+
+    def test_parallel_marks_both_passes(self):
+        from repro.ir import loops_in
+
+        program = blur.parallel(12, 10, 3)
+        parallel_vars = {l.var for l in loops_in(program.body) if l.parallel}
+        assert parallel_vars == {"i", "i2"}

@@ -1,0 +1,293 @@
+"""Tests for the cache / prefetcher / TLB / hierarchy models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.exec.trace import Segment
+from repro.memsim import (
+    C906_PREFETCH,
+    Cache,
+    MemoryHierarchy,
+    NO_PREFETCH,
+    PrefetcherSpec,
+    StridePrefetcher,
+    TlbSpec,
+    U74_PREFETCH,
+    make_policy,
+    snapshot,
+)
+
+
+def seg(base, stride, count, write=False, esize=8, ref=0):
+    return Segment(ref, base, stride, count, write, esize)
+
+
+class TestCacheBasics:
+    def test_geometry(self):
+        cache = Cache("L1", 32 * 1024, 4)
+        assert cache.num_sets == 128
+
+    def test_non_power_of_two_sets(self):
+        cache = Cache("L3", 15 * 2**20, 12)  # the Xeon L3: 20480 sets
+        assert cache.num_sets == 20480
+        cache.access(12345, False)
+        assert cache.stats.misses == 1
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Cache("L1", 1000, 4)
+
+    def test_miss_then_hit(self):
+        cache = Cache("L1", 4096, 4)
+        hit, _ = cache.access(7, False)
+        assert not hit
+        hit, _ = cache.access(7, False)
+        assert hit
+
+    def test_lru_eviction_order(self):
+        cache = Cache("L1", 2 * 64, 2)  # 1 set, 2 ways
+        cache.access(0, False)
+        cache.access(1, False)
+        cache.access(0, False)  # 0 is now MRU
+        cache.access(2, False)  # evicts 1
+        assert cache.contains(0) and cache.contains(2) and not cache.contains(1)
+
+    def test_dirty_writeback_reported(self):
+        cache = Cache("L1", 2 * 64, 2)
+        cache.access(0, True)
+        cache.access(1, False)
+        hit, wb = cache.access(2, False)  # evicts dirty 0
+        assert wb == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = Cache("L1", 2 * 64, 2)
+        cache.access(0, False)
+        cache.access(1, False)
+        _, wb = cache.access(2, False)
+        assert wb is None
+
+    def test_write_hit_sets_dirty(self):
+        cache = Cache("L1", 2 * 64, 2)
+        cache.access(0, False)
+        cache.access(0, True)
+        cache.access(1, False)
+        _, wb = cache.access(2, False)
+        assert wb == 0
+
+    def test_set_isolation(self):
+        cache = Cache("L1", 4 * 64 * 2, 2)  # 4 sets
+        for line in range(8):  # two lines per set: fills, no eviction
+            cache.access(line, False)
+        assert cache.stats.misses == 8
+        for line in range(8):
+            hit, _ = cache.access(line, False)
+            assert hit
+
+    def test_reset(self):
+        cache = Cache("L1", 4096, 4)
+        cache.access(1, True)
+        cache.reset()
+        assert cache.stats.misses == 0
+        assert not cache.contains(1)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 5000), st.booleans()), max_size=300))
+    def test_capacity_never_exceeded(self, accesses):
+        cache = Cache("L1", 8 * 64 * 2, 2)  # 16 lines
+        resident = 0
+        for line, write in accesses:
+            cache.access(line, write)
+        resident = sum(len(s) for s in cache._where)
+        assert resident <= 16
+
+    @settings(max_examples=20)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    def test_second_pass_all_hits_when_fits(self, lines):
+        cache = Cache("L1", 64 * 64, 64)  # fully associative, 64 lines
+        unique = set(lines)
+        if len(unique) > 64:
+            return
+        for line in lines:
+            cache.access(line, False)
+        before = cache.stats.hits
+        for line in unique:
+            hit, _ = cache.access(line, False)
+            assert hit
+
+
+class TestPolicies:
+    def test_make_policy_unknown(self):
+        with pytest.raises(SimulationError):
+            make_policy("fifo", 4, 4)
+
+    def test_random_deterministic(self):
+        a = make_policy("random", 1, 8)
+        b = make_policy("random", 1, 8)
+        assert [a.victim(0) for _ in range(20)] == [b.victim(0) for _ in range(20)]
+
+    def test_plru_requires_power_of_two(self):
+        with pytest.raises(SimulationError):
+            make_policy("plru", 4, 12)
+
+    def test_plru_victim_is_not_most_recent(self):
+        policy = make_policy("plru", 1, 4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        policy.on_hit(0, 2)
+        assert policy.victim(0) != 2
+
+    def test_plru_cache_end_to_end(self):
+        cache = Cache("L1", 4 * 64, 4, policy="plru")
+        for line in range(4):
+            cache.access(line, False)
+        for line in range(4):
+            hit, _ = cache.access(line, False)
+            assert hit
+
+
+class TestPrefetcher:
+    def test_disabled_covers_nothing(self):
+        pf = StridePrefetcher(NO_PREFETCH)
+        assert pf.segment_coverage(seg(0, 8, 512), 64) == 0
+
+    def test_sequential_covered_after_training(self):
+        pf = StridePrefetcher(C906_PREFETCH)
+        covered = pf.segment_coverage(seg(0, 8, 512), 64)
+        assert covered == 64 - C906_PREFETCH.train_lines
+
+    def test_large_stride_beyond_capability(self):
+        pf = StridePrefetcher(C906_PREFETCH)  # <= 16 lines
+        covered = pf.segment_coverage(seg(0, 64 * 64, 10), 10)  # 64-line stride
+        assert covered == 0
+
+    def test_large_stride_within_u74(self):
+        pf = StridePrefetcher(U74_PREFETCH)
+        covered = pf.segment_coverage(seg(0, 64 * 64, 10), 10)
+        assert covered > 0
+
+    def test_cross_segment_stream_locks_on(self):
+        pf = StridePrefetcher(C906_PREFETCH, line_size=64)
+        delta = 256  # 4 lines between segment bases
+        covered = []
+        for k in range(5):
+            covered.append(pf.segment_coverage(seg(k * delta, 4, 16, ref=7), 1))
+        assert covered[0] == 0
+        assert covered[-1] == 1  # fully covered once the stream is confident
+
+    def test_stream_table_capacity(self):
+        spec = PrefetcherSpec(name="tiny", max_stride_lines=16, streams=2)
+        pf = StridePrefetcher(spec)
+        for ref in range(5):
+            pf.segment_coverage(seg(ref * 10_000, 4, 4, ref=ref), 1)
+        assert len(pf._streams) <= 2
+
+
+class TestTlb:
+    def test_walks_counted(self):
+        h = MemoryHierarchy(
+            [Cache("L1", 4096, 4)],
+            tlb=TlbSpec(l1_entries=2, l1_ways=0, walk_cycles=50),
+        )
+        # Touch 4 distinct pages twice: second round misses again (capacity 2)
+        for _ in range(2):
+            for page in range(4):
+                h.process_segment(seg(page * 4096, 0, 1))
+        assert h.tlb.walks == 8
+
+    def test_two_level_filtering(self):
+        h = MemoryHierarchy(
+            [Cache("L1", 4096, 4)],
+            tlb=TlbSpec(l1_entries=2, l1_ways=0, l2_entries=64, l2_ways=1, walk_cycles=50),
+        )
+        for _ in range(2):
+            for page in range(4):
+                h.process_segment(seg(page * 4096, 0, 1))
+        # L2 TLB holds all four pages: only the first round walks.
+        assert h.tlb.walks == 4
+
+    def test_sequential_segment_pages(self):
+        h = MemoryHierarchy(
+            [Cache("L1", 64 * 1024, 4)],
+            tlb=TlbSpec(l1_entries=8, l1_ways=0, walk_cycles=10),
+        )
+        h.process_segment(seg(0, 8, 2048))  # 16 KiB = 4 pages
+        assert h.tlb.l1.stats.misses == 4
+
+
+class TestHierarchy:
+    def test_streaming_traffic(self):
+        h = MemoryHierarchy([Cache("L1", 32 * 1024, 4)])
+        h.process_segment(seg(0, 8, 4096))  # 32 KiB read = 512 lines
+        snap = snapshot(h)
+        assert snap.level("L1").misses == 512
+        assert snap.dram_read_lines == 512
+        assert snap.dram_written_lines == 0
+
+    def test_write_allocate_and_flush(self):
+        h = MemoryHierarchy([Cache("L1", 32 * 1024, 4)])
+        h.process_segment(seg(0, 8, 512, write=True))  # 4 KiB = 64 lines
+        assert h.dram.read_lines == 64  # write-allocate fills
+        h.flush()
+        assert h.dram.written_lines == 64
+
+    def test_capacity_eviction_writebacks(self):
+        h = MemoryHierarchy([Cache("L1", 64 * 64, 64)])  # 64 lines FA-ish
+        h.process_segment(seg(0, 8, 8 * 128, write=True))  # 128 lines dirty
+        assert h.dram.written_lines >= 64  # evicted dirty lines
+
+    def test_two_level_inclusion_of_traffic(self):
+        h = MemoryHierarchy([Cache("L1", 4096, 4), Cache("L2", 32 * 1024, 8)])
+        h.process_segment(seg(0, 8, 4096))  # 512 lines: miss L1+L2
+        h.process_segment(seg(0, 8, 4096))  # fits L2 (512 lines = 32 KiB)
+        snap = snapshot(h)
+        assert snap.level("L2").misses == 512  # only the first pass
+        assert snap.level("L2").hits >= 400  # second pass mostly L2 hits
+        assert snap.dram_read_lines == 512
+
+    def test_writeback_install_no_phantom_reads(self):
+        h = MemoryHierarchy([Cache("L1", 2 * 64, 2), Cache("L2", 4096, 4)])
+        # Dirty three lines mapping to the same L1 set; evictions land in L2.
+        for line in range(3):
+            h.process_segment(seg(line * 2 * 64, 0, 1, write=True, esize=8))
+        assert h.dram.read_lines == 3  # only the demand fills
+
+    def test_negative_stride_segment(self):
+        h = MemoryHierarchy([Cache("L1", 4096, 4)])
+        h.process_segment(seg(4088, -8, 512))  # bytes 8..4095, backward
+        assert h.caches[0].stats.misses == 64
+
+    def test_element_straddling_lines(self):
+        h = MemoryHierarchy([Cache("L1", 4096, 4)])
+        h.process_segment(seg(60, 0, 1, esize=8))  # crosses line 0/1
+        assert h.caches[0].stats.accesses == 2
+
+    def test_prefetch_hits_classified(self):
+        h = MemoryHierarchy([Cache("L1", 4096, 4)], prefetch=U74_PREFETCH)
+        h.process_segment(seg(0, 8, 4096))
+        snap = snapshot(h)
+        assert 0 < snap.level("L1").prefetch_hits <= snap.level("L1").misses
+
+    def test_snapshot_delta(self):
+        h = MemoryHierarchy([Cache("L1", 4096, 4)])
+        h.process_segment(seg(0, 8, 512))
+        first = snapshot(h)
+        h.process_segment(seg(32768, 8, 512))
+        delta = snapshot(h) - first
+        assert delta.level("L1").misses == 64
+
+    def test_reset(self):
+        h = MemoryHierarchy([Cache("L1", 4096, 4)], prefetch=U74_PREFETCH)
+        h.process_segment(seg(0, 8, 512))
+        h.reset()
+        snap = snapshot(h)
+        assert snap.dram_read_lines == 0 and snap.level("L1").accesses == 0
+
+    def test_requires_a_cache(self):
+        with pytest.raises(SimulationError):
+            MemoryHierarchy([])
+
+    def test_line_size_consistency_checked(self):
+        with pytest.raises(SimulationError):
+            MemoryHierarchy([Cache("L1", 4096, 4, line_size=32)], line_size=64)

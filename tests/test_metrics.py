@@ -1,0 +1,131 @@
+"""Tests for bandwidth measurement, the utilization metric, speedups and
+the roofline model."""
+
+import pytest
+
+from repro.devices import mango_pi_d1, visionfive_jh7100, xeon_4310t
+from repro.errors import DeviceError, ReproError
+from repro.kernels import transpose
+from repro.metrics import (
+    arithmetic_intensity,
+    best_variant,
+    dram_bandwidth_gbs,
+    level_footprint_bytes,
+    measure,
+    peak_gflops,
+    relative_bandwidth_utilization,
+    roofline_point,
+    speedup_row,
+    utilization_of,
+)
+
+from tests.conftest import triad_program
+
+
+class TestLevelFootprints:
+    def test_l1_footprint_fits_l1(self):
+        device = mango_pi_d1()
+        fp = level_footprint_bytes(device, "L1")
+        assert fp <= device.cache_level("L1").size_bytes
+
+    def test_dram_footprint_exceeds_llc(self):
+        device = visionfive_jh7100()
+        assert level_footprint_bytes(device, "DRAM") > device.caches[-1].size_bytes
+
+    def test_l2_footprint_exceeds_l1(self):
+        device = visionfive_jh7100()
+        assert level_footprint_bytes(device, "L2") >= 3 * device.cache_level("L1").size_bytes
+
+    def test_unknown_level(self):
+        with pytest.raises(DeviceError):
+            level_footprint_bytes(mango_pi_d1(), "L3")
+
+
+class TestBandwidthMeasurement:
+    def test_l1_faster_than_dram(self):
+        device = mango_pi_d1().scaled(16)
+        l1 = measure(device, "L1", "copy")
+        dram = measure(device, "DRAM", "copy")
+        assert l1.gbs > 2 * dram.gbs
+
+    def test_private_level_scaled_by_cores(self):
+        device = visionfive_jh7100().scaled(16)
+        point = measure(device, "L1", "copy")
+        assert point.sequential  # measured per-core, scaled by core count
+
+    def test_dram_bandwidth_plausible(self):
+        device = mango_pi_d1().scaled(16)
+        gbs = dram_bandwidth_gbs(device)
+        # Achieved must be below the board's raw bandwidth.
+        assert 0.2 < gbs < device.dram.bandwidth_gbs
+
+
+class TestUtilizationMetric:
+    def test_bounds(self):
+        value = relative_bandwidth_utilization(1.0, 10.0, 5_000_000_000)
+        assert value == pytest.approx(0.5)
+
+    def test_clamped_to_one(self):
+        assert relative_bandwidth_utilization(0.001, 1.0, 10**9) == 1.0
+
+    def test_unclamped(self):
+        value = relative_bandwidth_utilization(0.001, 1.0, 10**9, clamp=False)
+        assert value > 1.0
+
+    def test_program_numerator(self):
+        program = triad_program(1000)
+        value = relative_bandwidth_utilization(1.0, 1.0, program)
+        assert value == pytest.approx(3 * 1000 * 8 / 1e9)
+
+    def test_input_validation(self):
+        with pytest.raises(ReproError):
+            relative_bandwidth_utilization(0, 1.0, 100)
+        with pytest.raises(ReproError):
+            relative_bandwidth_utilization(1.0, 0, 100)
+
+    def test_utilization_of_requires_traffic(self):
+        from repro.simulate import simulate
+
+        result = simulate(triad_program(1024), mango_pi_d1())
+        with pytest.raises(ReproError):
+            utilization_of(result, 1.0)
+        assert 0 < utilization_of(result, 1.0, program=triad_program(1024)) <= 1
+
+
+class TestSpeedup:
+    def test_row(self):
+        row = speedup_row("dev", {"Naive": 2.0, "Fast": 0.5})
+        assert row.speedup("Fast") == 4.0
+        assert row.naive_seconds == 2.0
+
+    def test_best_variant(self):
+        row = speedup_row("dev", {"Naive": 2.0, "A": 1.0, "B": 0.25})
+        assert best_variant(row) == "B"
+        assert best_variant(row, exclude=["B"]) == "A"
+
+
+class TestRoofline:
+    def test_stream_is_memory_bound_everywhere(self):
+        program = triad_program(4096)
+        for device in (xeon_4310t(), mango_pi_d1()):
+            point = roofline_point(program, device, bandwidth_gbs=device.dram.bandwidth_gbs)
+            assert point.memory_bound
+
+    def test_intensity(self):
+        # triad: 2 flops per 24 essential bytes.
+        assert arithmetic_intensity(triad_program(512)) == pytest.approx(2 / 24)
+
+    def test_peak_flops_vector_vs_scalar(self):
+        device = xeon_4310t()
+        assert peak_gflops(device, vectorized=True) == 8 * peak_gflops(device, vectorized=False)
+
+    def test_attainable_bounded_by_peak(self):
+        point = roofline_point(triad_program(512), mango_pi_d1(), bandwidth_gbs=1.0)
+        assert point.attainable_gflops <= point.peak_gflops
+
+    def test_render(self):
+        from repro.metrics.roofline import render_ascii
+
+        point = roofline_point(triad_program(512), mango_pi_d1(), bandwidth_gbs=1.0)
+        text = render_ascii([point])
+        assert "memory" in text

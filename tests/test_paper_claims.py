@@ -1,0 +1,191 @@
+"""Golden shape tests: the paper's qualitative findings must hold in the
+simulation at reduced (test-sized) workloads.
+
+Each test cites the claim from the paper it checks.  These are the
+integration tests that make the reproduction falsifiable; the full-size
+versions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.config import scaled_device
+from repro.kernels import blur, common, transpose
+from repro.metrics.utilization import relative_bandwidth_utilization
+from repro.simulate import simulate
+from repro.transforms import AutoVectorize
+
+SCALE = 16
+
+
+def _run(program, device, **kwargs):
+    if device.cpu.vector_bits:
+        program = AutoVectorize().run(program)
+    return simulate(program, device, check_capacity=False, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def transpose_times():
+    """Times of all transpose variants at a test size, per device."""
+    times = {}
+    for key in ("xeon_4310t", "raspberry_pi_4", "mango_pi_d1", "visionfive_jh7100"):
+        device = scaled_device(key, SCALE)
+        times[key] = {
+            variant: _run(transpose.build(variant, 256, block=16), device).seconds
+            for variant in transpose.VARIANT_ORDER
+        }
+    return times
+
+
+@pytest.fixture(scope="module")
+def blur_times():
+    """Times of the cheap blur variants at a test size, per device."""
+    h, w, F = 64, 80, 9
+    times = {}
+    for key in ("xeon_4310t", "raspberry_pi_4", "mango_pi_d1", "visionfive_jh7100"):
+        device = scaled_device(key, SCALE)
+        times[key] = {
+            variant: _run(blur.build(variant, h, w, F), device).seconds
+            for variant in ["Naive", "1D_kernels", "Memory", "Parallel"]
+        }
+    return times
+
+
+class TestStreamClaims:
+    """Section 4.1: 'RISC-V memory subsystems significantly behind ARM,
+    even more behind the Xeon'; 'only L1 with rather low bandwidth on the
+    Mango Pi'; 'low bandwidth of DRAM on the VisionFive'."""
+
+    @pytest.fixture(scope="class")
+    def dram(self):
+        from repro.experiments import fig1
+
+        return {
+            key: fig1.dram_bandwidth(key, SCALE)
+            for key in ("xeon_4310t", "raspberry_pi_4", "mango_pi_d1", "visionfive_jh7100")
+        }
+
+    def test_xeon_dominates_dram(self, dram):
+        assert dram["xeon_4310t"] > 5 * dram["raspberry_pi_4"]
+
+    def test_arm_beats_riscv_dram(self, dram):
+        assert dram["raspberry_pi_4"] > 2 * dram["mango_pi_d1"]
+        assert dram["raspberry_pi_4"] > 2 * dram["visionfive_jh7100"]
+
+    def test_visionfive_has_lowest_dram(self, dram):
+        assert dram["visionfive_jh7100"] == min(dram.values())
+
+    def test_mango_l1_is_slowest_l1(self):
+        from repro.experiments import fig1
+
+        l1 = {
+            key: fig1._measure_level(key, "L1", SCALE).best_gbs
+            for key in ("xeon_4310t", "raspberry_pi_4", "mango_pi_d1", "visionfive_jh7100")
+        }
+        assert l1["mango_pi_d1"] == min(l1.values())
+
+
+class TestTransposeClaims:
+    """Section 4.2: optimizations developed for x86 'perform well also on
+    RISC-V devices'; no parallel speedup on the single-core Mango Pi;
+    dynamic scheduling fixes the triangular imbalance."""
+
+    def test_blocking_family_speeds_up_every_device(self, transpose_times):
+        for key, times in transpose_times.items():
+            best = min(times["Blocking"], times["Manual_blocking"], times["Dynamic"])
+            assert best < times["Naive"] / 1.15, key
+
+    def test_manual_blocking_beats_blocking(self, transpose_times):
+        for key, times in transpose_times.items():
+            assert times["Manual_blocking"] <= times["Blocking"] * 1.05, key
+
+    def test_mango_pi_gains_nothing_from_parallel(self, transpose_times):
+        times = transpose_times["mango_pi_d1"]
+        assert times["Parallel"] == pytest.approx(times["Naive"], rel=0.02)
+
+    def test_multicore_devices_gain_from_parallel(self, transpose_times):
+        for key in ("xeon_4310t", "raspberry_pi_4"):
+            assert transpose_times[key]["Parallel"] < transpose_times[key]["Naive"], key
+
+    def test_dynamic_at_least_as_good_as_static(self, transpose_times):
+        for key in ("xeon_4310t", "raspberry_pi_4", "visionfive_jh7100"):
+            times = transpose_times[key]
+            assert times["Dynamic"] <= times["Manual_blocking"] * 1.02, key
+
+    def test_riscv_naive_times_similar(self, transpose_times):
+        """'their computation time is almost identical' (D1 vs JH7100)."""
+        d1 = transpose_times["mango_pi_d1"]["Naive"]
+        jh = transpose_times["visionfive_jh7100"]["Naive"]
+        assert 0.3 < d1 / jh < 3.0
+
+    def test_xeon_fastest_absolute(self, transpose_times):
+        xeon = transpose_times["xeon_4310t"]["Naive"]
+        for key in ("raspberry_pi_4", "mango_pi_d1", "visionfive_jh7100"):
+            assert xeon < transpose_times[key]["Naive"]
+
+
+class TestTransposeUtilizationClaims:
+    """Section 4.2 / Fig. 3: optimization raises the relative bandwidth
+    utilization on every device; Mango Pi stays low."""
+
+    def test_optimized_utilization_exceeds_naive(self, transpose_times):
+        essential = 2 * 8 * 256 * 256
+        for key, times in transpose_times.items():
+            naive = relative_bandwidth_utilization(times["Naive"], 1.0, essential, clamp=False)
+            best = relative_bandwidth_utilization(
+                min(times.values()), 1.0, essential, clamp=False
+            )
+            assert best > naive, key
+
+    def test_mango_utilization_lowest_when_optimized(self, transpose_times):
+        from repro.experiments import fig1
+
+        essential = 2 * 8 * 256 * 256
+        utils = {}
+        for key, times in transpose_times.items():
+            stream_gbs = fig1.dram_bandwidth(key, SCALE)
+            utils[key] = relative_bandwidth_utilization(min(times.values()), stream_gbs, essential)
+        assert utils["mango_pi_d1"] == min(utils.values())
+
+
+class TestBlurClaims:
+    """Section 4.3: 1D kernels beat naive but less than F-fold; 'Memory'
+    gives the big jump; vectorization drives the Xeon's jump; parallel
+    gains are limited by memory bandwidth on the boards."""
+
+    def test_one_d_beats_naive_everywhere(self, blur_times):
+        for key, times in blur_times.items():
+            assert times["1D_kernels"] < times["Naive"], key
+
+    def test_one_d_speedup_below_filter_size(self, blur_times):
+        # F=9 here: complexity drops 9x but memory costs keep it well below.
+        for key, times in blur_times.items():
+            assert times["Naive"] / times["1D_kernels"] < 9, key
+
+    def test_memory_variant_is_best_single_core(self, blur_times):
+        for key, times in blur_times.items():
+            assert times["Memory"] < times["1D_kernels"], key
+
+    def test_parallel_helps_multicore_devices(self, blur_times):
+        for key in ("xeon_4310t", "raspberry_pi_4", "visionfive_jh7100"):
+            assert blur_times[key]["Parallel"] < blur_times[key]["Memory"] * 1.01, key
+
+    def test_parallel_scaling_bandwidth_limited_on_boards(self, blur_times):
+        """RPi has 4 cores but DRAM-bound blur cannot scale 4x."""
+        times = blur_times["raspberry_pi_4"]
+        assert times["Memory"] / times["Parallel"] < 3.0
+
+    def test_vectorization_drives_xeon_memory_jump(self):
+        device = scaled_device("xeon_4310t", SCALE)
+        program = blur.build("Memory", 64, 80, 9)
+        scalar = simulate(program, device, check_capacity=False).seconds
+        vectorized = simulate(
+            AutoVectorize().run(program), device, check_capacity=False
+        ).seconds
+        assert vectorized < scalar / 1.5
+
+    def test_unit_stride_helps_cache_starved_d1(self):
+        device = scaled_device("mango_pi_d1", SCALE)
+        h, w, F = 64, 80, 9
+        naive = simulate(blur.build("Naive", h, w, F), device, check_capacity=False).seconds
+        unit = simulate(blur.build("Unit-stride", h, w, F), device, check_capacity=False).seconds
+        assert unit < naive

@@ -1,0 +1,269 @@
+"""Assembler and emulator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AsmSyntaxError, EmulationError
+from repro.riscv import Memory, assemble, expand_li, run_assembly
+from repro.riscv.emulator import Emulator
+
+EXIT = "li a7, 93\necall\n"
+
+
+def run(body: str, **kwargs) -> Emulator:
+    return run_assembly(body + "\n" + EXIT, **kwargs)
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        emu = run(
+            """
+            li t0, 0
+            li t1, 5
+        loop:
+            addi t0, t0, 1
+            blt t0, t1, loop
+            mv a0, t0
+            """
+        )
+        assert emu.get_x(10) == 5
+
+    def test_comments_and_blanks(self):
+        emu = run("li a0, 42  # the answer\n\n.text\n")
+        assert emu.get_x(10) == 42
+
+    def test_undefined_label(self):
+        with pytest.raises(AsmSyntaxError, match="undefined label"):
+            assemble("j nowhere\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmSyntaxError, match="unknown mnemonic"):
+            assemble("frobnicate a0, a1\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(AsmSyntaxError, match="register"):
+            assemble("addi q9, zero, 1\n")
+
+    def test_memory_operand_syntax(self):
+        with pytest.raises(AsmSyntaxError, match="off\\(reg\\)"):
+            assemble("ld a0, a1\n")
+
+    def test_label_address(self):
+        program = assemble("nop\nnop\ntarget:\nnop\n")
+        assert program.address_of("target") == program.base + 8
+
+    @settings(max_examples=80)
+    @given(st.integers(-(2**63), 2**63 - 1))
+    def test_li_materializes_any_64bit_value(self, value):
+        emu = run(f"li a0, {value}")
+        assert emu.get_x(10) == value
+
+    def test_li_expansion_is_compact_for_small_values(self):
+        assert len(expand_li(10, 42)) == 1
+        assert len(expand_li(10, 0x12345)) == 2
+
+
+class TestEmulatorInteger:
+    def test_arithmetic(self):
+        emu = run("li t0, 7\nli t1, 3\nmul a0, t0, t1")
+        assert emu.get_x(10) == 21
+
+    def test_division_semantics(self):
+        emu = run("li t0, -7\nli t1, 2\ndiv a0, t0, t1\nrem a1, t0, t1")
+        assert emu.get_x(10) == -3  # trunc toward zero
+        assert emu.get_x(11) == -1
+
+    def test_divide_by_zero(self):
+        emu = run("li t0, 5\nli t1, 0\ndiv a0, t0, t1\nrem a1, t0, t1")
+        assert emu.get_x(10) == -1
+        assert emu.get_x(11) == 5
+
+    def test_shifts(self):
+        emu = run("li t0, -8\nsrai a0, t0, 1\nli t1, 8\nsrli a1, t1, 2")
+        assert emu.get_x(10) == -4
+        assert emu.get_x(11) == 2
+
+    def test_word_ops_sign_extend(self):
+        emu = run("li t0, 0x7fffffff\naddiw a0, t0, 1")
+        assert emu.get_x(10) == -(2**31)
+
+    def test_x0_is_hardwired(self):
+        emu = run("li t0, 5\nadd zero, t0, t0\nmv a0, zero")
+        assert emu.get_x(10) == 0
+
+    def test_loads_stores(self):
+        emu = run(
+            """
+            li t0, 0x2000
+            li t1, -123
+            sd t1, 8(t0)
+            ld a0, 8(t0)
+            lw a1, 8(t0)
+            lbu a2, 8(t0)
+            """
+        )
+        assert emu.get_x(10) == -123
+        assert emu.get_x(11) == -123
+        assert emu.get_x(12) == (-123) & 0xFF
+
+    def test_exit_code(self):
+        emu = run_assembly("li a0, 7\nli a7, 93\necall\n")
+        assert emu.exit_code == 7
+
+    def test_ebreak_halts(self):
+        emu = run_assembly("li a0, 1\nebreak\n")
+        assert emu.halted
+
+    def test_runaway_guard(self):
+        with pytest.raises(EmulationError, match="steps"):
+            run_assembly("loop: j loop\n", max_steps=100)
+
+    def test_bad_memory_access(self):
+        with pytest.raises(EmulationError, match="outside"):
+            run("li t0, -100\nld a0, 0(t0)")
+
+    def test_pc_off_program(self):
+        with pytest.raises(EmulationError, match="pc"):
+            run_assembly("jr zero\n")
+
+
+class TestEmulatorFloat:
+    def test_double_arithmetic(self):
+        emu = run(
+            """
+            li t0, 0x2000
+            li t1, 4614253070214989087   # bits of 3.14
+            sd t1, 0(t0)
+            fld ft0, 0(t0)
+            fadd.d ft1, ft0, ft0
+            fsd ft1, 8(t0)
+            ld a0, 8(t0)
+            """
+        )
+        import struct
+
+        assert struct.unpack("<d", struct.pack("<q", emu.get_x(10)))[0] == pytest.approx(6.28)
+
+    def test_fma(self):
+        emu = run(
+            """
+            li t0, 2
+            fcvt.d.l ft0, t0
+            li t0, 3
+            fcvt.d.l ft1, t0
+            li t0, 4
+            fcvt.d.l ft2, t0
+            fmadd.d ft3, ft0, ft1, ft2
+            fcvt.l.d a0, ft3
+            """
+        )
+        assert emu.get_x(10) == 10
+
+    def test_f32_rounding(self):
+        emu = run(
+            """
+            li t0, 1
+            fcvt.s.l ft0, t0
+            li t1, 3
+            fcvt.s.l ft1, t1
+            fdiv.s ft2, ft0, ft1
+            fcvt.d.s ft3, ft2
+            """
+        )
+        assert emu.f[3] == pytest.approx(np.float32(1.0) / np.float32(3.0))
+
+    def test_compare(self):
+        emu = run(
+            """
+            li t0, 1
+            fcvt.d.l ft0, t0
+            li t0, 2
+            fcvt.d.l ft1, t0
+            flt.d a0, ft0, ft1
+            fle.d a1, ft1, ft0
+            """
+        )
+        assert emu.get_x(10) == 1 and emu.get_x(11) == 0
+
+
+class TestVectorUnit:
+    def test_vsetvli_clamps_to_vlmax(self):
+        emu = run("li t0, 100\nvsetvli a0, t0, e64, m1, ta, ma", vlen_bits=256)
+        assert emu.get_x(10) == 4  # 256/64
+
+    def test_vector_add(self):
+        memory = Memory()
+        src = np.arange(4, dtype=np.float64)
+        memory.write_bytes(0x4000, src.tobytes())
+        memory.write_bytes(0x5000, (src * 10).tobytes())
+        emu = run_assembly(
+            """
+            li t0, 4
+            vsetvli t0, t0, e64, m1, ta, ma
+            li a1, 0x4000
+            li a2, 0x5000
+            li a3, 0x6000
+            vle64.v v1, (a1)
+            vle64.v v2, (a2)
+            vfadd.vv v3, v1, v2
+            vse64.v v3, (a3)
+            li a7, 93
+            ecall
+            """,
+            memory=memory,
+            vlen_bits=256,
+        )
+        out = np.frombuffer(emu.memory.read_bytes(0x6000, 32), dtype=np.float64)
+        assert np.array_equal(out, src * 11)
+
+    def test_vfmacc_vf(self):
+        memory = Memory()
+        src = np.arange(4, dtype=np.float64)
+        memory.write_bytes(0x4000, src.tobytes())
+        memory.write_bytes(0x5000, np.ones(4).tobytes())
+        emu = run_assembly(
+            """
+            li t0, 4
+            vsetvli t0, t0, e64, m1, ta, ma
+            li t1, 3
+            fcvt.d.l fa0, t1
+            li a1, 0x4000
+            li a2, 0x5000
+            vle64.v v1, (a1)
+            vle64.v v2, (a2)
+            vfmacc.vf v2, fa0, v1
+            vse64.v v2, (a2)
+            li a7, 93
+            ecall
+            """,
+            memory=memory,
+            vlen_bits=256,
+        )
+        out = np.frombuffer(emu.memory.read_bytes(0x5000, 32), dtype=np.float64)
+        assert np.array_equal(out, 1.0 + 3.0 * src)
+
+    def test_sew_mismatch_rejected(self):
+        with pytest.raises(EmulationError, match="SEW"):
+            run(
+                """
+                li t0, 4
+                vsetvli t0, t0, e64, m1, ta, ma
+                li a1, 0x4000
+                vle32.v v1, (a1)
+                """
+            )
+
+
+class TestMemoryTracing:
+    def test_trace_records_segments(self):
+        memory = Memory()
+        memory.trace = []
+        run_assembly(
+            "li t0, 0x2000\nsd zero, 0(t0)\nld a0, 0(t0)\nli a7, 93\necall\n",
+            memory=memory,
+        )
+        assert len(memory.trace) == 2
+        write, read = memory.trace
+        assert write.is_write and not read.is_write
+        assert write.base == 0x2000

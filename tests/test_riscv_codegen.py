@@ -1,0 +1,114 @@
+"""Code-generator tests: IR programs compiled to RV64 must agree with the
+IR interpreter, scalar and RVV alike."""
+
+import numpy as np
+import pytest
+
+from repro.exec import run_program
+from repro.ir import DType, LoopBuilder
+from repro.kernels import blur, common, stream, transpose
+from repro.riscv import compile_and_run, generate_assembly
+from repro.riscv.codegen import CodegenError
+from repro.transforms import AutoVectorize, TileTriangular2D, Unroll, apply_passes
+
+from tests.conftest import transpose_program, triad_program
+
+
+class TestScalarCodegen:
+    @pytest.mark.parametrize("test", ["copy", "scale", "add", "triad"])
+    def test_stream_kernels(self, test, rng):
+        n = 48
+        program = stream.build(test, n, parallel=False)
+        inputs = {"b": rng.random(n), "c": rng.random(n)}
+        expect = run_program(program, inputs)
+        got, _ = compile_and_run(program, inputs)
+        assert np.array_equal(got["a"], expect["a"])
+
+    def test_transpose_naive(self, rng):
+        n = 10
+        mat = rng.random((n, n))
+        got, _ = compile_and_run(transpose.naive(n), {"mat": mat})
+        assert np.array_equal(got["mat"], mat.T)
+
+    def test_transpose_blocked_with_minmax_bounds(self, rng):
+        n = 12
+        program = apply_passes(transpose_program(n), [TileTriangular2D("i", "j", 4)])
+        mat = rng.random((n, n))
+        got, _ = compile_and_run(program, {"mat": mat})
+        assert np.array_equal(got["mat"], mat.T)
+
+    def test_blur_f32(self, rng):
+        h, w, F = 10, 9, 3
+        program = blur.build("Memory", h, w, F)
+        img = common.random_image(h, w, seed=9)
+        expect = run_program(program, {"src": img})["dst"]
+        got, _ = compile_and_run(program, {"src": img})
+        assert np.allclose(got["dst"], expect, atol=1e-6)
+
+    def test_unrolled_program(self, rng):
+        n = 22
+        program = apply_passes(triad_program(n), [Unroll("i", 4)])
+        inputs = {"b": rng.random(n), "c": rng.random(n)}
+        got, _ = compile_and_run(program, inputs)
+        assert np.array_equal(got["a"], run_program(program, inputs)["a"])
+
+    def test_fma_fusion_emitted(self):
+        asm = generate_assembly(stream.triad(16, parallel=False))
+        assert "fmadd.d" in asm
+
+    def test_initialized_constant_arrays_loaded(self):
+        program = blur.build("Naive", 8, 8, 3)
+        got, _ = compile_and_run(program, {"src": common.random_image(8, 8)})
+        assert got["k2"].sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_register_scope_not_supported(self):
+        program = blur.build("Unit-stride", 8, 8, 3)
+        with pytest.raises(Exception):  # register arrays have no address
+            compile_and_run(program, {"src": common.random_image(8, 8)})
+
+
+class TestRvvCodegen:
+    @pytest.mark.parametrize("test", ["copy", "scale", "add", "triad"])
+    @pytest.mark.parametrize("vlen", [128, 256])
+    def test_stream_kernels_vectorized(self, test, vlen, rng):
+        n = 37  # deliberately not a multiple of any VLMAX
+        program = AutoVectorize(min_trips=4).run(stream.build(test, n, parallel=False))
+        inputs = {"b": rng.random(n), "c": rng.random(n)}
+        expect = run_program(program, inputs)
+        got, emu = compile_and_run(program, inputs, use_rvv=True, vlen_bits=vlen)
+        assert np.array_equal(got["a"], expect["a"])
+        assert emu.stats.vector_ops > 0
+
+    def test_rvv_reduces_instruction_count(self, rng):
+        n = 512
+        program = AutoVectorize().run(stream.triad(n, parallel=False))
+        inputs = {"b": rng.random(n), "c": rng.random(n)}
+        _, scalar = compile_and_run(program, inputs, use_rvv=False)
+        _, vector = compile_and_run(program, inputs, use_rvv=True, vlen_bits=256)
+        assert vector.stats.instructions < scalar.stats.instructions / 2
+
+    def test_rvv_asm_contains_vsetvli_loop(self):
+        program = AutoVectorize().run(stream.triad(64, parallel=False))
+        asm = generate_assembly(program, use_rvv=True)
+        assert "vsetvli" in asm and "vfmacc.vf" in asm
+
+    def test_unsupported_body_falls_back_to_scalar(self, rng):
+        # f32 accumulate store: not in the RVV pattern -> scalar fallback.
+        h, w, F = 8, 8, 3
+        program = AutoVectorize().run(blur.build("Memory", h, w, F))
+        img = common.random_image(h, w, seed=2)
+        expect = run_program(program, {"src": img})["dst"]
+        got, emu = compile_and_run(program, {"src": img}, use_rvv=True)
+        assert np.allclose(got["dst"], expect, atol=1e-6)
+
+
+class TestTracing:
+    def test_traced_run_feeds_memsim(self):
+        from repro.memsim import Cache, MemoryHierarchy
+
+        program = stream.copy(64, parallel=False)
+        got, emu = compile_and_run(program, trace=True)
+        hierarchy = MemoryHierarchy([Cache("L1", 4096, 4)])
+        for segment in emu.memory.trace:
+            hierarchy.process_segment(segment)
+        assert hierarchy.caches[0].stats.accesses > 0

@@ -1,0 +1,131 @@
+"""Disassembler tests: assemble -> disassemble -> assemble fixed point."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodingError
+from repro.riscv import Instruction, assemble, disassemble, encode, format_instruction
+from repro.riscv.codegen import generate_assembly
+from repro.kernels import stream, transpose
+from repro.transforms import AutoVectorize
+
+regs = st.integers(0, 31)
+
+
+def roundtrip_words(source: str) -> None:
+    first = assemble(source)
+    text = disassemble(first.words, base=first.base)
+    second = assemble(text, base=first.base)
+    assert second.words == first.words, f"\n--- original ---\n{source}\n--- disasm ---\n{text}"
+
+
+class TestFormat:
+    def test_r_type(self):
+        assert format_instruction(Instruction("add", rd=10, rs1=11, rs2=12)) == "add a0, a1, a2"
+
+    def test_load_store(self):
+        assert format_instruction(Instruction("ld", rd=5, rs1=2, imm=-8)) == "ld t0, -8(sp)"
+        assert format_instruction(Instruction("fsd", rs2=8, rs1=2, imm=16)) == "fsd fs0, 16(sp)"
+
+    def test_branch_with_label(self):
+        assert (
+            format_instruction(Instruction("beq", rs1=5, rs2=0, imm=-8), target_label="loop")
+            == "beq t0, zero, loop"
+        )
+
+    def test_vsetvli(self):
+        from repro.riscv.assembler import parse_vtype
+
+        vtypei = parse_vtype(["e64", "m1", "ta", "ma"], 0, "")
+        text = format_instruction(Instruction("vsetvli", rd=6, rs1=7, vtypei=vtypei))
+        assert text == "vsetvli t1, t2, e64, m1, ta, ma"
+
+    def test_vfmacc_operand_order(self):
+        text = format_instruction(Instruction("vfmacc.vf", rd=1, rs1=10, rs2=2))
+        assert text == "vfmacc.vf v1, fa0, v2"
+
+    def test_fcvt_register_files(self):
+        assert format_instruction(Instruction("fcvt.d.l", rd=0, rs1=10)) == "fcvt.d.l ft0, a0"
+        assert format_instruction(Instruction("fmv.x.d", rd=10, rs1=0)) == "fmv.x.d a0, ft0"
+
+
+class TestRoundTrip:
+    def test_simple_loop(self):
+        roundtrip_words(
+            """
+            li t0, 0
+            li t1, 10
+        loop:
+            addi t0, t0, 1
+            blt t0, t1, loop
+            li a7, 93
+            ecall
+            """
+        )
+
+    def test_branch_to_end(self):
+        roundtrip_words(
+            """
+            beq zero, zero, done
+            addi t0, t0, 1
+        done:
+            """
+            + "nop\n"
+        )
+
+    def test_generated_scalar_kernel(self):
+        source = generate_assembly(transpose.naive(6))
+        roundtrip_words(source)
+
+    def test_generated_rvv_kernel(self):
+        program = AutoVectorize().run(stream.triad(32, parallel=False))
+        source = generate_assembly(program, use_rvv=True)
+        roundtrip_words(source)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    lambda m, rd, rs1, rs2: Instruction(m, rd=rd, rs1=rs1, rs2=rs2),
+                    st.sampled_from(["add", "sub", "mul", "and", "or", "xor", "sltu"]),
+                    regs,
+                    regs,
+                    regs,
+                ),
+                st.builds(
+                    lambda m, rd, rs1, imm: Instruction(m, rd=rd, rs1=rs1, imm=imm),
+                    st.sampled_from(["addi", "andi", "ori", "ld", "lw", "flw", "fld"]),
+                    regs,
+                    regs,
+                    st.integers(-2048, 2047),
+                ),
+                st.builds(
+                    lambda m, rs1, rs2, imm: Instruction(m, rs1=rs1, rs2=rs2, imm=imm),
+                    st.sampled_from(["sd", "sw", "fsd", "fsw"]),
+                    regs,
+                    regs,
+                    st.integers(-2048, 2047),
+                ),
+                st.builds(
+                    lambda m, rd, rs1, rs2: Instruction(m, rd=rd, rs1=rs1, rs2=rs2),
+                    st.sampled_from(["fadd.d", "fmul.s", "fsgnj.d", "fmin.d"]),
+                    regs,
+                    regs,
+                    regs,
+                ),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_random_straightline_words(self, instructions):
+        words = [encode(insn) for insn in instructions]
+        text = disassemble(words)
+        again = assemble(text)
+        assert again.words == words
+
+    def test_out_of_region_branch_rejected(self):
+        words = [encode(Instruction("jal", rd=0, imm=4096))]
+        with pytest.raises(DecodingError, match="outside"):
+            disassemble(words)

@@ -1,0 +1,143 @@
+"""Encoder/decoder round-trip tests for the RISC-V subset."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.riscv import Instruction, decode, encode
+from repro.riscv.isa import SPECS
+
+regs = st.integers(0, 31)
+imm12 = st.integers(-2048, 2047)
+
+
+def _roundtrip(insn: Instruction) -> None:
+    word = encode(insn)
+    assert 0 <= word < 2**32
+    assert decode(word) == insn
+
+
+class TestRoundTrips:
+    @given(rd=regs, rs1=regs, rs2=regs)
+    def test_r_type(self, rd, rs1, rs2):
+        for m in ("add", "sub", "mul", "and", "sltu", "divu", "remw"):
+            _roundtrip(Instruction(m, rd=rd, rs1=rs1, rs2=rs2))
+
+    @given(rd=regs, rs1=regs, imm=imm12)
+    def test_i_type(self, rd, rs1, imm):
+        for m in ("addi", "andi", "ld", "lw", "lbu", "jalr", "fld", "flw"):
+            _roundtrip(Instruction(m, rd=rd, rs1=rs1, imm=imm))
+
+    @given(rs1=regs, rs2=regs, imm=imm12)
+    def test_store(self, rs1, rs2, imm):
+        for m in ("sd", "sw", "sb", "fsd", "fsw"):
+            _roundtrip(Instruction(m, rs1=rs1, rs2=rs2, imm=imm))
+
+    @given(rd=regs, rs1=regs, shamt=st.integers(0, 63))
+    def test_shifts(self, rd, rs1, shamt):
+        for m in ("slli", "srli", "srai"):
+            _roundtrip(Instruction(m, rd=rd, rs1=rs1, imm=shamt))
+
+    @given(rs1=regs, rs2=regs, imm=st.integers(-2048, 2047).map(lambda v: v * 2))
+    def test_branches(self, rs1, rs2, imm):
+        for m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            _roundtrip(Instruction(m, rs1=rs1, rs2=rs2, imm=imm))
+
+    @given(rd=regs, imm=st.integers(0, 0xFFFFF))
+    def test_u_type(self, rd, imm):
+        for m in ("lui", "auipc"):
+            _roundtrip(Instruction(m, rd=rd, imm=imm))
+
+    @given(rd=regs, imm=st.integers(-(2**19), 2**19 - 1).map(lambda v: v * 2))
+    def test_jal(self, rd, imm):
+        _roundtrip(Instruction("jal", rd=rd, imm=imm))
+
+    @given(rd=regs, rs1=regs, rs2=regs)
+    def test_fp_arith(self, rd, rs1, rs2):
+        for m in ("fadd.d", "fmul.s", "fdiv.d", "fmin.d", "feq.d", "fsgnj.d"):
+            _roundtrip(Instruction(m, rd=rd, rs1=rs1, rs2=rs2))
+
+    @given(rd=regs, rs1=regs, rs2=regs, rs3=regs)
+    def test_fma(self, rd, rs1, rs2, rs3):
+        for m in ("fmadd.d", "fmsub.s", "fnmadd.d"):
+            _roundtrip(Instruction(m, rd=rd, rs1=rs1, rs2=rs2, rs3=rs3))
+
+    @given(rd=regs, rs1=regs)
+    def test_conversions(self, rd, rs1):
+        for m in ("fcvt.d.l", "fcvt.l.d", "fmv.x.d", "fmv.d.x", "fcvt.s.d"):
+            _roundtrip(Instruction(m, rd=rd, rs1=rs1))
+
+    @given(rd=regs, rs1=regs, vtypei=st.integers(0, 0x7FF))
+    def test_vsetvli(self, rd, rs1, vtypei):
+        _roundtrip(Instruction("vsetvli", rd=rd, rs1=rs1, vtypei=vtypei))
+
+    @given(rd=regs, rs1=regs)
+    def test_vector_mem(self, rd, rs1):
+        for m in ("vle64.v", "vse64.v", "vle32.v", "vse32.v"):
+            _roundtrip(Instruction(m, rd=rd, rs1=rs1))
+
+    @given(rd=regs, rs1=regs, rs2=regs)
+    def test_vector_arith(self, rd, rs1, rs2):
+        for m in ("vfadd.vv", "vfmul.vv", "vfmacc.vv", "vfmacc.vf"):
+            _roundtrip(Instruction(m, rd=rd, rs1=rs1, rs2=rs2))
+
+    def test_system(self):
+        _roundtrip(Instruction("ecall"))
+        _roundtrip(Instruction("ebreak"))
+
+
+class TestValidation:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("vadd.magic"))
+
+    def test_imm_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=5000))
+
+    def test_misaligned_branch(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", rs1=0, rs2=0, imm=3))
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=32, rs1=0, rs2=0))
+
+    def test_decode_garbage(self):
+        with pytest.raises(DecodingError):
+            decode(0xFFFFFFFF)
+        with pytest.raises(DecodingError):
+            decode(0x00000000)
+
+    def test_all_specs_have_smoke_encoding(self):
+        """Every mnemonic in the table encodes and decodes back, using only
+        the fields its format actually encodes."""
+        for mnemonic, spec in SPECS.items():
+            if spec.fmt in ("R", "VARITH", "VARITH-F"):
+                insn = Instruction(mnemonic, rd=1, rs1=2, rs2=3)
+            elif spec.fmt in ("I", "LOAD", "FLOAD", "I-shift"):
+                insn = Instruction(mnemonic, rd=1, rs1=2, imm=4)
+            elif spec.fmt in ("STORE", "FSTORE"):
+                insn = Instruction(mnemonic, rs1=2, rs2=3, imm=4)
+            elif spec.fmt == "B":
+                insn = Instruction(mnemonic, rs1=2, rs2=3, imm=4)
+            elif spec.fmt == "U":
+                insn = Instruction(mnemonic, rd=1, imm=10)
+            elif spec.fmt == "J":
+                insn = Instruction(mnemonic, rd=1, imm=4)
+            elif spec.fmt == "R4":
+                insn = Instruction(mnemonic, rd=1, rs1=2, rs2=3, rs3=4)
+            elif spec.fmt == "SYS":
+                insn = Instruction(mnemonic)
+            elif spec.fmt == "VSETVLI":
+                insn = Instruction(mnemonic, rd=1, rs1=2, vtypei=0xC3)
+            elif spec.fmt in ("VLOAD", "VSTORE"):
+                insn = Instruction(mnemonic, rd=1, rs1=2)
+            elif spec.fmt == "R-fp":
+                if spec.rs2_field is not None:
+                    insn = Instruction(mnemonic, rd=1, rs1=2)
+                else:
+                    insn = Instruction(mnemonic, rd=1, rs1=2, rs2=3)
+            else:  # pragma: no cover - table exhaustiveness guard
+                raise AssertionError(f"untested format {spec.fmt}")
+            assert decode(encode(insn)) == insn, mnemonic

@@ -1,0 +1,100 @@
+"""End-to-end simulation tests (program + device -> time)."""
+
+import pytest
+
+from repro.devices import get_device, mango_pi_d1, visionfive_jh7100, xeon_4310t
+from repro.errors import OutOfMemoryError, SimulationError
+from repro.kernels import stream, transpose
+from repro.simulate import has_parallel_loop, simulate
+from repro.transforms import AutoVectorize, Parallelize, apply_passes
+
+from tests.conftest import triad_program
+
+
+class TestBasics:
+    def test_result_fields(self):
+        result = simulate(triad_program(1024), mango_pi_d1())
+        assert result.seconds > 0
+        assert result.dram_bytes > 0
+        assert result.active_cores == 1
+        assert result.total_ops.flops == 2 * 1024
+        assert result.level_misses("L1") > 0
+        assert 0 < result.achieved_dram_gbs < 10
+
+    def test_active_cores_default(self):
+        serial = simulate(triad_program(256), visionfive_jh7100())
+        parallel = simulate(
+            apply_passes(triad_program(256), [Parallelize("i")]), visionfive_jh7100()
+        )
+        assert serial.active_cores == 1
+        assert parallel.active_cores == 2
+
+    def test_explicit_core_count(self):
+        program = apply_passes(triad_program(256), [Parallelize("i")])
+        result = simulate(program, xeon_4310t(), active_cores=4)
+        assert result.active_cores == 4
+
+    def test_capacity_enforced(self):
+        with pytest.raises(OutOfMemoryError):
+            simulate(transpose.naive(16384), mango_pi_d1())
+
+    def test_capacity_check_can_be_disabled(self):
+        # Don't actually run a 2 GiB kernel; just check a mid-size one that
+        # fails the 80%-headroom rule but simulates fine.
+        program = triad_program(40_000_000)  # ~0.96 GB of arrays
+        with pytest.raises(OutOfMemoryError):
+            simulate(program, mango_pi_d1())
+
+    def test_bad_repetitions(self):
+        with pytest.raises(SimulationError):
+            simulate(triad_program(64), mango_pi_d1(), repetitions=0)
+        with pytest.raises(SimulationError):
+            simulate(triad_program(64), mango_pi_d1(), steady_state=True, repetitions=1)
+
+
+class TestSteadyState:
+    def test_warm_cache_faster(self):
+        n = 512  # 12 KiB of arrays: fits L1
+        device = mango_pi_d1()
+        cold = simulate(stream.build("copy", n, parallel=False), device)
+        warm = simulate(
+            stream.build("copy", n, parallel=False),
+            device,
+            repetitions=3,
+            steady_state=True,
+        )
+        assert warm.seconds < cold.seconds
+        assert warm.dram_bytes < cold.dram_bytes
+
+    def test_dram_resident_not_helped_by_repetition(self):
+        n = 400_000  # ~9.6 MB: far beyond the D1's 32 KiB L1
+        device = mango_pi_d1()
+        cold = simulate(stream.build("copy", n, parallel=False), device)
+        warm = simulate(
+            stream.build("copy", n, parallel=False), device, repetitions=2, steady_state=True
+        )
+        assert warm.seconds == pytest.approx(cold.seconds, rel=0.15)
+
+
+class TestCrossDeviceShape:
+    def test_xeon_fastest_on_triad(self):
+        n = 100_000
+        times = {}
+        for key in ("xeon_4310t", "raspberry_pi_4", "mango_pi_d1", "visionfive_jh7100"):
+            device = get_device(key)
+            program = stream.build("triad", n, parallel=device.cores > 1)
+            if device.cpu.vector_bits:
+                program = AutoVectorize().run(program)
+            times[key] = simulate(program, device).seconds
+        assert times["xeon_4310t"] < times["raspberry_pi_4"]
+        assert times["raspberry_pi_4"] < times["mango_pi_d1"]
+        assert times["raspberry_pi_4"] < times["visionfive_jh7100"]
+
+    def test_flush_increases_traffic(self):
+        result = simulate(triad_program(512), mango_pi_d1())
+        flushed = simulate(triad_program(512), mango_pi_d1(), flush_writebacks=True)
+        assert flushed.dram_bytes > result.dram_bytes
+
+    def test_has_parallel_loop(self):
+        assert not has_parallel_loop(triad_program(8))
+        assert has_parallel_loop(apply_passes(triad_program(8), [Parallelize("i")]))

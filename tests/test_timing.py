@@ -1,0 +1,192 @@
+"""Tests for the timing model and DRAM contention."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.opcount import OpCounts
+from repro.devices import mango_pi_d1, xeon_4310t
+from repro.exec.trace import CoreWork
+from repro.memsim.stats import HierarchySnapshot, LevelSnapshot
+from repro.timing import (
+    compute_cycles,
+    equal_share_makespan,
+    feasible,
+    instruction_mix,
+    makespan,
+    time_core,
+    time_run,
+)
+
+
+def _work(loads=0, stores=0, flops=0, fmas=0, int_ops=0, vector=False):
+    counts = OpCounts(
+        flops=flops,
+        fmas=fmas,
+        loads=loads,
+        stores=stores,
+        bytes_loaded=loads * 8,
+        bytes_stored=stores * 8,
+        int_ops=int_ops,
+    )
+    work = CoreWork()
+    if vector:
+        work.vector = counts
+    else:
+        work.scalar = counts
+    return work
+
+
+def _snapshot(levels, dram_read=0, dram_written=0, tlb=0):
+    return HierarchySnapshot(
+        [LevelSnapshot(name, h, m, p, w) for name, h, m, p, w in levels],
+        dram_read,
+        dram_written,
+        tlb,
+    )
+
+
+class TestComputeCycles:
+    def test_single_issue_inorder(self):
+        cpu = mango_pi_d1().cpu
+        # 3 instructions on a 1-wide core: 3 cycles.
+        assert compute_cycles(_work(loads=2, flops=1), cpu) == pytest.approx(3.0)
+
+    def test_mem_port_bound(self):
+        cpu = xeon_4310t().cpu
+        cycles = compute_cycles(_work(loads=300), cpu)
+        assert cycles == pytest.approx(100.0)  # 3 mem ports
+
+    def test_fma_fusion_reduces_instructions(self):
+        cpu = mango_pi_d1().cpu
+        fused = compute_cycles(_work(flops=200, fmas=100), cpu)
+        unfused = compute_cycles(_work(flops=200), cpu)
+        assert fused == unfused / 2
+
+    def test_vector_lanes_divide_work(self):
+        cpu = xeon_4310t().cpu  # 512-bit = 8 f64 lanes
+        scalar = instruction_mix(_work(loads=800), cpu)
+        vector = instruction_mix(_work(loads=800, vector=True), cpu)
+        assert vector.mem == pytest.approx(scalar.mem / 8)
+
+    def test_no_vector_unit_keeps_scalar_cost(self):
+        cpu = mango_pi_d1().cpu  # vector_bits = 0
+        scalar = instruction_mix(_work(loads=800), cpu)
+        vector = instruction_mix(_work(loads=800, vector=True), cpu)
+        assert vector.mem == scalar.mem
+
+
+class TestCoreTiming:
+    def test_exposed_latency_hidden_by_prefetch(self):
+        device = mango_pi_d1()
+        snap_covered = _snapshot([("L1", 0, 100, 100, 0)], dram_read=100)
+        snap_exposed = _snapshot([("L1", 0, 100, 0, 0)], dram_read=100)
+        covered = time_core(device, _work(loads=100), snap_covered)
+        exposed = time_core(device, _work(loads=100), snap_exposed)
+        assert covered.exposed_latency == 0
+        assert exposed.exposed_latency > 0
+
+    def test_mlp_divides_latency(self):
+        xeon = xeon_4310t()
+        snap = _snapshot(
+            [("L1", 0, 100, 0, 0), ("L2", 0, 100, 0, 0), ("L3", 0, 100, 0, 0)],
+            dram_read=100,
+        )
+        timing = time_core(xeon, _work(loads=100), snap)
+        snap_levels = snap.levels
+        # All latency terms divided by mlp=10.
+        raw = (
+            100 * xeon.caches[1].latency_cycles
+            + 100 * xeon.caches[2].latency_cycles
+            + 100 * xeon.dram.latency_ns * xeon.cpu.freq_ghz
+        )
+        assert timing.exposed_latency == pytest.approx(raw / 10)
+
+    def test_level_count_mismatch_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            time_core(xeon_4310t(), _work(), _snapshot([("L1", 0, 0, 0, 0)]))
+
+    def test_tlb_walk_cycles(self):
+        device = mango_pi_d1()
+        snap = _snapshot([("L1", 0, 0, 0, 0)], tlb=10)
+        timing = time_core(device, _work(), snap)
+        assert timing.tlb == 10 * device.tlb.walk_cycles
+
+
+class TestContention:
+    def test_no_dram_bytes(self):
+        assert makespan([1.0, 2.0], [0, 0], 1e9, 1e9) == 2.0
+
+    def test_aggregate_bandwidth_bound(self):
+        # 2 cores, each needs 1 GB, total bw 1 GB/s: at least 2 seconds.
+        t = makespan([0.0, 0.0], [1e9, 1e9], 1e9, 1e9)
+        assert t == pytest.approx(2.0, rel=1e-3)
+
+    def test_per_core_bandwidth_bound(self):
+        # One core, 1 GB at a 0.5 GB/s core link.
+        t = makespan([0.0], [1e9], 10e9, 0.5e9)
+        assert t == pytest.approx(2.0, rel=1e-3)
+
+    def test_heterogeneous_cores_water_fill(self):
+        # Core A busy 1s with no traffic; core B streams 1 GB. Total bw 1 GB/s.
+        t = makespan([1.0, 0.0], [0.0, 1e9], 1e9, 1e9)
+        assert t == pytest.approx(1.0, rel=1e-2)
+
+    def test_water_fill_never_worse_than_equal_share(self):
+        other = [0.1, 0.2, 0.0, 0.5]
+        traffic = [1e8, 5e8, 0.0, 2e8]
+        wf = makespan(other, traffic, 2e9, 1e9)
+        eq = equal_share_makespan(other, traffic, 2e9, 1e9)
+        assert wf <= eq + 1e-9
+
+    def test_feasibility_is_monotone(self):
+        other = [0.1, 0.3]
+        traffic = [1e9, 2e9]
+        t = makespan(other, traffic, 3e9, 2e9)
+        assert feasible(t * 1.01, other, traffic, 3e9, 2e9)
+        assert not feasible(t * 0.9, other, traffic, 3e9, 2e9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], [1.0, 2.0], 1e9, 1e9)
+        with pytest.raises(ValueError):
+            makespan([1.0], [1.0], 0, 1e9)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.floats(0, 2), min_size=1, max_size=6),
+        st.floats(1e6, 1e10),
+        st.floats(1e6, 1e10),
+    )
+    def test_lower_bounds_hold(self, other, total_bw, core_bw):
+        traffic = [o * 1e8 for o in other]
+        t = makespan(other, traffic, total_bw, core_bw)
+        assert t >= max(other) - 1e-12
+        assert t >= sum(traffic) / total_bw - 1e-6 * t - 1e-12
+
+
+class TestTimeRun:
+    def test_parallel_faster_than_serial_sum(self):
+        device = xeon_4310t()
+        work = _work(loads=10000, flops=5000)
+        snap = _snapshot(
+            [("L1", 9000, 1000, 900, 0), ("L2", 500, 500, 450, 0), ("L3", 250, 250, 200, 0)],
+            dram_read=250,
+        )
+        one = time_run(device, [work], [snap])
+        four = time_run(device, [work] * 4, [snap] * 4)
+        # Four cores doing 4x the work in barely more time than one.
+        assert four.seconds < 2 * one.seconds
+
+    def test_breakdown_keys(self):
+        device = mango_pi_d1()
+        result = time_run(device, [_work(loads=10)], [_snapshot([("L1", 10, 0, 0, 0)])])
+        assert set(result.breakdown()) == {
+            "compute_cycles",
+            "transfer_cycles",
+            "exposed_latency_cycles",
+            "tlb_cycles",
+            "dram_bytes",
+        }
+        assert result.bottleneck

@@ -1,0 +1,105 @@
+"""Tests for structural IR validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir import Affine, Block, DType, For, LoopBuilder, Store, validate_program
+from repro.ir.program import Array, Program
+from repro.ir.stmt import LocalAssign
+
+from tests.conftest import transpose_program, triad_program
+
+
+def test_valid_programs_pass():
+    validate_program(triad_program(8))
+    validate_program(transpose_program(8))
+
+
+def test_kernel_suite_validates():
+    from repro.kernels import blur, stream, transpose
+
+    for test in stream.TESTS:
+        validate_program(stream.build(test, 32))
+    for variant in transpose.VARIANT_ORDER:
+        validate_program(transpose.build(variant, 16, block=4))
+    for variant in blur.VARIANT_ORDER:
+        validate_program(blur.build(variant, 12, 10, 3))
+
+
+def test_out_of_bounds_subscript_rejected():
+    arr = Array("a", DType.F64, (4,))
+    body = For("i", 0, 8, Block([Store(arr, [Affine.var("i")], 1.0)]))
+    with pytest.raises(ValidationError, match="outside"):
+        validate_program(Program("p", body))
+
+
+def test_negative_subscript_rejected():
+    arr = Array("a", DType.F64, (4,))
+    body = For("i", 0, 4, Block([Store(arr, [Affine.var("i") - 1], 1.0)]))
+    with pytest.raises(ValidationError):
+        validate_program(Program("p", body))
+
+
+def test_unbound_variable_rejected():
+    arr = Array("a", DType.F64, (4,))
+    body = Block([Store(arr, [Affine.var("ghost")], 1.0)])
+    with pytest.raises(ValidationError, match="unbound"):
+        validate_program(Program("p", body))
+
+
+def test_shadowed_loop_variable_rejected():
+    arr = Array("a", DType.F64, (4, 4))
+    inner = For("i", 0, 4, Block([Store(arr, [Affine.var("i"), Affine.var("i")], 1.0)]))
+    outer = For("i", 0, 4, Block([inner]))
+    with pytest.raises(ValidationError, match="shadows"):
+        validate_program(Program("p", Block([outer])))
+
+
+def test_local_read_before_assignment_rejected():
+    from repro.ir.expr import LocalRef
+
+    arr = Array("a", DType.F64, (4,))
+    body = For("i", 0, 4, Block([Store(arr, [Affine.var("i")], LocalRef("t"))]))
+    with pytest.raises(ValidationError, match="before assignment"):
+        validate_program(Program("p", body))
+
+
+def test_local_accumulate_before_assignment_rejected():
+    body = For("i", 0, 4, Block([LocalAssign("t", 1.0, accumulate=True)]))
+    with pytest.raises(ValidationError, match="accumulated"):
+        validate_program(Program("p", Block([body]), arrays=[]))
+
+
+def test_nested_parallel_rejected():
+    arr = Array("a", DType.F64, (4, 4))
+    inner = For(
+        "j", 0, 4, Block([Store(arr, [Affine.var("i"), Affine.var("j")], 1.0)]), parallel=True
+    )
+    outer = For("i", 0, 4, Block([inner]), parallel=True)
+    with pytest.raises(ValidationError, match="nested"):
+        validate_program(Program("p", Block([outer])))
+
+
+def test_zero_trip_loop_is_fine():
+    arr = Array("a", DType.F64, (4,))
+    body = For("i", 4, 4, Block([Store(arr, [Affine.var("i")], 1.0)]))
+    validate_program(Program("p", body))  # body never runs; i-range collapses
+
+
+def test_triangular_bounds_validate():
+    # j in [i+1, n): max value of j is n-1, within bounds.
+    validate_program(transpose_program(16))
+
+
+def test_validation_collects_multiple_errors():
+    arr = Array("a", DType.F64, (2,))
+    body = Block(
+        [
+            Store(arr, [Affine.var("p")], 1.0),
+            Store(arr, [Affine.var("q")], 1.0),
+        ]
+    )
+    with pytest.raises(ValidationError) as exc:
+        validate_program(Program("p", body))
+    message = str(exc.value)
+    assert "p" in message and "q" in message
