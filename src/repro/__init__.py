@@ -26,15 +26,17 @@ Quickstart::
     print(result.seconds, result.timing.bottleneck)
 """
 
-from repro import analysis, devices, exec, experiments, ir, kernels, memsim, metrics, timing, transforms
+from repro import analysis, devices, exec, experiments, ir, kernels, memsim, metrics, runtime, timing, transforms
 from repro.errors import (
     AnalysisError,
+    BudgetExceededError,
     DeviceError,
     IRError,
     OutOfMemoryError,
     ReproError,
     SimulationError,
     TransformError,
+    TransientSimulationError,
     ValidationError,
 )
 from repro.simulate import SimulationResult, has_parallel_loop, simulate
@@ -43,6 +45,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisError",
+    "BudgetExceededError",
     "DeviceError",
     "IRError",
     "OutOfMemoryError",
@@ -50,6 +53,7 @@ __all__ = [
     "SimulationError",
     "SimulationResult",
     "TransformError",
+    "TransientSimulationError",
     "ValidationError",
     "analysis",
     "devices",
@@ -60,6 +64,7 @@ __all__ = [
     "kernels",
     "memsim",
     "metrics",
+    "runtime",
     "simulate",
     "timing",
     "transforms",

@@ -6,6 +6,13 @@ Usage::
     repro-experiments fig2 fig3
     repro-experiments all
     repro-experiments ablations
+    repro-experiments status
+
+Figures are isolated from one another: a failure in one figure does not
+abort the rest of the run (or lose already-written ``--csv-dir`` output).
+A failure summary prints at the end and the exit code is nonzero iff any
+figure failed.  ``status`` summarizes the run journal the supervised
+runner appends next to the on-disk cache.
 """
 
 from __future__ import annotations
@@ -13,10 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List
+from typing import List, Tuple
 
 from repro.experiments import ablations, fig1, fig2, fig3, fig6, fig7
 from repro.experiments.report import render_table
+from repro.experiments.runner import default_cache_path
 
 FIGURES = ["fig1", "fig2", "fig3", "fig6", "fig7"]
 
@@ -35,41 +43,82 @@ def _run_figure(name: str) -> str:
     raise ValueError(f"unknown figure {name!r}")
 
 
-def _run_ablations() -> str:
-    parts = [ablations.render_block_sweep(ablations.block_size_sweep())]
-    rows = ablations.prefetch_ablation()
-    parts.append(
-        render_table(
-            ["device", "prefetch on (s)", "prefetch off (s)", "slowdown"],
-            rows,
-            title="Ablation — prefetcher on/off (naive transpose)",
-        )
-    )
-    policies = ablations.replacement_policy_swap()
-    parts.append(
-        render_table(
-            ["policy", "Naive (s)", "Blocking (s)"],
-            [[p, v["Naive"], v["Blocking"]] for p, v in policies.items()],
-            title="Ablation — U74 replacement policy",
-        )
-    )
-    contention = ablations.contention_model_comparison()
-    parts.append(
-        render_table(
-            ["model", "seconds"],
-            list(contention.items()),
-            title="Ablation — DRAM contention model",
-        )
-    )
-    sensitivity = ablations.scale_sensitivity()
-    parts.append(
-        render_table(
-            ["cache scale", "blocking speedup"],
-            sorted(sensitivity.items()),
-            title="Ablation — cache-scale sensitivity",
-        )
-    )
-    return "\n\n".join(parts)
+def _run_ablations() -> Tuple[str, List[str]]:
+    """Each ablation block is isolated: a failing block renders an error
+    note while the remaining blocks still run.  Returns the rendered text
+    plus the labels of any failed blocks."""
+    blocks = [
+        ("block-size sweep", lambda: ablations.render_block_sweep(ablations.block_size_sweep())),
+        (
+            "prefetcher on/off",
+            lambda: render_table(
+                ["device", "prefetch on (s)", "prefetch off (s)", "slowdown"],
+                ablations.prefetch_ablation(),
+                title="Ablation — prefetcher on/off (naive transpose)",
+            ),
+        ),
+        (
+            "replacement policy",
+            lambda: render_table(
+                ["policy", "Naive (s)", "Blocking (s)"],
+                [
+                    [p, v["Naive"], v["Blocking"]]
+                    for p, v in ablations.replacement_policy_swap().items()
+                ],
+                title="Ablation — U74 replacement policy",
+            ),
+        ),
+        (
+            "contention model",
+            lambda: render_table(
+                ["model", "seconds"],
+                list(ablations.contention_model_comparison().items()),
+                title="Ablation — DRAM contention model",
+            ),
+        ),
+        (
+            "cache-scale sensitivity",
+            lambda: render_table(
+                ["cache scale", "blocking speedup"],
+                sorted(ablations.scale_sensitivity().items()),
+                title="Ablation — cache-scale sensitivity",
+            ),
+        ),
+    ]
+    parts = []
+    errors = []
+    for label, thunk in blocks:
+        try:
+            parts.append(thunk())
+        except Exception as exc:
+            parts.append(f"Ablation — {label}: FAILED ({type(exc).__name__}: {exc})")
+            errors.append(f"{label} ({type(exc).__name__}: {exc})")
+    return "\n\n".join(parts), errors
+
+
+def _render_status() -> str:
+    """Summarize the run journal for ``repro-experiments status``."""
+    from repro.runtime import default_journal_path, read_journal, summarize
+
+    cache_path = default_cache_path()
+    if not cache_path:
+        return "run journal disabled (REPRO_CACHE=off)"
+    journal_path = default_journal_path(cache_path)
+    entries = read_journal(journal_path)
+    if not entries:
+        return f"run journal empty (no attempts recorded at {journal_path})"
+    stats = summarize(entries)
+    rows = [[outcome, count] for outcome, count in sorted(stats["by_outcome"].items())]
+    rows.append(["total", stats["total"]])
+    lines = [
+        render_table(["outcome", "attempts"], rows, title=f"Run journal — {journal_path}"),
+        f"retries: {stats['retries']}   simulated time spent: {stats['duration_s']:.2f}s",
+    ]
+    if stats["failures"]:
+        lines.append("most recent non-completed attempts:")
+        for entry in stats["failures"]:
+            lines.append(f"  [{entry.outcome}] {entry.key}: {entry.error}")
+    return "\n".join(lines)
 
 
 def main(argv: List[str] = None) -> int:
@@ -80,8 +129,8 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "figures",
         nargs="+",
-        choices=FIGURES + ["all", "ablations"],
-        help="figures to regenerate",
+        choices=FIGURES + ["all", "ablations", "status"],
+        help="figures to regenerate (or 'status' for the run-journal summary)",
     )
     parser.add_argument(
         "--csv-dir",
@@ -97,19 +146,42 @@ def main(argv: List[str] = None) -> int:
         else:
             names.append(name)
 
+    failures: List[Tuple[str, str]] = []
     for name in dict.fromkeys(names):  # dedupe, keep order
+        if name == "status":
+            print(_render_status())
+            continue
         start = time.time()
-        if name == "ablations":
-            output = _run_ablations()
-        else:
-            output = _run_figure(name)
+        try:
+            if name == "ablations":
+                output, block_errors = _run_ablations()
+                for detail in block_errors:
+                    failures.append(("ablations", detail))
+            else:
+                output = _run_figure(name)
+        except Exception as exc:
+            detail = f"{type(exc).__name__}: {exc}"
+            failures.append((name, detail))
+            print(f"[{name} FAILED: {detail}]\n", file=sys.stderr)
+            continue
         print(output)
         if args.csv_dir and name != "ablations":
             from repro.experiments.export import export_figure
 
-            path = export_figure(name, args.csv_dir)
-            print(f"[csv written to {path}]")
+            try:
+                path = export_figure(name, args.csv_dir)
+                print(f"[csv written to {path}]")
+            except Exception as exc:
+                detail = f"{type(exc).__name__}: {exc}"
+                failures.append((f"{name} (csv export)", detail))
+                print(f"[{name} csv export FAILED: {detail}]", file=sys.stderr)
         print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+
+    if failures:
+        print("FAILURE SUMMARY:", file=sys.stderr)
+        for name, detail in failures:
+            print(f"  {name}: {detail}", file=sys.stderr)
+        return 1
     return 0
 
 

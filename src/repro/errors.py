@@ -33,6 +33,26 @@ class SimulationError(ReproError):
     """Runtime failure inside the interpreter or memory simulator."""
 
 
+class TransientSimulationError(SimulationError):
+    """A simulation failure that is expected to clear on retry.
+
+    Raised for transient conditions — injected chaos faults (see
+    :mod:`repro.runtime.faults`), resource blips, interrupted I/O.  The
+    experiment supervisor retries these with exponential backoff and
+    jitter before declaring the run failed.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A supervised run overran its wall-clock deadline or step budget.
+
+    Raised by :func:`repro.runtime.supervisor.supervise` when a simulate
+    call does not finish within the configured deadline.  Figure
+    harnesses convert it into a ``timed_out`` outcome and render the cell
+    as missing instead of aborting the whole sweep.
+    """
+
+
 class DeviceError(ReproError):
     """Invalid device specification or a workload that does not fit."""
 

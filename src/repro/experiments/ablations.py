@@ -17,19 +17,31 @@ from typing import Dict, List
 
 from repro.devices.catalog import get_device
 from repro.devices.spec import DeviceSpec
+from repro.errors import SimulationError
 from repro.experiments.config import CACHE_SCALE, scaled_device
 from repro.experiments.report import render_table
 from repro.kernels import blur, transpose
 from repro.memsim.prefetch import NO_PREFETCH
+from repro.runtime import OutcomeStatus, RetryPolicy, supervise
 from repro.simulate import simulate
-from repro.timing.contention import equal_share_makespan, makespan
 from repro.transforms import AutoVectorize
+from repro.timing.contention import equal_share_makespan, makespan
 
 
 def _run(program, device: DeviceSpec, **kwargs) -> float:
-    if device.cpu.vector_bits:
-        program = AutoVectorize().run(program)
-    return simulate(program, device, check_capacity=False, **kwargs).seconds
+    """One supervised ablation point: transient failures retry with
+    backoff; persistent failures raise (the CLI isolates whole blocks)."""
+
+    def execute() -> float:
+        p = AutoVectorize().run(program) if device.cpu.vector_bits else program
+        return simulate(p, device, check_capacity=False, **kwargs).seconds
+
+    outcome = supervise(execute, RetryPolicy.from_env(), label=f"ablation:{program.name}")
+    if outcome.status is OutcomeStatus.COMPLETED:
+        return outcome.value
+    if outcome.error is not None:
+        raise outcome.error
+    raise SimulationError(outcome.reason)
 
 
 # -- block size sweep ---------------------------------------------------------

@@ -25,13 +25,16 @@ def _write(path: str, header: List[str], rows) -> str:
 
 
 def export_fig1(rows: List[fig1.Fig1Row], directory: str) -> str:
+    out = []
+    for r in rows:
+        if getattr(r, "status", "completed") == "completed":
+            out.append((r.device_key, r.level, r.copy_gbs, r.scale_gbs, r.add_gbs, r.triad_gbs))
+        else:
+            out.append((r.device_key, r.level, "", "", "", r.status.upper()))
     return _write(
         os.path.join(directory, "fig1_stream.csv"),
         ["device", "level", "copy_gbs", "scale_gbs", "add_gbs", "triad_gbs"],
-        [
-            (r.device_key, r.level, r.copy_gbs, r.scale_gbs, r.add_gbs, r.triad_gbs)
-            for r in rows
-        ],
+        out,
     )
 
 
@@ -40,6 +43,8 @@ def export_fig2(panels: List[fig2.Fig2Panel], directory: str) -> str:
     for panel in panels:
         for row in panel.rows:
             for variant in transpose.VARIANT_ORDER:
+                if variant not in row.seconds:
+                    continue  # the per-cell failure is exported below
                 rows.append(
                     (
                         panel.paper_n,
@@ -52,6 +57,11 @@ def export_fig2(panels: List[fig2.Fig2Panel], directory: str) -> str:
                 )
         for key in panel.excluded:
             rows.append((panel.paper_n, panel.sim_n, key, "EXCLUDED_OOM", "", ""))
+        for failure in panel.failures:
+            rows.append(
+                (panel.paper_n, panel.sim_n, failure.device_key, failure.item,
+                 failure.status.upper(), "")
+            )
     return _write(
         os.path.join(directory, "fig2_transpose.csv"),
         ["paper_n", "sim_n", "device", "variant", "seconds", "speedup"],
@@ -60,13 +70,16 @@ def export_fig2(panels: List[fig2.Fig2Panel], directory: str) -> str:
 
 
 def export_fig3(rows: List[fig3.Fig3Row], directory: str) -> str:
+    out = []
+    for r in rows:
+        if getattr(r, "status", fig3.COMPLETED) == fig3.COMPLETED:
+            out.append((r.device_key, r.paper_n, r.naive_utilization, r.best_variant, r.best_utilization))
+        else:
+            out.append((r.device_key, r.paper_n, "", r.status.upper(), ""))
     return _write(
         os.path.join(directory, "fig3_transpose_utilization.csv"),
         ["device", "paper_n", "naive_utilization", "best_variant", "best_utilization"],
-        [
-            (r.device_key, r.paper_n, r.naive_utilization, r.best_variant, r.best_utilization)
-            for r in rows
-        ],
+        out,
     )
 
 
@@ -74,6 +87,8 @@ def export_fig6(result: fig6.Fig6Result, directory: str) -> str:
     rows = []
     for row in result.rows:
         for variant in blur.VARIANT_ORDER:
+            if variant not in row.seconds:
+                continue  # the per-cell failure is exported below
             rows.append(
                 (
                     result.width,
@@ -85,6 +100,11 @@ def export_fig6(result: fig6.Fig6Result, directory: str) -> str:
                     row.speedups[variant],
                 )
             )
+    for failure in getattr(result, "failures", []):
+        rows.append(
+            (result.width, result.height, result.filter_size,
+             failure.device_key, failure.item, failure.status.upper(), "")
+        )
     return _write(
         os.path.join(directory, "fig6_blur.csv"),
         ["width", "height", "filter", "device", "variant", "seconds", "speedup"],
@@ -95,10 +115,14 @@ def export_fig6(result: fig6.Fig6Result, directory: str) -> str:
 def export_fig7(rows: List[fig7.Fig7Row], directory: str) -> str:
     out = []
     for row in rows:
+        if getattr(row, "status", "completed") != "completed":
+            out.append((row.device_key, row.status.upper(), "", ""))
+            continue
         for variant in fig7.VARIANTS:
-            out.append(
-                (row.device_key, variant, row.utilization[variant], row.improvement[variant])
-            )
+            if variant in row.utilization:
+                out.append(
+                    (row.device_key, variant, row.utilization[variant], row.improvement[variant])
+                )
     return _write(
         os.path.join(directory, "fig7_blur_utilization.csv"),
         ["device", "variant", "utilization", "improvement_vs_1d"],

@@ -5,6 +5,10 @@ memory level it can address (L1/L2/L3/DRAM), the four STREAM tests are
 run with arrays sized for that level, multithreaded for shared levels and
 per-core-scaled for private ones.
 
+Each (device, level) measurement runs under the runtime supervisor: a
+failed level renders as ``—`` cells with a footnote instead of killing
+the whole sweep.
+
 Qualitative shape asserted by the test-suite (the paper's findings):
 
 * Xeon >> Raspberry Pi > both RISC-V boards at every common level;
@@ -19,9 +23,10 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.experiments.config import CACHE_SCALE, all_device_keys, scaled_device
-from repro.experiments.report import render_table
+from repro.experiments.report import DASH, render_footnotes, render_table
 from repro.kernels import stream
 from repro.metrics import bandwidth
+from repro.runtime import supervise
 
 
 @dataclass
@@ -32,6 +37,8 @@ class Fig1Row:
     scale_gbs: float
     add_gbs: float
     triad_gbs: float
+    status: str = "completed"
+    note: str = ""
 
     @property
     def best_gbs(self) -> float:
@@ -55,12 +62,30 @@ def _measure_level(device_key: str, level: str, scale: int) -> Fig1Row:
 
 
 def run(scale: int = CACHE_SCALE) -> List[Fig1Row]:
-    """All rows of Fig. 1."""
+    """All rows of Fig. 1; failed levels degrade to placeholder rows."""
     rows: List[Fig1Row] = []
     for key in all_device_keys():
         device = scaled_device(key, scale)
         for level in device.memory_levels:
-            rows.append(_measure_level(key, level, scale))
+            outcome = supervise(
+                lambda k=key, lv=level: _measure_level(k, lv, scale),
+                label=f"{key}/{level}",
+            )
+            if outcome.ok:
+                rows.append(outcome.value)
+            else:
+                rows.append(
+                    Fig1Row(
+                        device_key=key,
+                        level=level,
+                        copy_gbs=0.0,
+                        scale_gbs=0.0,
+                        add_gbs=0.0,
+                        triad_gbs=0.0,
+                        status=outcome.status.value,
+                        note=outcome.note(),
+                    )
+                )
     return rows
 
 
@@ -71,11 +96,20 @@ def dram_bandwidth(device_key: str, scale: int = CACHE_SCALE) -> float:
 
 
 def render(rows: List[Fig1Row]) -> str:
-    return render_table(
+    table_rows = []
+    notes: List[str] = []
+    for r in rows:
+        if r.status == "completed":
+            table_rows.append(
+                (r.device_key, r.level, r.copy_gbs, r.scale_gbs, r.add_gbs, r.triad_gbs)
+            )
+        else:
+            table_rows.append((r.device_key, r.level, DASH, DASH, DASH, DASH))
+            notes.append(r.note or f"{r.device_key}/{r.level}: {r.status}")
+    table = render_table(
         ["device", "level", "copy GB/s", "scale GB/s", "add GB/s", "triad GB/s"],
-        [
-            (r.device_key, r.level, r.copy_gbs, r.scale_gbs, r.add_gbs, r.triad_gbs)
-            for r in rows
-        ],
+        table_rows,
         title="Fig. 1 — STREAM bandwidth by memory level",
     )
+    footnotes = render_footnotes(notes)
+    return table + ("\n" + footnotes if footnotes else "")

@@ -4,6 +4,11 @@ Two panels (8192^2 and 16384^2 in the paper; 512^2 and 1024^2 simulated
 with 1/16-scaled caches), five variants per device.  The Mango Pi is
 absent from the large panel because the paper-size matrix (2 GiB) exceeds
 its 1 GiB of DRAM — the same capacity rule the paper applies.
+
+Each variant runs under the runtime supervisor: a cell whose run is
+skipped, times out or fails renders as ``—`` with a footnote (graceful
+per-cell degradation), and only the affected cells are missing from the
+panel.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from repro.experiments.config import (
     scaled_device,
     transpose_workload,
 )
-from repro.experiments.report import render_table, seconds_label
+from repro.experiments.report import DASH, CellFailure, render_footnotes, render_table, seconds_label
 from repro.experiments.runner import default_runner
 from repro.kernels import transpose
 from repro.metrics.speedup import SpeedupRow, speedup_row
@@ -34,12 +39,22 @@ class Fig2Panel:
     sim_n: int
     rows: List[SpeedupRow] = field(default_factory=list)
     excluded: List[str] = field(default_factory=list)  # devices that OOM
+    failures: List[CellFailure] = field(default_factory=list)
 
     def row(self, device_key: str) -> SpeedupRow:
         for row in self.rows:
             if row.device_key == device_key:
                 return row
         raise KeyError(device_key)
+
+    def failed_devices(self) -> List[str]:
+        """Devices with failures and no renderable row at all."""
+        have_rows = {row.device_key for row in self.rows}
+        out: List[str] = []
+        for failure in self.failures:
+            if failure.device_key not in have_rows and failure.device_key not in out:
+                out.append(failure.device_key)
+        return out
 
 
 def run_panel(
@@ -52,20 +67,32 @@ def run_panel(
     workload = transpose_workload(paper_n)
     panel = Fig2Panel(paper_n=paper_n, sim_n=sim_n)
     runner = default_runner()
+    order = variants or transpose.VARIANT_ORDER
+    naive_label = transpose.VARIANT_ORDER[0]
     for key in all_device_keys():
         if not device_fits_paper_workload(key, workload.paper_bytes):
             panel.excluded.append(key)
             continue
         device = scaled_device(key, scale)
         seconds: Dict[str, float] = {}
-        for variant in variants or transpose.VARIANT_ORDER:
-            record = runner.run(
+        for variant in order:
+            outcome = runner.run_supervised(
                 ("fig2", variant, sim_n, block, key, scale),
                 lambda v=variant: transpose.build(v, sim_n, block=block),
                 device,
             )
-            seconds[variant] = record.seconds
-        panel.rows.append(speedup_row(key, seconds))
+            if outcome.ok:
+                seconds[variant] = outcome.value.seconds
+            else:
+                panel.failures.append(
+                    CellFailure(key, variant, outcome.status.value, outcome.reason)
+                )
+        if naive_label in seconds:
+            panel.rows.append(speedup_row(key, seconds))
+        elif seconds:
+            panel.failures.append(
+                CellFailure(key, naive_label, "skipped", "no naive baseline; speedups undefined")
+            )
     return panel
 
 
@@ -79,20 +106,29 @@ def render(panels: List[Fig2Panel]) -> str:
     for panel in panels:
         rows = []
         for row in panel.rows:
-            rows.append(
-                [row.device_key, seconds_label(row.naive_seconds)]
-                + [f"{row.speedups[v]:.2f}x" for v in transpose.VARIANT_ORDER[1:]]
-            )
+            cells = [row.device_key, seconds_label(row.naive_seconds)]
+            for variant in transpose.VARIANT_ORDER[1:]:
+                cells.append(
+                    f"{row.speedups[variant]:.2f}x" if variant in row.speedups else DASH
+                )
+            rows.append(cells)
+        for key in panel.failed_devices():
+            rows.append([key] + [DASH] * len(transpose.VARIANT_ORDER))
         for key in panel.excluded:
             rows.append([key, "— does not fit in DRAM —"] + [""] * (len(transpose.VARIANT_ORDER) - 1))
-        blocks.append(
-            render_table(
-                ["device", "Naive"] + transpose.VARIANT_ORDER[1:],
-                rows,
-                title=(
-                    f"Fig. 2 — transpose, paper {panel.paper_n}^2 "
-                    f"(simulated {panel.sim_n}^2, caches 1/{CACHE_SCALE})"
-                ),
-            )
+        table = render_table(
+            ["device", "Naive"] + transpose.VARIANT_ORDER[1:],
+            rows,
+            title=(
+                f"Fig. 2 — transpose, paper {panel.paper_n}^2 "
+                f"(simulated {panel.sim_n}^2, caches 1/{CACHE_SCALE})"
+            ),
         )
+        notes = [
+            f"{key}: paper-size matrix ({panel.paper_n}^2 f64) does not fit in DRAM "
+            "— bar absent, as in the paper"
+            for key in panel.excluded
+        ] + [failure.note() for failure in panel.failures]
+        footnotes = render_footnotes(notes)
+        blocks.append(table + ("\n" + footnotes if footnotes else ""))
     return "\n\n".join(blocks)

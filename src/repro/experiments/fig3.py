@@ -7,27 +7,36 @@ plots exactly these two bars per device).
 The metric's numerator uses the bytes that *must* cross the DRAM boundary
 (2 * 8 * n^2: read everything once, write everything once) and the
 denominator is the STREAM-achieved DRAM bandwidth from Fig. 1.
+
+Devices the capacity rule excludes (the 16384^2 Mango Pi case) render as
+``—`` cells with an OOM footnote instead of silently vanishing; failed
+upstream runs degrade the same way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.experiments import fig1, fig2
 from repro.experiments.config import CACHE_SCALE, TRANSPOSE_SIZES
-from repro.experiments.report import render_table
+from repro.experiments.report import DASH, render_footnotes, render_table
 from repro.metrics.speedup import best_variant
 from repro.metrics.utilization import relative_bandwidth_utilization
+from repro.runtime import supervise
+
+COMPLETED = "completed"
 
 
 @dataclass
 class Fig3Row:
     device_key: str
     paper_n: int
-    naive_utilization: float
-    best_variant: str
-    best_utilization: float
+    naive_utilization: Optional[float] = None
+    best_variant: str = ""
+    best_utilization: Optional[float] = None
+    status: str = COMPLETED
+    note: str = ""
 
 
 def run(scale: int = CACHE_SCALE) -> List[Fig3Row]:
@@ -36,30 +45,73 @@ def run(scale: int = CACHE_SCALE) -> List[Fig3Row]:
         panel = fig2.run_panel(paper_n, scale)
         essential = 2 * 8 * sim_n * sim_n  # read + write every element
         for speed_row in panel.rows:
-            stream_gbs = fig1.dram_bandwidth(speed_row.device_key, scale)
+            bw = supervise(
+                lambda key=speed_row.device_key: fig1.dram_bandwidth(key, scale),
+                label=f"fig1 DRAM bandwidth for {speed_row.device_key}",
+            )
+            if not bw.ok:
+                rows.append(
+                    Fig3Row(
+                        device_key=speed_row.device_key,
+                        paper_n=paper_n,
+                        status=bw.status.value,
+                        note=bw.note(),
+                    )
+                )
+                continue
             best = best_variant(speed_row)
             rows.append(
                 Fig3Row(
                     device_key=speed_row.device_key,
                     paper_n=paper_n,
                     naive_utilization=relative_bandwidth_utilization(
-                        speed_row.naive_seconds, stream_gbs, essential
+                        speed_row.naive_seconds, bw.value, essential
                     ),
                     best_variant=best,
                     best_utilization=relative_bandwidth_utilization(
-                        speed_row.seconds[best], stream_gbs, essential
+                        speed_row.seconds[best], bw.value, essential
                     ),
+                )
+            )
+        for key in panel.excluded:
+            rows.append(
+                Fig3Row(
+                    device_key=key,
+                    paper_n=paper_n,
+                    status="skipped",
+                    note=(
+                        f"{key}: {paper_n}^2 matrix does not fit in DRAM (out of memory) "
+                        "— bar absent, as in the paper"
+                    ),
+                )
+            )
+        for key in panel.failed_devices():
+            rows.append(
+                Fig3Row(
+                    device_key=key,
+                    paper_n=paper_n,
+                    status="failed",
+                    note=f"{key}: transpose runs failed upstream (see Fig. 2 footnotes)",
                 )
             )
     return rows
 
 
 def render(rows: List[Fig3Row]) -> str:
-    return render_table(
+    table_rows = []
+    notes: List[str] = []
+    for r in rows:
+        if r.status == COMPLETED:
+            table_rows.append(
+                (r.device_key, f"{r.paper_n}^2", r.naive_utilization, r.best_variant, r.best_utilization)
+            )
+        else:
+            table_rows.append((r.device_key, f"{r.paper_n}^2", DASH, DASH, DASH))
+            notes.append(r.note or f"{r.device_key}: {r.status}")
+    table = render_table(
         ["device", "matrix (paper)", "naive util", "best variant", "best util"],
-        [
-            (r.device_key, f"{r.paper_n}^2", r.naive_utilization, r.best_variant, r.best_utilization)
-            for r in rows
-        ],
+        table_rows,
         title="Fig. 3 — relative memory bandwidth utilization (transpose)",
     )
+    footnotes = render_footnotes(notes)
+    return table + ("\n" + footnotes if footnotes else "")

@@ -4,6 +4,9 @@ Five variants per device on a color image (paper: 2544 x 2027, F = 19;
 simulated: 192 x 160 with 1/16-scaled caches — one image row ~ L1, the
 19-row filter window fits only where it fits on the real machines, and
 the full image exceeds every scaled last-level cache).
+
+Each variant runs under the runtime supervisor: failed/skipped variants
+render as ``—`` cells with a footnote instead of aborting the sweep.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from repro.experiments.config import (
     device_fits_paper_workload,
     scaled_device,
 )
-from repro.experiments.report import render_table, seconds_label
+from repro.experiments.report import DASH, CellFailure, render_footnotes, render_table, seconds_label
 from repro.experiments.runner import default_runner
 from repro.kernels import blur
 from repro.metrics.speedup import SpeedupRow, speedup_row
@@ -32,6 +35,8 @@ class Fig6Result:
     height: int
     filter_size: int
     rows: List[SpeedupRow] = field(default_factory=list)
+    excluded: List[str] = field(default_factory=list)
+    failures: List[CellFailure] = field(default_factory=list)
 
     def row(self, device_key: str) -> SpeedupRow:
         for row in self.rows:
@@ -39,36 +44,63 @@ class Fig6Result:
                 return row
         raise KeyError(device_key)
 
+    def failed_devices(self) -> List[str]:
+        have_rows = {row.device_key for row in self.rows}
+        out: List[str] = []
+        for failure in self.failures:
+            if failure.device_key not in have_rows and failure.device_key not in out:
+                out.append(failure.device_key)
+        return out
+
 
 def run(scale: int = CACHE_SCALE, variants: Optional[List[str]] = None) -> Fig6Result:
     w, h = BLUR_SIM_WH
     result = Fig6Result(width=w, height=h, filter_size=BLUR_FILTER)
     workload = blur_workload()
     runner = default_runner()
+    order = variants or blur.VARIANT_ORDER
+    naive_label = blur.VARIANT_ORDER[0]
     for key in all_device_keys():
         if not device_fits_paper_workload(key, workload.paper_bytes):
-            continue  # all four devices hold the blur image, but stay safe
+            result.excluded.append(key)  # all four devices hold the blur image, but stay safe
+            continue
         device = scaled_device(key, scale)
         seconds: Dict[str, float] = {}
-        for variant in variants or blur.VARIANT_ORDER:
-            record = runner.run(
+        for variant in order:
+            outcome = runner.run_supervised(
                 ("fig6", variant, w, h, BLUR_FILTER, key, scale),
                 lambda v=variant: blur.build(v, h, w, BLUR_FILTER),
                 device,
             )
-            seconds[variant] = record.seconds
-        result.rows.append(speedup_row(key, seconds))
+            if outcome.ok:
+                seconds[variant] = outcome.value.seconds
+            else:
+                result.failures.append(
+                    CellFailure(key, variant, outcome.status.value, outcome.reason)
+                )
+        if naive_label in seconds:
+            result.rows.append(speedup_row(key, seconds))
+        elif seconds:
+            result.failures.append(
+                CellFailure(key, naive_label, "skipped", "no naive baseline; speedups undefined")
+            )
     return result
 
 
 def render(result: Fig6Result) -> str:
     rows = []
     for row in result.rows:
-        rows.append(
-            [row.device_key, seconds_label(row.naive_seconds)]
-            + [f"{row.speedups[v]:.2f}x" for v in blur.VARIANT_ORDER[1:]]
-        )
-    return render_table(
+        cells = [row.device_key, seconds_label(row.naive_seconds)]
+        for variant in blur.VARIANT_ORDER[1:]:
+            cells.append(
+                f"{row.speedups[variant]:.2f}x" if variant in row.speedups else DASH
+            )
+        rows.append(cells)
+    for key in result.failed_devices():
+        rows.append([key] + [DASH] * len(blur.VARIANT_ORDER))
+    for key in result.excluded:
+        rows.append([key, "— does not fit in DRAM —"] + [""] * (len(blur.VARIANT_ORDER) - 1))
+    table = render_table(
         ["device", "Naive"] + blur.VARIANT_ORDER[1:],
         rows,
         title=(
@@ -76,3 +108,9 @@ def render(result: Fig6Result) -> str:
             f"(paper 2544x2027, caches 1/{CACHE_SCALE})"
         ),
     )
+    notes = [
+        f"{key}: paper-size image does not fit in DRAM — bar absent"
+        for key in result.excluded
+    ] + [failure.note() for failure in result.failures]
+    footnotes = render_footnotes(notes)
+    return table + ("\n" + footnotes if footnotes else "")

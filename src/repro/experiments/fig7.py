@@ -4,6 +4,9 @@ The paper computes the Section 3.3 metric for the three optimized
 implementations (1D_kernels, Memory, Parallel), using the 1D_kernels
 algorithm as the traffic baseline; labels show the improvement relative
 to 1D_kernels.
+
+Devices whose upstream Fig. 6 runs failed (or whose 1D_kernels baseline
+is missing) degrade to ``—`` cells with a footnote.
 """
 
 from __future__ import annotations
@@ -14,9 +17,10 @@ from typing import List
 from repro.analysis.footprint import essential_traffic_bytes
 from repro.experiments import fig1, fig6
 from repro.experiments.config import BLUR_FILTER, BLUR_SIM_WH, CACHE_SCALE
-from repro.experiments.report import render_table
+from repro.experiments.report import DASH, render_footnotes, render_table
 from repro.kernels import blur
 from repro.metrics.utilization import relative_bandwidth_utilization
+from repro.runtime import supervise
 
 VARIANTS = ["1D_kernels", "Memory", "Parallel"]
 
@@ -24,8 +28,10 @@ VARIANTS = ["1D_kernels", "Memory", "Parallel"]
 @dataclass
 class Fig7Row:
     device_key: str
-    utilization: dict          # variant -> metric
+    utilization: dict          # variant -> metric (missing variants omitted)
     improvement: dict          # variant -> metric / metric(1D_kernels)
+    status: str = "completed"
+    note: str = ""
 
 
 def baseline_bytes() -> int:
@@ -40,28 +46,66 @@ def run(scale: int = CACHE_SCALE) -> List[Fig7Row]:
     traffic = baseline_bytes()
     rows: List[Fig7Row] = []
     for speed_row in result.rows:
-        stream_gbs = fig1.dram_bandwidth(speed_row.device_key, scale)
+        if "1D_kernels" not in speed_row.seconds:
+            rows.append(
+                Fig7Row(
+                    speed_row.device_key,
+                    {},
+                    {},
+                    status="skipped",
+                    note=f"{speed_row.device_key}: 1D_kernels baseline missing; metric undefined",
+                )
+            )
+            continue
+        bw = supervise(
+            lambda key=speed_row.device_key: fig1.dram_bandwidth(key, scale),
+            label=f"fig1 DRAM bandwidth for {speed_row.device_key}",
+        )
+        if not bw.ok:
+            rows.append(
+                Fig7Row(speed_row.device_key, {}, {}, status=bw.status.value, note=bw.note())
+            )
+            continue
         utilization = {
             variant: relative_bandwidth_utilization(
-                speed_row.seconds[variant], stream_gbs, traffic
+                speed_row.seconds[variant], bw.value, traffic
             )
             for variant in VARIANTS
+            if variant in speed_row.seconds
         }
         base = utilization["1D_kernels"]
         improvement = {v: (u / base if base else float("inf")) for v, u in utilization.items()}
         rows.append(Fig7Row(speed_row.device_key, utilization, improvement))
+    for key in result.failed_devices():
+        rows.append(
+            Fig7Row(
+                key,
+                {},
+                {},
+                status="failed",
+                note=f"{key}: blur runs failed upstream (see Fig. 6 footnotes)",
+            )
+        )
     return rows
 
 
 def render(rows: List[Fig7Row]) -> str:
     table = []
+    notes: List[str] = []
     for row in rows:
         cells = [row.device_key]
         for variant in VARIANTS:
-            cells.append(f"{row.utilization[variant]:.3f} ({row.improvement[variant]:.2f}x)")
+            if variant in row.utilization:
+                cells.append(f"{row.utilization[variant]:.3f} ({row.improvement[variant]:.2f}x)")
+            else:
+                cells.append(DASH)
         table.append(cells)
-    return render_table(
+        if row.status != "completed":
+            notes.append(row.note or f"{row.device_key}: {row.status}")
+    text = render_table(
         ["device"] + [f"{v} util (vs 1D)" for v in VARIANTS],
         table,
         title="Fig. 7 — relative memory bandwidth utilization (Gaussian blur)",
     )
+    footnotes = render_footnotes(notes)
+    return text + ("\n" + footnotes if footnotes else "")

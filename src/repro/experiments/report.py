@@ -7,7 +7,36 @@ paper's figures plot.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence
+
+#: Placeholder for a figure cell whose run did not complete — the same
+#: visual convention as the paper's absent 16384² Mango Pi bar.
+DASH = "—"
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One figure cell that could not be produced (skipped/timed out/failed)."""
+
+    device_key: str
+    item: str       # variant, memory level, ablation name ...
+    status: str     # an OutcomeStatus value
+    reason: str
+
+    def note(self) -> str:
+        return f"{self.device_key}/{self.item} {self.status}: {self.reason}"
+
+
+def render_footnotes(notes: Iterable[str]) -> str:
+    """Deduplicated '†' footnote lines appended below a table."""
+    seen = set()
+    lines = []
+    for note in notes:
+        if note and note not in seen:
+            seen.add(note)
+            lines.append(f"† {note}")
+    return "\n".join(lines)
 
 
 def _format_cell(value) -> str:

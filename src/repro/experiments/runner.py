@@ -1,22 +1,41 @@
-"""Cached simulation runner shared by all figure harnesses.
+"""Cached, supervised simulation runner shared by all figure harnesses.
 
 Fig. 3 re-uses Fig. 2's transpose timings and Fig. 7 re-uses Fig. 6's blur
 timings (exactly as the paper computes its utilization metric from the
 same runs), so results are memoised per (family, variant, device) within
-the process, and optionally persisted to a JSON cache on disk so that
-separate benchmark invocations do not re-simulate identical configurations.
+the process and persisted to a versioned, checksummed on-disk cache
+(:class:`repro.runtime.RunCache`) so separate invocations do not
+re-simulate identical configurations.
+
+Every uncached simulate call executes under the runtime supervisor
+(:func:`repro.runtime.supervise`): transient failures are retried with
+backoff, out-of-memory workloads become ``skipped`` outcomes (the paper's
+missing bars), deadline overruns become ``timed_out`` — and every attempt
+is appended to the JSONL run journal surfaced by
+``repro-experiments status``.
 """
 
 from __future__ import annotations
 
-import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.footprint import essential_traffic_bytes
 from repro.devices.spec import DeviceSpec
+from repro.errors import SimulationError
 from repro.ir.program import Program
+from repro.runtime import (
+    Journal,
+    Outcome,
+    OutcomeStatus,
+    RetryPolicy,
+    RunCache,
+    canonical_key,
+    default_journal_path,
+    supervise,
+)
+from repro.runtime import faults
 from repro.simulate import SimulationResult, simulate
 from repro.transforms import AutoVectorize
 
@@ -34,19 +53,25 @@ class RunRecord:
     flops: int
 
 
-class Runner:
-    """Builds, vectorizes (per device) and simulates kernels with caching."""
+RECORD_FIELDS = frozenset(f.name for f in fields(RunRecord))
 
-    def __init__(self, cache_path: Optional[str] = None):
+
+class Runner:
+    """Builds, vectorizes (per device) and simulates kernels with caching
+    and supervised, journalled execution."""
+
+    def __init__(
+        self,
+        cache_path: Optional[str] = None,
+        journal_path: Optional[str] = None,
+        policy: Optional[RetryPolicy] = None,
+    ):
         self._memory: Dict[Tuple, RunRecord] = {}
-        self._cache_path = cache_path
-        self._disk: Dict[str, dict] = {}
-        if cache_path and os.path.exists(cache_path):
-            try:
-                with open(cache_path) as fh:
-                    self._disk = json.load(fh)
-            except (OSError, ValueError):
-                self._disk = {}
+        self.cache = RunCache(cache_path, expected_fields=RECORD_FIELDS)
+        if journal_path is None and cache_path:
+            journal_path = default_journal_path(cache_path)
+        self.journal = Journal(journal_path)
+        self._policy = policy
 
     # -- public ------------------------------------------------------------
 
@@ -60,62 +85,103 @@ class Runner:
         """Simulate ``build()`` on ``device`` unless already cached.
 
         ``key`` must uniquely identify (kernel family, variant, sizes,
-        device, simulation options).
+        device, simulation options).  Raises on any non-completed outcome
+        — figure harnesses that want graceful degradation use
+        :meth:`run_supervised` instead.
         """
+        outcome = self.run_supervised(key, build, device, **simulate_kwargs)
+        if outcome.ok:
+            return outcome.value
+        if outcome.error is not None:
+            raise outcome.error
+        raise SimulationError(outcome.reason or f"supervised run of {key!r} failed")
+
+    def run_supervised(
+        self,
+        key: Tuple,
+        build: Callable[[], Program],
+        device: DeviceSpec,
+        **simulate_kwargs,
+    ) -> Outcome:
+        """Like :meth:`run` but never raises: returns a structured
+        :class:`~repro.runtime.Outcome` whose ``value`` is the
+        :class:`RunRecord` on completion."""
+        disk_key = canonical_key(key)
         if key in self._memory:
-            return self._memory[key]
-        disk_key = repr(key)
-        if disk_key in self._disk:
-            record = RunRecord(**self._disk[disk_key])
+            return Outcome(
+                OutcomeStatus.COMPLETED,
+                value=self._memory[key],
+                attempts=0,
+                reason="memory-cache hit",
+                label=disk_key,
+            )
+        cached = self.cache.get(disk_key)
+        if cached is not None:
+            # Field sets were validated at cache load, so this cannot
+            # raise the historical RunRecord(**dict) TypeError.
+            record = RunRecord(**cached)
             self._memory[key] = record
-            return record
+            return Outcome(
+                OutcomeStatus.COMPLETED,
+                value=record,
+                attempts=0,
+                reason="disk-cache hit",
+                label=disk_key,
+            )
 
-        program = build()
-        if device.cpu.vector_bits:
-            program = AutoVectorize().run(program)
-        result = simulate(program, device, **simulate_kwargs)
-        record = RunRecord(
-            program_name=program.name,
-            device_key=device.key,
-            seconds=result.seconds,
-            dram_bytes=result.dram_bytes,
-            essential_bytes=essential_traffic_bytes(program),
-            active_cores=result.active_cores,
-            flops=result.total_ops.flops,
-        )
-        self._memory[key] = record
-        self._disk[disk_key] = asdict(record)
-        self._save()
-        return record
+        def execute() -> RunRecord:
+            faults.before_simulate(disk_key)
+            program = build()
+            if device.cpu.vector_bits:
+                program = AutoVectorize().run(program)
+            result: SimulationResult = simulate(program, device, **simulate_kwargs)
+            return RunRecord(
+                program_name=program.name,
+                device_key=device.key,
+                seconds=result.seconds,
+                dram_bytes=result.dram_bytes,
+                essential_bytes=essential_traffic_bytes(program),
+                active_cores=result.active_cores,
+                flops=result.total_ops.flops,
+            )
 
-    def _save(self) -> None:
-        if not self._cache_path:
-            return
-        try:
-            with open(self._cache_path, "w") as fh:
-                json.dump(self._disk, fh, indent=1, sort_keys=True)
-        except OSError:
-            pass
+        policy = self._policy or RetryPolicy.from_env()
+        outcome = supervise(execute, policy, label=disk_key)
+        self.journal.record(disk_key, outcome)
+        if outcome.ok:
+            self._memory[key] = outcome.value
+            self.cache.put(disk_key, asdict(outcome.value))
+        return outcome
 
 
 _DEFAULT: Optional[Runner] = None
+
+
+def default_cache_path() -> Optional[str]:
+    """Resolve ``REPRO_CACHE``: ``off`` disables persistence, a path
+    relocates it, empty means ``.repro_cache.json`` under the repo root."""
+    env = os.environ.get("REPRO_CACHE", "")
+    if env == "off":
+        return None
+    if env:
+        return env
+    path = os.path.join(os.path.dirname(__file__), "..", "..", "..", ".repro_cache.json")
+    return os.path.abspath(path)
 
 
 def default_runner() -> Runner:
     """Process-wide runner with an on-disk cache under the repo root.
 
     Set ``REPRO_CACHE=off`` to disable persistence, or ``REPRO_CACHE=path``
-    to relocate it.
+    to relocate it.  The run journal lives next to the cache file.
     """
     global _DEFAULT
     if _DEFAULT is None:
-        env = os.environ.get("REPRO_CACHE", "")
-        if env == "off":
-            path = None
-        elif env:
-            path = env
-        else:
-            path = os.path.join(os.path.dirname(__file__), "..", "..", "..", ".repro_cache.json")
-            path = os.path.abspath(path)
-        _DEFAULT = Runner(path)
+        _DEFAULT = Runner(default_cache_path())
     return _DEFAULT
+
+
+def reset_default_runner() -> None:
+    """Drop the process-wide runner (tests repoint ``REPRO_CACHE``)."""
+    global _DEFAULT
+    _DEFAULT = None

@@ -1,0 +1,64 @@
+"""Fault-tolerant experiment runtime.
+
+The robustness layer under :mod:`repro.experiments`: long
+multi-configuration sweeps must survive crashes, corrupted caches and
+injected faults, degrading per-figure-cell instead of dying on the first
+exception (the paper itself renders a missing bar where the 16384²
+matrix does not fit the Mango Pi's DRAM).
+
+* :mod:`repro.runtime.cache` — versioned, checksummed, atomically
+  written run cache with quarantine-and-rebuild corruption handling;
+* :mod:`repro.runtime.supervisor` — deadline + bounded-retry supervision
+  returning structured ``completed | skipped | timed_out | failed``
+  outcomes;
+* :mod:`repro.runtime.faults` — deterministic fault injection
+  (``REPRO_FAULTS``) used by the chaos test-suite;
+* :mod:`repro.runtime.journal` — append-only JSONL journal of every
+  attempt, surfaced by ``repro-experiments status``.
+"""
+
+from repro.runtime.faults import (
+    FaultPlan,
+    active_plan,
+    clear_faults,
+    install_faults,
+)
+from repro.runtime.cache import (
+    CACHE_SCHEMA_VERSION,
+    RunCache,
+    canonical_key,
+    record_digest,
+)
+from repro.runtime.journal import (
+    Journal,
+    JournalEntry,
+    default_journal_path,
+    read_journal,
+    summarize,
+)
+from repro.runtime.supervisor import (
+    Outcome,
+    OutcomeStatus,
+    RetryPolicy,
+    supervise,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "FaultPlan",
+    "Journal",
+    "JournalEntry",
+    "Outcome",
+    "OutcomeStatus",
+    "RetryPolicy",
+    "RunCache",
+    "active_plan",
+    "canonical_key",
+    "clear_faults",
+    "default_journal_path",
+    "install_faults",
+    "read_journal",
+    "record_digest",
+    "summarize",
+    "supervise",
+]

@@ -1,0 +1,192 @@
+"""Resilient on-disk run cache: versioned, checksummed, atomic.
+
+Replaces the runner's old ad-hoc JSON blob.  The file layout is::
+
+    {
+      "schema": 2,
+      "records": {
+        "v2:[\"fig2\",\"Naive\",512,...]": {
+          "digest": "<sha256 prefix of the record>",
+          "record": {...RunRecord fields...}
+        }
+      }
+    }
+
+Robustness rules, in order:
+
+* a file that does not parse (or is not a JSON object) is **quarantined**
+  — renamed to ``<path>.corrupt-<ts>`` — and the cache rebuilds from
+  empty instead of crashing or silently starting over;
+* a parseable file with a different (or missing) schema version is
+  **invalidated**: its records are dropped, no quarantine;
+* a record whose integrity digest does not match, or whose fields no
+  longer line up with the expected dataclass fields, is dropped
+  individually (no ``RunRecord(**dict)`` ``TypeError``);
+* writes are atomic (temp file in the same directory + ``os.replace``)
+  and write failures are logged, never silently swallowed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+import time
+from typing import Any, Dict, FrozenSet, Optional
+
+from repro.runtime import faults
+
+LOG = logging.getLogger("repro.runtime")
+
+CACHE_SCHEMA_VERSION = 2
+
+
+def _jsonable(value: Any) -> Any:
+    """Tuples become lists so the key round-trips through JSON."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    return value
+
+
+def canonical_key(key: Any) -> str:
+    """Stable, version-prefixed serialization of a run key.
+
+    Unlike ``repr(key)``, this does not depend on dataclass reprs or
+    Python-version formatting details, and the ``v<schema>:`` prefix lets
+    a format bump invalidate old entries wholesale.
+    """
+    payload = json.dumps(_jsonable(key), sort_keys=True, separators=(",", ":"), default=str)
+    return f"v{CACHE_SCHEMA_VERSION}:{payload}"
+
+
+def record_digest(record: Dict[str, Any]) -> str:
+    """Short content digest used as the per-record integrity check."""
+    payload = json.dumps(_jsonable(record), sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class RunCache:
+    """Versioned, checksummed key→record store backed by one JSON file."""
+
+    def __init__(
+        self,
+        path: Optional[str],
+        expected_fields: Optional[FrozenSet[str]] = None,
+    ):
+        self.path = path
+        self.expected_fields = frozenset(expected_fields) if expected_fields else None
+        self.records: Dict[str, Dict[str, Any]] = {}
+        self.dropped = 0            # stale/invalid records discarded at load
+        self.quarantined: Optional[str] = None
+        self._load()
+
+    # -- load ----------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path or not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path) as fh:
+                data = json.load(fh)
+        except OSError as exc:
+            LOG.warning("run cache %s unreadable (%s); starting empty", self.path, exc)
+            return
+        except ValueError:
+            self._quarantine("does not parse as JSON")
+            return
+        if not isinstance(data, dict):
+            self._quarantine("top level is not a JSON object")
+            return
+        if data.get("schema") != CACHE_SCHEMA_VERSION:
+            # Legacy or future format: parseable but stale — invalidate.
+            stale = data.get("records", data)
+            self.dropped += len(stale) if isinstance(stale, dict) else 0
+            LOG.warning(
+                "run cache %s has schema %r (want %d); invalidating %d records",
+                self.path, data.get("schema"), CACHE_SCHEMA_VERSION, self.dropped,
+            )
+            return
+        raw = data.get("records")
+        if not isinstance(raw, dict):
+            self._quarantine("'records' is not a JSON object")
+            return
+        for key, entry in raw.items():
+            if self._valid_entry(key, entry):
+                self.records[key] = entry
+            else:
+                self.dropped += 1
+        if self.dropped:
+            LOG.warning(
+                "run cache %s: dropped %d stale/corrupt records", self.path, self.dropped
+            )
+
+    def _valid_entry(self, key: str, entry: Any) -> bool:
+        if not (isinstance(key, str) and key.startswith(f"v{CACHE_SCHEMA_VERSION}:")):
+            return False
+        if not isinstance(entry, dict):
+            return False
+        record = entry.get("record")
+        if not isinstance(record, dict):
+            return False
+        if self.expected_fields is not None and set(record) != self.expected_fields:
+            return False
+        return entry.get("digest") == record_digest(record)
+
+    def _quarantine(self, why: str) -> None:
+        ts = int(time.time())
+        dest = f"{self.path}.corrupt-{ts}"
+        suffix = 0
+        while os.path.exists(dest):
+            suffix += 1
+            dest = f"{self.path}.corrupt-{ts}.{suffix}"
+        try:
+            os.replace(self.path, dest)
+        except OSError as exc:
+            LOG.warning("run cache %s corrupt (%s) but quarantine failed: %s", self.path, why, exc)
+            return
+        self.quarantined = dest
+        LOG.warning("run cache %s corrupt (%s); quarantined to %s", self.path, why, dest)
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self.records.get(key)
+        return entry["record"] if entry else None
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        self.records[key] = {"digest": record_digest(record), "record": record}
+        self.save()
+
+    # -- save ----------------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomic write: temp file in the same directory + ``os.replace``."""
+        if not self.path:
+            return
+        payload = {"schema": CACHE_SCHEMA_VERSION, "records": self.records}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=os.path.basename(self.path) + ".", suffix=".tmp", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, indent=1, sort_keys=True)
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            LOG.warning("run cache %s not saved: %s", self.path, exc)
+            return
+        faults.after_cache_write(self.path)

@@ -1,0 +1,126 @@
+"""Append-only JSONL run journal.
+
+Every supervised attempt the runner makes — completed, skipped,
+timed-out or failed — is appended as one JSON object per line to a
+journal file next to the run cache.  The journal is the audit trail for
+long multi-configuration sweeps: ``repro-experiments status`` summarizes
+it, and failed runs keep their reason even after the process exits.
+
+Line format::
+
+    {"ts": 1754459000.1, "key": "v2:[...]", "outcome": "completed",
+     "duration_s": 0.42, "attempts": 1, "error": ""}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.runtime.supervisor import Outcome
+
+LOG = logging.getLogger("repro.runtime")
+
+JOURNAL_BASENAME = ".repro_journal.jsonl"
+
+
+@dataclass
+class JournalEntry:
+    """One attempt's durable facts."""
+
+    ts: float
+    key: str
+    outcome: str
+    duration_s: float
+    attempts: int
+    error: str = ""
+
+
+class Journal:
+    """Appends entries to a JSONL file; a ``None`` path disables it."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+
+    def record(self, key: str, outcome: Outcome) -> None:
+        self.append(
+            JournalEntry(
+                ts=time.time(),
+                key=key,
+                outcome=outcome.status.value,
+                duration_s=round(outcome.duration_s, 6),
+                attempts=outcome.attempts,
+                error=outcome.reason,
+            )
+        )
+
+    def append(self, entry: JournalEntry) -> None:
+        if not self.path:
+            return
+        try:
+            with open(self.path, "a") as fh:
+                fh.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
+        except OSError as exc:
+            LOG.warning("journal %s not appended: %s", self.path, exc)
+
+
+def default_journal_path(cache_path: str) -> str:
+    """The journal lives under the cache's directory."""
+    return os.path.join(os.path.dirname(os.path.abspath(cache_path)), JOURNAL_BASENAME)
+
+
+def read_journal(path: str) -> List[JournalEntry]:
+    """Parse a journal file, skipping unparseable lines (torn writes)."""
+    entries: List[JournalEntry] = []
+    if not path or not os.path.exists(path):
+        return entries
+    try:
+        with open(path) as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        LOG.warning("journal %s unreadable: %s", path, exc)
+        return entries
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+            entries.append(
+                JournalEntry(
+                    ts=float(raw["ts"]),
+                    key=str(raw["key"]),
+                    outcome=str(raw["outcome"]),
+                    duration_s=float(raw.get("duration_s", 0.0)),
+                    attempts=int(raw.get("attempts", 1)),
+                    error=str(raw.get("error", "")),
+                )
+            )
+        except (ValueError, KeyError, TypeError):
+            continue
+    return entries
+
+
+def summarize(entries: List[JournalEntry]) -> Dict:
+    """Aggregate counts for the ``status`` subcommand."""
+    by_outcome: Dict[str, int] = {}
+    retries = 0
+    duration = 0.0
+    failures: List[JournalEntry] = []
+    for entry in entries:
+        by_outcome[entry.outcome] = by_outcome.get(entry.outcome, 0) + 1
+        retries += max(0, entry.attempts - 1)
+        duration += entry.duration_s
+        if entry.outcome not in ("completed", "cached"):
+            failures.append(entry)
+    return {
+        "total": len(entries),
+        "by_outcome": by_outcome,
+        "retries": retries,
+        "duration_s": duration,
+        "failures": failures[-10:],
+    }

@@ -1,0 +1,185 @@
+"""Supervised execution: deadlines, bounded retry, structured outcomes.
+
+The paper's own figures embody graceful degradation (the 16384² transpose
+bar is simply absent on the Mango Pi), so the experiment stack never
+treats a single failed simulate call as fatal.  Every call runs through
+:func:`supervise`, which classifies the result into a structured
+:class:`Outcome`:
+
+* ``completed`` — the call returned a value;
+* ``skipped`` — the workload cannot run here (``OutOfMemoryError``),
+  exactly the paper's missing-bar case;
+* ``timed_out`` — the call overran its wall-clock deadline
+  (``BudgetExceededError``);
+* ``failed`` — a transient error persisted past the retry budget, or a
+  non-retryable exception escaped.
+
+Transient errors (:class:`~repro.errors.TransientSimulationError`) are
+retried with exponential backoff plus deterministic jitter.  Environment
+knobs: ``REPRO_RETRIES`` (max attempts), ``REPRO_RETRY_BASE`` (base
+backoff seconds) and ``REPRO_DEADLINE`` (per-call deadline seconds).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import BudgetExceededError, OutOfMemoryError, TransientSimulationError
+
+
+class OutcomeStatus(enum.Enum):
+    """Terminal classification of one supervised call."""
+
+    COMPLETED = "completed"
+    SKIPPED = "skipped"
+    TIMED_OUT = "timed_out"
+    FAILED = "failed"
+
+
+@dataclass
+class Outcome:
+    """What one supervised call produced (value or structured failure)."""
+
+    status: OutcomeStatus
+    value: Any = None
+    error: Optional[BaseException] = None
+    reason: str = ""
+    attempts: int = 1
+    duration_s: float = 0.0
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is OutcomeStatus.COMPLETED
+
+    def note(self) -> str:
+        """One footnote-sized line describing a non-completed outcome."""
+        prefix = f"{self.label}: " if self.label else ""
+        return f"{prefix}{self.status.value} — {self.reason}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/deadline budget for supervised calls."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.25           # fraction of the delay added as jitter
+    deadline_s: Optional[float] = None
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Policy with ``REPRO_RETRIES`` / ``REPRO_RETRY_BASE`` /
+        ``REPRO_DEADLINE`` overrides applied (bad values are ignored)."""
+
+        def _get(name: str, cast, default):
+            raw = os.environ.get(name)
+            if not raw:
+                return default
+            try:
+                return cast(raw)
+            except ValueError:
+                return default
+
+        return cls(
+            max_attempts=max(1, _get("REPRO_RETRIES", int, cls.max_attempts)),
+            base_delay_s=_get("REPRO_RETRY_BASE", float, cls.base_delay_s),
+            deadline_s=_get("REPRO_DEADLINE", float, cls.deadline_s),
+        )
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (1-based), with jitter."""
+        delay = min(self.max_delay_s, self.base_delay_s * (2 ** (attempt - 1)))
+        return delay * (1.0 + self.jitter * rng.random())
+
+
+def _call_with_deadline(fn: Callable[[], Any], deadline_s: Optional[float]) -> Any:
+    """Run ``fn``; enforce a wall-clock deadline via a worker thread.
+
+    On expiry the worker is abandoned (daemon) and
+    :class:`BudgetExceededError` is raised — a pure-Python simulate call
+    cannot be preempted, but the sweep moves on.
+    """
+    if not deadline_s or deadline_s <= 0:
+        return fn()
+    box: dict = {}
+    done = threading.Event()
+
+    def target() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # re-raised in the caller below
+            box["error"] = exc
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=target, name="repro-supervised", daemon=True)
+    worker.start()
+    if not done.wait(deadline_s):
+        raise BudgetExceededError(
+            f"supervised call exceeded its {deadline_s:g}s deadline"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box.get("value")
+
+
+def supervise(
+    fn: Callable[[], Any],
+    policy: Optional[RetryPolicy] = None,
+    *,
+    label: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+) -> Outcome:
+    """Run ``fn`` under ``policy`` and return a structured :class:`Outcome`.
+
+    Never raises: every exception is classified.  ``sleep`` and ``rng``
+    are injectable for the test-suite (deterministic jitter by default).
+    """
+    policy = policy or RetryPolicy.from_env()
+    rng = rng or random.Random(0)
+    start = time.monotonic()
+    attempts = 0
+
+    def _finish(status: OutcomeStatus, **kw) -> Outcome:
+        return Outcome(
+            status,
+            attempts=attempts,
+            duration_s=time.monotonic() - start,
+            label=label,
+            **kw,
+        )
+
+    while True:
+        attempts += 1
+        try:
+            value = _call_with_deadline(fn, policy.deadline_s)
+            return _finish(OutcomeStatus.COMPLETED, value=value)
+        except OutOfMemoryError as exc:
+            return _finish(
+                OutcomeStatus.SKIPPED, error=exc, reason=f"out of memory: {exc}"
+            )
+        except BudgetExceededError as exc:
+            return _finish(OutcomeStatus.TIMED_OUT, error=exc, reason=str(exc))
+        except TransientSimulationError as exc:
+            if attempts >= policy.max_attempts:
+                return _finish(
+                    OutcomeStatus.FAILED,
+                    error=exc,
+                    reason=f"transient failure persisted after {attempts} attempts: {exc}",
+                )
+            sleep(policy.backoff(attempts, rng))
+        except Exception as exc:
+            return _finish(
+                OutcomeStatus.FAILED,
+                error=exc,
+                reason=f"{type(exc).__name__}: {exc}",
+            )
