@@ -1,46 +1,103 @@
-"""Command-line entry point: regenerate any figure of the paper.
+"""Command-line entry point: figures, run-journal status, profiling.
 
 Usage::
 
     repro-experiments fig1
-    repro-experiments fig2 fig3
+    repro-experiments fig2 fig3 --trace figures.json
     repro-experiments all
     repro-experiments ablations
     repro-experiments status
+    repro-experiments profile transpose Naive mango_pi_d1
+    repro-experiments profile blur Memory xeon_4310t --json --trace out.json
+    repro-experiments profile transpose Naive mango_pi_d1 --n 256 --check
+
+(The ``repro`` console script is an alias, so ``repro profile ...`` works
+as well.)
 
 Figures are isolated from one another: a failure in one figure does not
 abort the rest of the run (or lose already-written ``--csv-dir`` output).
-A failure summary prints at the end and the exit code is nonzero iff any
+A failure summary logs at the end and the exit code is nonzero iff any
 figure failed.  ``status`` summarizes the run journal the supervised
-runner appends next to the on-disk cache.
+runner appends next to the on-disk cache.  ``profile`` simulates one
+(kernel, variant, device) triple and prints its perf counters, time
+attribution and roofline position; ``--save-baseline`` / ``--check``
+maintain the committed counter baseline, ``--trace`` writes a Chrome
+trace-event JSON of the run's pipeline spans.
+
+Diagnostics (progress, warnings, failure summaries) go through
+``logging`` — quiet them with ``--quiet`` or amplify with ``-v`` —
+while results (tables, JSON, reports) stay on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.experiments import ablations, fig1, fig2, fig3, fig6, fig7
 from repro.experiments.report import render_table
 from repro.experiments.runner import default_cache_path
+from repro.profiling import tracer
+
+LOG = logging.getLogger("repro.cli")
 
 FIGURES = ["fig1", "fig2", "fig3", "fig6", "fig7"]
 
 
+def configure_logging(verbose: int = 0, quiet: bool = False) -> None:
+    """Route diagnostics through the ``repro`` logger hierarchy.
+
+    Default shows status lines (INFO); ``--quiet`` keeps only warnings
+    and errors; ``-v`` adds debug detail with logger names.
+    """
+    if quiet:
+        level = logging.WARNING
+    elif verbose >= 1:
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    fmt = "[%(name)s] %(message)s" if verbose >= 1 else "%(message)s"
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    # Replace handlers rather than stacking them (main() may run twice in
+    # one process, e.g. under tests).
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    root.addHandler(handler)
+    # Propagation stays on: the root logger has no handlers in CLI use (so
+    # nothing double-prints) and pytest's caplog captures at the root.
+
+
+def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="debug diagnostics (logger names included)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only warnings and errors on stderr",
+    )
+
+
 def _run_figure(name: str) -> str:
-    if name == "fig1":
-        return fig1.render(fig1.run())
-    if name == "fig2":
-        return fig2.render(fig2.run())
-    if name == "fig3":
-        return fig3.render(fig3.run())
-    if name == "fig6":
-        return fig6.render(fig6.run())
-    if name == "fig7":
-        return fig7.render(fig7.run())
-    raise ValueError(f"unknown figure {name!r}")
+    with tracer.span(f"figure.{name}", cat="figure"):
+        if name == "fig1":
+            return fig1.render(fig1.run())
+        if name == "fig2":
+            return fig2.render(fig2.run())
+        if name == "fig3":
+            return fig3.render(fig3.run())
+        if name == "fig6":
+            return fig6.render(fig6.run())
+        if name == "fig7":
+            return fig7.render(fig7.run())
+        raise ValueError(f"unknown figure {name!r}")
 
 
 def _run_ablations() -> Tuple[str, List[str]]:
@@ -88,11 +145,12 @@ def _run_ablations() -> Tuple[str, List[str]]:
     parts = []
     errors = []
     for label, thunk in blocks:
-        try:
-            parts.append(thunk())
-        except Exception as exc:
-            parts.append(f"Ablation — {label}: FAILED ({type(exc).__name__}: {exc})")
-            errors.append(f"{label} ({type(exc).__name__}: {exc})")
+        with tracer.span(f"ablation.{label}", cat="figure"):
+            try:
+                parts.append(thunk())
+            except Exception as exc:
+                parts.append(f"Ablation — {label}: FAILED ({type(exc).__name__}: {exc})")
+                errors.append(f"{label} ({type(exc).__name__}: {exc})")
     return "\n\n".join(parts), errors
 
 
@@ -110,10 +168,27 @@ def _render_status() -> str:
     stats = summarize(entries)
     rows = [[outcome, count] for outcome, count in sorted(stats["by_outcome"].items())]
     rows.append(["total", stats["total"]])
+    sources = "   ".join(
+        f"{source}: {count}" for source, count in sorted(stats["by_source"].items())
+    )
     lines = [
         render_table(["outcome", "attempts"], rows, title=f"Run journal — {journal_path}"),
+        f"provenance: {sources}",
         f"retries: {stats['retries']}   simulated time spent: {stats['duration_s']:.2f}s",
     ]
+    quantiles = stats["duration_quantiles"]
+    if quantiles:
+        duration_rows = [
+            [figure, int(q["runs"]), f"{q['p50']:.3f}", f"{q['p95']:.3f}"]
+            for figure, q in quantiles.items()
+        ]
+        lines.append(
+            render_table(
+                ["figure", "runs", "p50 (s)", "p95 (s)"],
+                duration_rows,
+                title="Simulated run durations per figure",
+            )
+        )
     if stats["failures"]:
         lines.append("most recent non-completed attempts:")
         for entry in stats["failures"]:
@@ -121,7 +196,7 @@ def _render_status() -> str:
     return "\n".join(lines)
 
 
-def main(argv: List[str] = None) -> int:
+def figures_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's figures from simulation.",
@@ -137,7 +212,15 @@ def main(argv: List[str] = None) -> int:
         default=None,
         help="also write each figure's data as CSV into this directory",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON of the whole run to FILE",
+    )
+    _add_logging_flags(parser)
     args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
 
     names: List[str] = []
     for name in args.figures:
@@ -146,43 +229,148 @@ def main(argv: List[str] = None) -> int:
         else:
             names.append(name)
 
+    trace_obj = tracer.Tracer() if args.trace else None
     failures: List[Tuple[str, str]] = []
-    for name in dict.fromkeys(names):  # dedupe, keep order
-        if name == "status":
-            print(_render_status())
-            continue
-        start = time.time()
-        try:
-            if name == "ablations":
-                output, block_errors = _run_ablations()
-                for detail in block_errors:
-                    failures.append(("ablations", detail))
-            else:
-                output = _run_figure(name)
-        except Exception as exc:
-            detail = f"{type(exc).__name__}: {exc}"
-            failures.append((name, detail))
-            print(f"[{name} FAILED: {detail}]\n", file=sys.stderr)
-            continue
-        print(output)
-        if args.csv_dir and name != "ablations":
-            from repro.experiments.export import export_figure
-
+    with tracer.install(trace_obj) if trace_obj else _noop_context():
+        for name in dict.fromkeys(names):  # dedupe, keep order
+            if name == "status":
+                print(_render_status())
+                continue
+            start = time.time()
             try:
-                path = export_figure(name, args.csv_dir)
-                print(f"[csv written to {path}]")
+                if name == "ablations":
+                    output, block_errors = _run_ablations()
+                    for detail in block_errors:
+                        failures.append(("ablations", detail))
+                else:
+                    output = _run_figure(name)
             except Exception as exc:
                 detail = f"{type(exc).__name__}: {exc}"
-                failures.append((f"{name} (csv export)", detail))
-                print(f"[{name} csv export FAILED: {detail}]", file=sys.stderr)
-        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+                failures.append((name, detail))
+                LOG.error("[%s FAILED: %s]", name, detail)
+                continue
+            print(output)
+            if args.csv_dir and name != "ablations":
+                from repro.experiments.export import export_figure
+
+                try:
+                    path = export_figure(name, args.csv_dir)
+                    LOG.info("[csv written to %s]", path)
+                except Exception as exc:
+                    detail = f"{type(exc).__name__}: {exc}"
+                    failures.append((f"{name} (csv export)", detail))
+                    LOG.error("[%s csv export FAILED: %s]", name, detail)
+            LOG.info("[%s regenerated in %.1fs]", name, time.time() - start)
+
+    if trace_obj is not None:
+        trace_obj.write_chrome_trace(args.trace)
+        LOG.info("[trace written to %s]", args.trace)
 
     if failures:
-        print("FAILURE SUMMARY:", file=sys.stderr)
+        LOG.error("FAILURE SUMMARY:")
         for name, detail in failures:
-            print(f"  {name}: {detail}", file=sys.stderr)
+            LOG.error("  %s: %s", name, detail)
         return 1
     return 0
+
+
+class _noop_context:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+def profile_main(argv: List[str]) -> int:
+    from repro.experiments.config import CACHE_SCALE
+    from repro.profiling.baseline import (
+        DEFAULT_BASELINE_PATH,
+        check_report,
+        save_baseline,
+    )
+    from repro.profiling.profile import ProfileError, profile_run, render_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description=(
+            "Profile one simulated run: perf counters, time attribution "
+            "and roofline position."
+        ),
+    )
+    parser.add_argument("kernel", help="transpose | blur | stream")
+    parser.add_argument("variant", help="figure variant label (e.g. Naive, Blocking, triad)")
+    parser.add_argument("device", help="device key (e.g. mango_pi_d1, xeon_4310t)")
+    parser.add_argument("--scale", type=int, default=CACHE_SCALE,
+                        help="cache scale factor (default: the figure harness scale)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="problem size override (matrix n / image width / vector elements)")
+    parser.add_argument("--block", type=int, default=None, help="transpose block size")
+    parser.add_argument("--filter", dest="filter_size", type=int, default=None,
+                        help="blur filter size")
+    parser.add_argument("--cores", type=int, default=None, help="active core count override")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON on stdout")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write Chrome trace-event JSON of the pipeline spans")
+    parser.add_argument("--tree", action="store_true", help="also print the span tree")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE_PATH,
+                        help="baseline file for --save-baseline/--check")
+    parser.add_argument("--save-baseline", action="store_true",
+                        help="record this run's counters in the baseline file")
+    parser.add_argument("--check", action="store_true",
+                        help="diff this run's counters against the baseline (exit 1 on drift)")
+    parser.add_argument("--rtol", type=float, default=0.0,
+                        help="relative tolerance for --check counter comparisons")
+    _add_logging_flags(parser)
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+
+    trace_obj = tracer.Tracer()
+    try:
+        with tracer.install(trace_obj):
+            report, _result = profile_run(
+                args.kernel,
+                args.variant,
+                args.device,
+                scale=args.scale,
+                n=args.n,
+                block=args.block,
+                filter_size=args.filter_size,
+                cores=args.cores,
+            )
+    except ProfileError as exc:
+        LOG.error("%s", exc)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=1))
+    else:
+        print(render_report(report))
+    if args.tree:
+        tree = trace_obj.render_tree(min_us=10.0)
+        print(tree, file=sys.stderr if args.json else sys.stdout)
+    if args.trace:
+        trace_obj.write_chrome_trace(args.trace)
+        LOG.info("[trace written to %s]", args.trace)
+    if args.save_baseline:
+        key = save_baseline(args.baseline, report)
+        LOG.info("[baseline %r saved to %s]", key, args.baseline)
+    if args.check:
+        violations = check_report(report, args.baseline, counter_rtol=args.rtol)
+        if violations:
+            LOG.error("baseline check FAILED (%d violations):", len(violations))
+            for violation in violations:
+                LOG.error("  %s", violation)
+            return 1
+        LOG.info("[baseline check OK against %s]", args.baseline)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
+    return figures_main(argv)
 
 
 if __name__ == "__main__":

@@ -39,6 +39,7 @@ from repro.ir.expr import Load, loads_in
 from repro.ir.program import MemoryLayout, Program
 from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store, walk_stmts
 from repro.exec.trace import CoreWork, Reference, Segment
+from repro.profiling import tracer
 
 
 class _RefPlan:
@@ -356,19 +357,26 @@ class TraceGenerator:
         if cached is not None:
             return cached
         values = list(loop.iter_values(env))
-        if loop.schedule == "dynamic":
-            chunk = loop.chunk or 1
-            frozen_env = dict(env)
-            cost_cache: Dict[int, int] = {}
+        with tracer.span(
+            "tracegen.schedule",
+            cat="tracegen",
+            loop=loop.var,
+            schedule=loop.schedule,
+            iterations=len(values),
+        ):
+            if loop.schedule == "dynamic":
+                chunk = loop.chunk or 1
+                frozen_env = dict(env)
+                cost_cache: Dict[int, int] = {}
 
-            def cost(value: int) -> int:
-                if value not in cost_cache:
-                    cost_cache[value] = iteration_cost(loop, value, frozen_env)
-                return cost_cache[value]
+                def cost(value: int) -> int:
+                    if value not in cost_cache:
+                        cost_cache[value] = iteration_cost(loop, value, frozen_env)
+                    return cost_cache[value]
 
-            assignment = split_dynamic(values, self.num_cores, chunk, cost)
-        else:
-            assignment = split_static(values, self.num_cores, loop.chunk)
+                assignment = split_dynamic(values, self.num_cores, chunk, cost)
+            else:
+                assignment = split_static(values, self.num_cores, loop.chunk)
         self._assignments[key] = assignment
         return assignment
 

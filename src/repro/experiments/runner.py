@@ -36,6 +36,8 @@ from repro.runtime import (
     supervise,
 )
 from repro.runtime import faults
+from repro.runtime.journal import SOURCE_DISK_CACHE
+from repro.profiling import tracer
 from repro.simulate import SimulationResult, simulate
 from repro.transforms import AutoVectorize
 
@@ -121,19 +123,22 @@ class Runner:
             # raise the historical RunRecord(**dict) TypeError.
             record = RunRecord(**cached)
             self._memory[key] = record
-            return Outcome(
+            outcome = Outcome(
                 OutcomeStatus.COMPLETED,
                 value=record,
                 attempts=0,
                 reason="disk-cache hit",
                 label=disk_key,
             )
+            self.journal.record(disk_key, outcome, source=SOURCE_DISK_CACHE)
+            return outcome
 
         def execute() -> RunRecord:
             faults.before_simulate(disk_key)
-            program = build()
-            if device.cpu.vector_bits:
-                program = AutoVectorize().run(program)
+            with tracer.span("build_program", cat="runner", key=disk_key):
+                program = build()
+                if device.cpu.vector_bits:
+                    program = AutoVectorize().run(program)
             result: SimulationResult = simulate(program, device, **simulate_kwargs)
             return RunRecord(
                 program_name=program.name,
@@ -146,7 +151,8 @@ class Runner:
             )
 
         policy = self._policy or RetryPolicy.from_env()
-        outcome = supervise(execute, policy, label=disk_key)
+        with tracer.span("runner.supervise", cat="runner", key=disk_key):
+            outcome = supervise(execute, policy, label=disk_key)
         self.journal.record(disk_key, outcome)
         if outcome.ok:
             self._memory[key] = outcome.value

@@ -41,13 +41,19 @@ class LevelSnapshot:
 
 @dataclass
 class HierarchySnapshot:
-    """All counters of one core's hierarchy at one point in time."""
+    """All counters of one core's hierarchy at one point in time.
+
+    ``line_size`` is deliberately *required*: it converts DRAM line
+    counts into bytes, and a silently defaulted 64 would misreport
+    ``dram_bytes`` for any device whose hierarchy uses a different line
+    size.  :func:`snapshot` always threads the hierarchy's actual value.
+    """
 
     levels: List[LevelSnapshot]
     dram_read_lines: int
     dram_written_lines: int
     tlb_walks: int
-    line_size: int = 64
+    line_size: int
 
     @property
     def dram_bytes(self) -> int:
@@ -78,6 +84,7 @@ class HierarchySnapshot:
             out[f"{lvl.name}_hits"] = lvl.hits
             out[f"{lvl.name}_misses"] = lvl.misses
             out[f"{lvl.name}_prefetch_hits"] = lvl.prefetch_hits
+            out[f"{lvl.name}_writebacks"] = lvl.writebacks
         return out
 
 

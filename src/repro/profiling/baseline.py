@@ -1,0 +1,137 @@
+"""Profile baselines: committed counter sets with toleranced diffing.
+
+``repro profile --save-baseline`` records a run's counters (and seconds)
+under a stable key in a JSON file; ``repro profile --check`` re-runs the
+same configuration and fails loudly when any counter drifts beyond
+tolerance.  Committed to the repository and wired into CI, this turns
+*simulator* regressions — a cache model suddenly missing more, a
+transform emitting extra traffic — into visible diffs instead of silent
+slow drift.
+
+Counters are integers and the simulator is deterministic, so the default
+counter tolerance is exact; ``seconds`` (a float through the contention
+bisection) gets a small relative tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.profiling.profile import ProfileReport
+
+BASELINE_SCHEMA = 1
+
+#: Default committed baseline location (repo root / benchmarks).
+DEFAULT_BASELINE_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "profile_baseline.json")
+)
+
+#: Relative tolerance for the wall-clock seconds comparison.
+SECONDS_RTOL = 1e-6
+
+
+def baseline_key(report: ProfileReport) -> str:
+    """Stable identity of one profiled configuration."""
+    params = ",".join(f"{k}={v}" for k, v in sorted(report.params.items()))
+    return f"{report.kernel}/{report.variant}/{report.device_key}?{params}"
+
+
+def load_baselines(path: str) -> Dict[str, Any]:
+    """Parse a baseline file; missing file means no baselines yet."""
+    if not os.path.exists(path):
+        return {"schema": BASELINE_SCHEMA, "entries": {}}
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline file {path} has schema {data.get('schema') if isinstance(data, dict) else '?'}"
+            f" (want {BASELINE_SCHEMA}); regenerate it with --save-baseline"
+        )
+    data.setdefault("entries", {})
+    return data
+
+
+def save_baseline(path: str, report: ProfileReport) -> str:
+    """Merge this report's counters into the baseline file; returns the
+    entry key.  Existing entries for other configurations are kept."""
+    data = load_baselines(path)
+    key = baseline_key(report)
+    data["entries"][key] = {
+        "counters": {name: value for name, value in report.counters.items()},
+        "seconds": report.seconds,
+        "active_cores": report.active_cores,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return key
+
+
+def check_report(
+    report: ProfileReport,
+    path: str,
+    counter_rtol: float = 0.0,
+    seconds_rtol: float = SECONDS_RTOL,
+) -> List[str]:
+    """Compare a report against its baseline entry.
+
+    Returns human-readable violation lines (empty list = clean).  A
+    missing entry is itself a violation: the check must never silently
+    pass because nobody saved a baseline.
+    """
+    try:
+        data = load_baselines(path)
+    except (OSError, ValueError) as exc:
+        return [f"baseline file unusable: {exc}"]
+    key = baseline_key(report)
+    entry = data["entries"].get(key)
+    if entry is None:
+        return [
+            f"no baseline entry for {key!r} in {path} "
+            "(run with --save-baseline first)"
+        ]
+    violations: List[str] = []
+    base_counters: Dict[str, Any] = entry.get("counters", {})
+    for name, expected in base_counters.items():
+        actual = report.counters.get(name)
+        if actual is None:
+            violations.append(f"counter {name} missing from run (baseline {expected})")
+            continue
+        if not _within(expected, actual, counter_rtol):
+            violations.append(
+                f"counter {name}: baseline {expected}, run {actual} "
+                f"({_drift(expected, actual)})"
+            )
+    for name in report.counters:
+        if name not in base_counters:
+            violations.append(
+                f"counter {name} not in baseline (run {report.counters[name]}); "
+                "re-save the baseline to adopt new counters"
+            )
+    expected_seconds = entry.get("seconds")
+    if expected_seconds is not None and not _within(
+        expected_seconds, report.seconds, seconds_rtol
+    ):
+        violations.append(
+            f"seconds: baseline {expected_seconds!r}, run {report.seconds!r} "
+            f"({_drift(expected_seconds, report.seconds)})"
+        )
+    return violations
+
+
+def _within(expected: float, actual: float, rtol: float) -> bool:
+    if expected == actual:
+        return True
+    denom = max(abs(expected), abs(actual))
+    return denom > 0 and abs(expected - actual) / denom <= rtol
+
+
+def _drift(expected: float, actual: float) -> str:
+    if expected == 0:
+        return "was zero"
+    return f"{100.0 * (actual - expected) / expected:+.2f}%"

@@ -1,0 +1,90 @@
+"""Perf-counter registry: one simulated run → flat, named counters.
+
+The simulated analog of ``perf stat``: every counter the memory-hierarchy
+and trace-generation layers maintain (per-level hits/misses/prefetch
+hits/writebacks, TLB walks, DRAM line traffic, operation counts) is
+flattened into one ordered ``name -> integer`` mapping with stable dotted
+names (``L1.misses``, ``dram.read_bytes``, ``ops.flops``).
+
+Stable names matter: the committed profile baselines
+(:mod:`repro.profiling.baseline`) diff these dictionaries across
+revisions, so renaming a counter is a baseline-schema change.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # avoid a circular import: simulate.py traces via this package
+    from repro.exec.trace import CoreWork
+    from repro.memsim.stats import HierarchySnapshot
+    from repro.simulate import SimulationResult
+
+#: Per-cache-level counter suffixes, in registry order.
+LEVEL_COUNTERS = ("hits", "misses", "prefetch_hits", "writebacks")
+
+#: Operation counters taken from :class:`repro.analysis.opcount.OpCounts`.
+OP_COUNTERS = (
+    "loads",
+    "stores",
+    "flops",
+    "fmas",
+    "int_ops",
+    "iterations",
+    "bytes_loaded",
+    "bytes_stored",
+)
+
+
+def core_counters(work: "CoreWork", snap: "HierarchySnapshot") -> "OrderedDict[str, int]":
+    """The flat counter set of one core: memory events then operations."""
+    out: "OrderedDict[str, int]" = OrderedDict()
+    for level in snap.levels:
+        out[f"{level.name}.hits"] = level.hits
+        out[f"{level.name}.misses"] = level.misses
+        out[f"{level.name}.prefetch_hits"] = level.prefetch_hits
+        out[f"{level.name}.writebacks"] = level.writebacks
+    out["tlb.walks"] = snap.tlb_walks
+    out["dram.read_lines"] = snap.dram_read_lines
+    out["dram.written_lines"] = snap.dram_written_lines
+    out["dram.read_bytes"] = snap.dram_read_lines * snap.line_size
+    out["dram.written_bytes"] = snap.dram_written_lines * snap.line_size
+    out["dram.bytes"] = snap.dram_bytes
+    total = work.total
+    for name in OP_COUNTERS:
+        out[f"ops.{name}"] = getattr(total, name)
+    for name in ("loads", "stores", "flops"):
+        out[f"ops.vector.{name}"] = getattr(work.vector, name)
+    out["trace.segments"] = work.segments
+    return out
+
+
+def per_core_counter_sets(result: "SimulationResult") -> List["OrderedDict[str, int]"]:
+    """One counter set per active core, core order."""
+    return [
+        core_counters(work, snap)
+        for work, snap in zip(result.works, result.snapshots)
+    ]
+
+
+def counter_set(result: "SimulationResult") -> "OrderedDict[str, int]":
+    """All counters of a run, summed over active cores."""
+    total: "OrderedDict[str, int]" = OrderedDict()
+    for core_set in per_core_counter_sets(result):
+        for name, value in core_set.items():
+            total[name] = total.get(name, 0) + value
+    return total
+
+
+def diff_counters(
+    old: Dict[str, int], new: Dict[str, int]
+) -> "OrderedDict[str, tuple]":
+    """``name -> (old, new)`` for every counter whose value changed
+    (counters present on only one side pair with ``None``)."""
+    out: "OrderedDict[str, tuple]" = OrderedDict()
+    for name in list(old) + [n for n in new if n not in old]:
+        a, b = old.get(name), new.get(name)
+        if a != b:
+            out[name] = (a, b)
+    return out

@@ -1,0 +1,247 @@
+"""The ``repro profile`` implementation.
+
+Profiles one (kernel, variant, device) triple: runs the full simulation
+(not the cached figure pipeline — a profile must reflect *this* run),
+then reports
+
+* the flat perf-counter set (:mod:`repro.profiling.counters`),
+* the time-attribution breakdown that sums to the wall-clock
+  (:class:`repro.timing.model.TimeAttribution`),
+* the kernel's roofline position on the device.
+
+Kernels are the paper's suites: ``transpose`` (Fig. 2), ``blur``
+(Fig. 6) and ``stream`` (Fig. 1, steady-state DRAM footprint).  Sizes
+default to the figure-harness simulated sizes and can be overridden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.devices.catalog import DEVICE_KEYS, get_device
+from repro.devices.spec import DeviceSpec
+from repro.errors import ReproError
+from repro.experiments.config import (
+    BLUR_FILTER,
+    BLUR_SIM_WH,
+    CACHE_SCALE,
+    STREAM_REPETITIONS,
+    TRANSPOSE_BLOCK,
+    TRANSPOSE_SIZES,
+)
+from repro.ir.program import Program
+from repro.metrics.roofline import roofline_point
+from repro.profiling import tracer
+from repro.profiling.counters import counter_set, per_core_counter_sets
+from repro.simulate import SimulationResult, simulate
+from repro.transforms import AutoVectorize
+
+KERNELS = ("transpose", "blur", "stream")
+
+
+class ProfileError(ReproError):
+    """Unknown kernel/variant/device or inconsistent profile options."""
+
+
+@dataclass
+class ProfileReport:
+    """Everything ``repro profile`` prints, in serializable form."""
+
+    kernel: str
+    variant: str
+    device_key: str               # the simulated (scaled) device key
+    scale: int
+    params: Dict[str, Any]
+    active_cores: int
+    seconds: float
+    bottleneck: str
+    counters: Dict[str, int]
+    per_core_counters: List[Dict[str, int]] = field(default_factory=list)
+    attribution: Dict[str, float] = field(default_factory=dict)
+    per_core_attribution: List[Dict[str, float]] = field(default_factory=list)
+    roofline: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "device_key": self.device_key,
+            "scale": self.scale,
+            "params": self.params,
+            "active_cores": self.active_cores,
+            "seconds": self.seconds,
+            "bottleneck": self.bottleneck,
+            "counters": dict(self.counters),
+            "per_core_counters": [dict(c) for c in self.per_core_counters],
+            "attribution": dict(self.attribution),
+            "per_core_attribution": [dict(a) for a in self.per_core_attribution],
+            "roofline": dict(self.roofline),
+        }
+
+
+def _resolve(name: str, options, what: str) -> str:
+    """Case-insensitive lookup with a helpful error."""
+    by_lower = {str(opt).lower(): str(opt) for opt in options}
+    try:
+        return by_lower[name.lower()]
+    except KeyError:
+        raise ProfileError(
+            f"unknown {what} {name!r}; known: {', '.join(str(o) for o in options)}"
+        )
+
+
+def _variants(kernel: str) -> List[str]:
+    if kernel == "transpose":
+        from repro.kernels import transpose
+
+        return list(transpose.VARIANT_ORDER)
+    if kernel == "blur":
+        from repro.kernels import blur
+
+        return list(blur.VARIANT_ORDER)
+    from repro.kernels import stream
+
+    return list(stream.TESTS)
+
+
+def build_profile_program(
+    kernel: str,
+    variant: str,
+    device: DeviceSpec,
+    n: Optional[int] = None,
+    block: Optional[int] = None,
+    filter_size: Optional[int] = None,
+) -> Tuple[Program, Dict[str, Any], Dict[str, Any]]:
+    """Build the program plus its (params, simulate kwargs) for a profile."""
+    kernel = _resolve(kernel, KERNELS, "kernel")
+    variant = _resolve(variant, _variants(kernel), f"{kernel} variant")
+    if kernel == "transpose":
+        from repro.kernels import transpose
+
+        size = n if n is not None else TRANSPOSE_SIZES[0][1]
+        blk = block if block is not None else TRANSPOSE_BLOCK
+        program = transpose.build(variant, size, block=blk)
+        return program, {"n": size, "block": blk}, {"check_capacity": False}
+    if kernel == "blur":
+        from repro.kernels import blur
+
+        width, height = BLUR_SIM_WH
+        size = n if n is not None else width
+        h = height * size // width  # keep the figure aspect ratio
+        f = filter_size if filter_size is not None else BLUR_FILTER
+        program = blur.build(variant, h, size, f)
+        return program, {"w": size, "h": h, "filter": f}, {"check_capacity": False}
+    from repro.kernels import stream
+    from repro.metrics.bandwidth import level_footprint_bytes
+
+    if n is not None:
+        elements = n
+    else:
+        elements = stream.array_elements_for_footprint(
+            variant, level_footprint_bytes(device, "DRAM")
+        )
+    parallel = device.cores > 1
+    program = stream.build(variant, elements, parallel=parallel)
+    params = {"elements": elements, "repetitions": STREAM_REPETITIONS}
+    kwargs = {
+        "repetitions": STREAM_REPETITIONS,
+        "steady_state": True,
+        "check_capacity": False,
+    }
+    return program, params, kwargs
+
+
+def profile_run(
+    kernel: str,
+    variant: str,
+    device_key: str,
+    scale: int = CACHE_SCALE,
+    n: Optional[int] = None,
+    block: Optional[int] = None,
+    filter_size: Optional[int] = None,
+    cores: Optional[int] = None,
+) -> Tuple[ProfileReport, SimulationResult]:
+    """Simulate once and assemble the full profile report."""
+    kernel = _resolve(kernel, KERNELS, "kernel")
+    variant = _resolve(variant, _variants(kernel), f"{kernel} variant")
+    base_key = _resolve(device_key, DEVICE_KEYS, "device")
+    device = get_device(base_key).scaled(scale)
+    with tracer.span("profile", cat="profile", kernel=kernel, variant=variant, device=base_key):
+        program, params, sim_kwargs = build_profile_program(
+            kernel, variant, device, n=n, block=block, filter_size=filter_size
+        )
+        if device.cpu.vector_bits:
+            program = AutoVectorize().run(program)
+        result = simulate(program, device, active_cores=cores, **sim_kwargs)
+        roofline = roofline_point(program, device, bandwidth_gbs=device.dram.bandwidth_gbs)
+        achieved_gflops = (
+            result.total_ops.flops / result.seconds / 1e9 if result.seconds > 0 else 0.0
+        )
+        report = ProfileReport(
+            kernel=kernel,
+            variant=variant,
+            device_key=device.key,
+            scale=scale,
+            params=params,
+            active_cores=result.active_cores,
+            seconds=result.seconds,
+            bottleneck=result.timing.bottleneck,
+            counters=counter_set(result),
+            per_core_counters=per_core_counter_sets(result),
+            attribution=result.timing.attribution_summary(),
+            per_core_attribution=[a.as_dict() for a in result.timing.attribution],
+            roofline={
+                "arithmetic_intensity": roofline.arithmetic_intensity,
+                "peak_gflops": roofline.peak_gflops,
+                "bandwidth_gbs": roofline.bandwidth_gbs,
+                "attainable_gflops": roofline.attainable_gflops,
+                "achieved_gflops": achieved_gflops,
+                "achieved_dram_gbs": result.achieved_dram_gbs,
+                "memory_bound": roofline.memory_bound,
+            },
+        )
+    return report, result
+
+
+def render_report(report: ProfileReport) -> str:
+    """Counter table + attribution table + roofline line, for terminals."""
+    from repro.experiments.report import render_table
+
+    params = ", ".join(f"{k}={v}" for k, v in report.params.items())
+    header = (
+        f"Profile — {report.kernel}/{report.variant} on {report.device_key} "
+        f"({params}, {report.active_cores} core{'s' if report.active_cores != 1 else ''})"
+    )
+    wall = f"simulated wall-clock: {report.seconds:.6g} s    bottleneck: {report.bottleneck}"
+
+    counter_rows = [[name, value] for name, value in report.counters.items()]
+    counter_table = render_table(
+        ["counter", "value"], counter_rows, title="perf counters (all cores)"
+    )
+
+    total = report.seconds or 1.0
+    attr_rows = [
+        [name, f"{seconds:.6g}", f"{100.0 * seconds / total:5.1f}%"]
+        for name, seconds in report.attribution.items()
+    ]
+    attr_table = render_table(
+        ["component", "seconds", "share"],
+        attr_rows,
+        title="time attribution (average core; components sum to wall-clock)",
+    )
+
+    roof = report.roofline
+    bound = "memory-bound" if roof.get("memory_bound") else "compute-bound"
+    pct = (
+        100.0 * roof["achieved_gflops"] / roof["attainable_gflops"]
+        if roof.get("attainable_gflops")
+        else 0.0
+    )
+    roofline_line = (
+        f"roofline: AI {roof['arithmetic_intensity']:.4g} flop/B, {bound}; "
+        f"attainable {roof['attainable_gflops']:.4g} GF/s, "
+        f"achieved {roof['achieved_gflops']:.4g} GF/s ({pct:.0f}% of roof); "
+        f"DRAM {roof['achieved_dram_gbs']:.3g}/{roof['bandwidth_gbs']:.3g} GB/s"
+    )
+    return "\n\n".join([header, wall, counter_table, attr_table, roofline_line])

@@ -1,0 +1,237 @@
+"""Zero-dependency span tracer with Chrome trace-event export.
+
+The experiment pipeline (trace generation → memory simulation → timing →
+figure harness → run cache / journal) is instrumented with *spans*:
+named, nested wall-clock intervals.  A disabled tracer (the default)
+costs one attribute load and a truth test per span, so instrumentation
+stays in production code paths.
+
+Export formats:
+
+* **Chrome trace-event JSON** — a flat list of complete events
+  (``{"name", "ph": "X", "ts", "dur", "pid", "tid"}``, microsecond
+  timestamps) loadable by ``chrome://tracing`` and Perfetto;
+* **plain-text tree** — nested spans with durations, for terminals.
+
+Usage::
+
+    from repro.profiling import tracer
+
+    with tracer.install() as t:
+        with tracer.span("simulate", program="transpose"):
+            ...
+    t.write_chrome_trace("trace.json")
+    print(t.render_tree())
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Synthetic process id used for all events (one simulated process).
+TRACE_PID = 1
+
+
+@dataclass
+class Span:
+    """One completed named interval."""
+
+    name: str
+    cat: str
+    start_us: float           # relative to the tracer's epoch
+    dur_us: float
+    tid: int                  # dense thread id (main thread is 0)
+    depth: int                # nesting depth within its thread
+    seq: int                  # global start order, for stable sorting
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans; thread-safe, clock-monotonic, allocation-light."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._tids: Dict[int, int] = {}
+        self.spans: List[Span] = []
+        self._seq = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._tids:
+                self._tids[ident] = len(self._tids)
+            return self._tids[ident]
+
+    @contextmanager
+    def span(self, name: str, cat: str = "", **args: Any) -> Iterator[None]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        start = time.perf_counter()
+        stack.append(name)
+        depth = len(stack) - 1
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            stack.pop()
+            with self._lock:
+                seq = self._seq
+                self._seq += 1
+            self.spans.append(
+                Span(
+                    name=name,
+                    cat=cat,
+                    start_us=(start - self._epoch) * 1e6,
+                    dur_us=(end - start) * 1e6,
+                    tid=self._tid(),
+                    depth=depth,
+                    seq=seq,
+                    args=dict(args) if args else {},
+                )
+            )
+
+    def instant(self, name: str, cat: str = "", **args: Any) -> None:
+        """A zero-duration marker."""
+        now = time.perf_counter()
+        stack = getattr(self._local, "stack", None) or []
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        self.spans.append(
+            Span(
+                name=name,
+                cat=cat,
+                start_us=(now - self._epoch) * 1e6,
+                dur_us=0.0,
+                tid=self._tid(),
+                depth=len(stack),
+                seq=seq,
+                args=dict(args) if args else {},
+            )
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """Complete ('ph: X') trace events, ready for ``chrome://tracing``.
+
+        Every event carries the full required key set (``name, ph, ts,
+        dur, pid, tid``); spans recorded with args keep them under
+        ``args``.
+        """
+        events: List[Dict[str, Any]] = []
+        for span in sorted(self.spans, key=lambda s: (s.start_us, s.seq)):
+            event: Dict[str, Any] = {
+                "name": span.name,
+                "ph": "X",
+                "ts": round(span.start_us, 3),
+                "dur": round(span.dur_us, 3),
+                "pid": TRACE_PID,
+                "tid": span.tid,
+            }
+            if span.cat:
+                event["cat"] = span.cat
+            if span.args:
+                event["args"] = span.args
+            events.append(event)
+        return events
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write the event list as a JSON array (the format both
+        ``chrome://tracing`` and Perfetto accept directly)."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome_events(), fh, indent=1)
+            fh.write("\n")
+
+    def render_tree(self, min_us: float = 0.0) -> str:
+        """Plain-text tree of spans (per thread, nested by depth)."""
+        lines: List[str] = []
+        ordered = sorted(self.spans, key=lambda s: (s.tid, s.start_us, s.seq, -s.dur_us))
+        threads = sorted({s.tid for s in ordered})
+        for tid in threads:
+            if len(threads) > 1:
+                lines.append(f"thread {tid}:")
+            for span in ordered:
+                if span.tid != tid or span.dur_us < min_us:
+                    continue
+                indent = "  " * span.depth
+                extra = ""
+                if span.args:
+                    pairs = ", ".join(f"{k}={v}" for k, v in span.args.items())
+                    extra = f"  [{pairs}]"
+                lines.append(f"{indent}{span.name:<28s} {_fmt_us(span.dur_us):>10s}{extra}")
+        return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def _fmt_us(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.0f}us"
+
+
+# -- module-level current tracer -------------------------------------------
+#
+# Instrumented code calls ``tracer.span(...)``; when no tracer is installed
+# this is a no-op context manager shared by all call sites.
+
+_CURRENT: Optional[Tracer] = None
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def current() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is off."""
+    return _CURRENT
+
+
+def span(name: str, cat: str = "", **args: Any):
+    """Record a span on the installed tracer (no-op when tracing is off)."""
+    tracer = _CURRENT
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, cat, **args)
+
+
+def instant(name: str, cat: str = "", **args: Any) -> None:
+    tracer = _CURRENT
+    if tracer is not None:
+        tracer.instant(name, cat, **args)
+
+
+@contextmanager
+def install(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install ``tracer`` (or a fresh one) as the process-wide tracer for
+    the duration of the ``with`` block, restoring the previous one after.
+    """
+    global _CURRENT
+    if tracer is None:
+        tracer = Tracer()
+    previous = _CURRENT
+    _CURRENT = tracer
+    try:
+        yield tracer
+    finally:
+        _CURRENT = previous

@@ -36,9 +36,10 @@ import tempfile
 import time
 from typing import Any, Dict, FrozenSet, Optional
 
+from repro.profiling import tracer
 from repro.runtime import faults
 
-LOG = logging.getLogger("repro.runtime")
+LOG = logging.getLogger("repro.runtime.cache")
 
 CACHE_SCHEMA_VERSION = 2
 
@@ -89,6 +90,10 @@ class RunCache:
     def _load(self) -> None:
         if not self.path or not os.path.exists(self.path):
             return
+        with tracer.span("cache.load", cat="cache", path=self.path):
+            self._load_file()
+
+    def _load_file(self) -> None:
         try:
             with open(self.path) as fh:
                 data = json.load(fh)
@@ -170,6 +175,10 @@ class RunCache:
         """Atomic write: temp file in the same directory + ``os.replace``."""
         if not self.path:
             return
+        with tracer.span("cache.save", cat="cache", path=self.path, records=len(self.records)):
+            self._save_file()
+
+    def _save_file(self) -> None:
         payload = {"schema": CACHE_SCHEMA_VERSION, "records": self.records}
         directory = os.path.dirname(os.path.abspath(self.path))
         try:

@@ -9,7 +9,12 @@ it, and failed runs keep their reason even after the process exits.
 Line format::
 
     {"ts": 1754459000.1, "key": "v2:[...]", "outcome": "completed",
-     "duration_s": 0.42, "attempts": 1, "error": ""}
+     "duration_s": 0.42, "attempts": 1, "error": "", "source": "simulated"}
+
+``source`` records provenance: ``simulated`` for a fresh supervised run,
+``disk-cache`` when the record was served from the persisted run cache
+(memory-cache hits within one process are not journalled — they would
+flood the file with intra-process memoisation noise).
 """
 
 from __future__ import annotations
@@ -21,11 +26,16 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
+from repro.profiling import tracer
 from repro.runtime.supervisor import Outcome
 
-LOG = logging.getLogger("repro.runtime")
+LOG = logging.getLogger("repro.runtime.journal")
 
 JOURNAL_BASENAME = ".repro_journal.jsonl"
+
+#: Provenance values for :attr:`JournalEntry.source`.
+SOURCE_SIMULATED = "simulated"
+SOURCE_DISK_CACHE = "disk-cache"
 
 
 @dataclass
@@ -38,6 +48,7 @@ class JournalEntry:
     duration_s: float
     attempts: int
     error: str = ""
+    source: str = SOURCE_SIMULATED
 
 
 class Journal:
@@ -46,7 +57,7 @@ class Journal:
     def __init__(self, path: Optional[str]):
         self.path = path
 
-    def record(self, key: str, outcome: Outcome) -> None:
+    def record(self, key: str, outcome: Outcome, source: str = SOURCE_SIMULATED) -> None:
         self.append(
             JournalEntry(
                 ts=time.time(),
@@ -55,6 +66,7 @@ class Journal:
                 duration_s=round(outcome.duration_s, 6),
                 attempts=outcome.attempts,
                 error=outcome.reason,
+                source=source,
             )
         )
 
@@ -62,8 +74,9 @@ class Journal:
         if not self.path:
             return
         try:
-            with open(self.path, "a") as fh:
-                fh.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
+            with tracer.span("journal.append", cat="journal", key=entry.key):
+                with open(self.path, "a") as fh:
+                    fh.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
         except OSError as exc:
             LOG.warning("journal %s not appended: %s", self.path, exc)
 
@@ -98,6 +111,7 @@ def read_journal(path: str) -> List[JournalEntry]:
                     duration_s=float(raw.get("duration_s", 0.0)),
                     attempts=int(raw.get("attempts", 1)),
                     error=str(raw.get("error", "")),
+                    source=str(raw.get("source", SOURCE_SIMULATED)),
                 )
             )
         except (ValueError, KeyError, TypeError):
@@ -105,14 +119,68 @@ def read_journal(path: str) -> List[JournalEntry]:
     return entries
 
 
+def figure_of_key(key: str) -> str:
+    """The figure/family tag of a canonical run key.
+
+    Keys look like ``v2:["fig2","Naive",512,...]``; the first list element
+    is the family the figure harness chose.  Unparseable or foreign keys
+    group under ``"?"``.
+    """
+    _, _, payload = key.partition(":")
+    try:
+        decoded = json.loads(payload)
+    except ValueError:
+        return "?"
+    if isinstance(decoded, list) and decoded and isinstance(decoded[0], str):
+        return decoded[0]
+    return "?"
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending list (q in 0..1)."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lo = int(position)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = position - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def duration_quantiles(entries: List[JournalEntry]) -> Dict[str, Dict[str, float]]:
+    """Per-figure p50/p95 of *simulated* run durations.
+
+    Cache hits are excluded — their near-zero durations would drown the
+    signal the percentiles exist to show (how long real runs take).
+    """
+    by_figure: Dict[str, List[float]] = {}
+    for entry in entries:
+        if entry.source != SOURCE_SIMULATED:
+            continue
+        by_figure.setdefault(figure_of_key(entry.key), []).append(entry.duration_s)
+    out: Dict[str, Dict[str, float]] = {}
+    for figure, durations in sorted(by_figure.items()):
+        durations.sort()
+        out[figure] = {
+            "runs": float(len(durations)),
+            "p50": percentile(durations, 0.50),
+            "p95": percentile(durations, 0.95),
+        }
+    return out
+
+
 def summarize(entries: List[JournalEntry]) -> Dict:
     """Aggregate counts for the ``status`` subcommand."""
     by_outcome: Dict[str, int] = {}
+    by_source: Dict[str, int] = {}
     retries = 0
     duration = 0.0
     failures: List[JournalEntry] = []
     for entry in entries:
         by_outcome[entry.outcome] = by_outcome.get(entry.outcome, 0) + 1
+        by_source[entry.source] = by_source.get(entry.source, 0) + 1
         retries += max(0, entry.attempts - 1)
         duration += entry.duration_s
         if entry.outcome not in ("completed", "cached"):
@@ -120,7 +188,9 @@ def summarize(entries: List[JournalEntry]) -> Dict:
     return {
         "total": len(entries),
         "by_outcome": by_outcome,
+        "by_source": by_source,
         "retries": retries,
         "duration_s": duration,
         "failures": failures[-10:],
+        "duration_quantiles": duration_quantiles(entries),
     }

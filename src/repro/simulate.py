@@ -26,6 +26,7 @@ from repro.exec.tracegen import TraceGenerator
 from repro.ir.program import Program
 from repro.ir.stmt import For, walk_stmts
 from repro.memsim.stats import HierarchySnapshot, snapshot
+from repro.profiling import tracer
 from repro.timing.model import TimingResult, time_run
 
 
@@ -115,27 +116,38 @@ def simulate(
     if active_cores is None:
         active_cores = device.cores if has_parallel_loop(program) else 1
 
-    hierarchies = device.build_hierarchies(active_cores)
-    generator = TraceGenerator(program, num_cores=active_cores)
+    with tracer.span(
+        "simulate", cat="sim", program=program.name, device=device.key, cores=active_cores
+    ):
+        with tracer.span("build_hierarchies", cat="sim"):
+            hierarchies = device.build_hierarchies(active_cores)
+        with tracer.span("tracegen.plan", cat="tracegen"):
+            generator = TraceGenerator(program, num_cores=active_cores)
 
-    baselines = [snapshot(h) for h in hierarchies]
-    for rep in range(repetitions):
-        if rep == repetitions - 1:
-            baselines = [snapshot(h) for h in hierarchies]
-        for core, hierarchy in enumerate(hierarchies):
-            run = hierarchy.process_segment
-            for seg in generator.core_stream(core):
-                run(seg)
+        baselines = [snapshot(h) for h in hierarchies]
+        for rep in range(repetitions):
+            if rep == repetitions - 1:
+                baselines = [snapshot(h) for h in hierarchies]
+            for core, hierarchy in enumerate(hierarchies):
+                run = hierarchy.process_segment
+                # Trace generation and cache simulation are one pipeline:
+                # the span covers both (segments are consumed as emitted).
+                with tracer.span(
+                    "trace+memsim", cat="memsim", core=core, repetition=rep
+                ):
+                    for seg in generator.core_stream(core):
+                        run(seg)
 
-    if flush_writebacks:
-        for hierarchy in hierarchies:
-            hierarchy.flush()
+        if flush_writebacks:
+            with tracer.span("flush_writebacks", cat="memsim"):
+                for hierarchy in hierarchies:
+                    hierarchy.flush()
 
-    finals = [snapshot(h) for h in hierarchies]
-    deltas = [final - base for final, base in zip(finals, baselines)]
-    works = list(generator.work)  # per-core counts of one repetition
+        finals = [snapshot(h) for h in hierarchies]
+        deltas = [final - base for final, base in zip(finals, baselines)]
+        works = list(generator.work)  # per-core counts of one repetition
 
-    timing = time_run(device, works, deltas, active_cores)
+        timing = time_run(device, works, deltas, active_cores)
     return SimulationResult(
         program_name=program.name,
         device_key=device.key,

@@ -8,11 +8,19 @@
 
 from repro.timing.contention import equal_share_makespan, feasible, makespan
 from repro.timing.cpu import InstructionMix, compute_cycles, instruction_mix
-from repro.timing.model import CoreTiming, TimingResult, combine, time_core, time_run
+from repro.timing.model import (
+    CoreTiming,
+    TimeAttribution,
+    TimingResult,
+    combine,
+    time_core,
+    time_run,
+)
 
 __all__ = [
     "CoreTiming",
     "InstructionMix",
+    "TimeAttribution",
     "TimingResult",
     "combine",
     "compute_cycles",

@@ -25,6 +25,7 @@ from repro.devices.spec import DeviceSpec
 from repro.errors import SimulationError
 from repro.exec.trace import CoreWork
 from repro.memsim.stats import HierarchySnapshot
+from repro.profiling import tracer
 from repro.timing.contention import makespan
 from repro.timing.cpu import compute_cycles
 
@@ -38,6 +39,9 @@ class CoreTiming:
     exposed_latency: float = 0.0
     tlb: float = 0.0
     dram_bytes: int = 0
+    #: ``exposed_latency`` split by the level the demand miss occurred at
+    #: (each miss pays the *next* level's access latency).
+    exposed_by_level: Dict[str, float] = field(default_factory=dict)
 
     @property
     def non_dram_cycles(self) -> float:
@@ -45,6 +49,67 @@ class CoreTiming:
 
     def seconds(self, freq_ghz: float) -> float:
         return self.non_dram_cycles / (freq_ghz * 1e9)
+
+
+@dataclass
+class TimeAttribution:
+    """Where one core's share of the wall-clock went, in seconds.
+
+    The components partition the device wall-clock ``T`` exactly (to
+    floating-point rounding): ``total() == T`` for *every* core, because
+    in the fluid contention model each core with DRAM traffic stretches
+    its streaming phase to finish exactly at the makespan, and a core
+    with no traffic idles the remainder.
+
+    * ``compute`` — pipeline cycles (includes inter-cache transfer
+      overlapped under compute);
+    * ``transfer`` — inter-cache fill/writeback time *not* hidden under
+      compute (``max(0, transfer - compute)``);
+    * ``exposed_latency`` — demand-miss latency by miss level (in-order
+      cores expose nearly all of it, the paper's central observation);
+    * ``tlb`` — page-table walk time;
+    * ``dram_stream`` — this core's DRAM bytes at its unconstrained link
+      rate (the floor no optimization can beat);
+    * ``dram_contention`` — extra streaming time from sharing the memory
+      controller with other cores (water-filling);
+    * ``idle`` — waiting on slower cores with no DRAM traffic left.
+    """
+
+    compute: float = 0.0
+    transfer: float = 0.0
+    exposed_latency: Dict[str, float] = field(default_factory=dict)
+    tlb: float = 0.0
+    dram_stream: float = 0.0
+    dram_contention: float = 0.0
+    idle: float = 0.0
+
+    @property
+    def exposed_latency_total(self) -> float:
+        return sum(self.exposed_latency.values())
+
+    def total(self) -> float:
+        return (
+            self.compute
+            + self.transfer
+            + self.exposed_latency_total
+            + self.tlb
+            + self.dram_stream
+            + self.dram_contention
+            + self.idle
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat mapping; per-level latency keyed ``exposed_latency.<L>``."""
+        out: Dict[str, float] = {"compute": self.compute, "transfer": self.transfer}
+        for level, seconds in self.exposed_latency.items():
+            out[f"exposed_latency.{level}"] = seconds
+        out.update(
+            tlb=self.tlb,
+            dram_stream=self.dram_stream,
+            dram_contention=self.dram_contention,
+            idle=self.idle,
+        )
+        return out
 
 
 @dataclass
@@ -56,10 +121,33 @@ class TimingResult:
     active_cores: int
     per_core: List[CoreTiming] = field(default_factory=list)
     bottleneck: str = ""
+    #: Per-core wall-clock attribution; every entry's ``total()`` equals
+    #: ``seconds`` (asserted by the profiling test-suite).
+    attribution: List[TimeAttribution] = field(default_factory=list)
 
     @property
     def dram_bytes(self) -> int:
         return sum(core.dram_bytes for core in self.per_core)
+
+    def attribution_summary(self) -> Dict[str, float]:
+        """Device-level attribution: the *average core's* timeline.
+
+        Each core's components sum to ``seconds``, so their component-wise
+        mean does too — the summary stays an exact partition of the
+        reported wall-clock.
+        """
+        if not self.attribution:
+            return {}
+        n = len(self.attribution)
+        keys: List[str] = []
+        for attr in self.attribution:
+            for key in attr.as_dict():
+                if key not in keys:
+                    keys.append(key)
+        return {
+            key: sum(attr.as_dict().get(key, 0.0) for attr in self.attribution) / n
+            for key in keys
+        }
 
     def breakdown(self) -> Dict[str, float]:
         """Aggregate cycle shares (diagnostics, not additive to seconds)."""
@@ -103,7 +191,9 @@ def time_core(
             next_latency = device.caches[index + 1].latency_cycles
         else:
             next_latency = device.dram.latency_ns * device.cpu.freq_ghz
-        exposed += demand_misses * next_latency / mlp
+        level_exposed = demand_misses * next_latency / mlp
+        timing.exposed_by_level[spec.name] = level_exposed
+        exposed += level_exposed
     timing.transfer = transfer
     timing.exposed_latency = exposed
     timing.tlb = snapshot.tlb_walks * (device.tlb.walk_cycles if device.tlb else 0)
@@ -127,6 +217,11 @@ def combine(
         device.dram.bandwidth_gbs * 1e9,
         device.dram.core_bandwidth_gbs * 1e9,
     )
+    link_rate = min(device.dram.bandwidth_gbs, device.dram.core_bandwidth_gbs) * 1e9
+    attribution = [
+        _attribute_core(core, other, total, freq, link_rate)
+        for core, other in zip(per_core, other_seconds)
+    ]
 
     # Name the dominant term of the slowest core, for reports.
     slowest = max(range(len(per_core)), key=lambda c: other_seconds[c] + 0.0)
@@ -146,6 +241,44 @@ def combine(
         active_cores=active,
         per_core=list(per_core),
         bottleneck=bottleneck,
+        attribution=attribution,
+    )
+
+
+def _attribute_core(
+    core: CoreTiming,
+    non_dram_seconds: float,
+    total_seconds: float,
+    freq_ghz: float,
+    link_rate: float,
+) -> TimeAttribution:
+    """Partition ``total_seconds`` into this core's components.
+
+    The makespan never undercuts any core's non-DRAM time (its lower
+    bound is ``max(other_seconds)``), so ``dram_total >= 0`` holds by
+    construction and the components sum back to ``total_seconds`` up to
+    floating-point rounding.
+    """
+    hz = freq_ghz * 1e9
+    exposed = dict(core.exposed_by_level)
+    if not exposed and core.exposed_latency:
+        exposed = {"all": core.exposed_latency}
+    dram_total = total_seconds - non_dram_seconds
+    if core.dram_bytes > 0:
+        stream = min(dram_total, core.dram_bytes / link_rate)
+        contention = dram_total - stream
+        idle = 0.0
+    else:
+        stream = contention = 0.0
+        idle = dram_total
+    return TimeAttribution(
+        compute=core.compute / hz,
+        transfer=max(0.0, core.transfer - core.compute) / hz,
+        exposed_latency={name: cycles / hz for name, cycles in exposed.items()},
+        tlb=core.tlb / hz,
+        dram_stream=stream,
+        dram_contention=contention,
+        idle=idle,
     )
 
 
@@ -158,5 +291,6 @@ def time_run(
     """Timing for a full run: one (work, snapshot) pair per active core."""
     if len(works) != len(snapshots):
         raise SimulationError("need one snapshot per core's work summary")
-    per_core = [time_core(device, w, s) for w, s in zip(works, snapshots)]
-    return combine(device, per_core, active_cores)
+    with tracer.span("timing", cat="timing", device=device.key, cores=len(works)):
+        per_core = [time_core(device, w, s) for w, s in zip(works, snapshots)]
+        return combine(device, per_core, active_cores)

@@ -1,0 +1,84 @@
+"""The ``repro profile`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+ARGS = ["profile", "transpose", "Naive", "mango_pi_d1", "--n", "64"]
+
+
+def test_profile_prints_report(capsys):
+    assert cli.main(ARGS) == 0
+    out = capsys.readouterr().out
+    assert "Profile — transpose/Naive" in out
+    assert "perf counters" in out
+    assert "time attribution" in out
+    assert "roofline:" in out
+    assert "L1.misses" in out
+
+
+def test_profile_json(capsys):
+    assert cli.main(ARGS + ["--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["kernel"] == "transpose"
+    assert data["params"] == {"n": 64, "block": 16}
+    assert data["counters"]["dram.bytes"] > 0
+    assert sum(data["attribution"].values()) == pytest.approx(data["seconds"], rel=1e-9)
+
+
+def test_profile_trace_chrome_schema(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert cli.main(ARGS + ["--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    events = json.loads(trace_path.read_text())
+    assert isinstance(events, list) and events
+    for event in events:
+        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        assert event["ph"] == "X"
+    assert {"profile", "simulate", "timing"} <= {e["name"] for e in events}
+
+
+def test_profile_tree_flag(capsys):
+    assert cli.main(ARGS + ["--tree"]) == 0
+    out = capsys.readouterr().out
+    assert "simulate" in out and "trace+memsim" in out
+
+
+def test_save_baseline_then_check(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    assert cli.main(ARGS + ["--baseline", baseline, "--save-baseline"]) == 0
+    assert cli.main(ARGS + ["--baseline", baseline, "--check"]) == 0
+    capsys.readouterr()
+
+    # Tamper with a counter: the check must fail with exit code 1.
+    data = json.loads(open(baseline).read())
+    entry = next(iter(data["entries"].values()))
+    entry["counters"]["L1.misses"] += 1
+    open(baseline, "w").write(json.dumps(data))
+    assert cli.main(ARGS + ["--baseline", baseline, "--check"]) == 1
+    err = capsys.readouterr().err
+    assert "baseline check FAILED" in err
+    assert "L1.misses" in err
+
+
+def test_check_without_baseline_fails(tmp_path, capsys):
+    baseline = str(tmp_path / "nothing.json")
+    assert cli.main(ARGS + ["--baseline", baseline, "--check"]) == 1
+    assert "no baseline entry" in capsys.readouterr().err
+
+
+def test_unknown_names_exit_2(capsys):
+    assert cli.main(["profile", "fft", "Naive", "mango_pi_d1"]) == 2
+    assert "unknown kernel" in capsys.readouterr().err
+    assert cli.main(["profile", "transpose", "Naive", "cray_1"]) == 2
+    assert "unknown device" in capsys.readouterr().err
+
+
+def test_quiet_suppresses_diagnostics(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    assert cli.main(ARGS + ["--baseline", baseline, "--save-baseline", "--quiet"]) == 0
+    captured = capsys.readouterr()
+    assert "Profile —" in captured.out  # results still on stdout
+    assert "baseline" not in captured.err  # INFO diagnostics silenced

@@ -76,6 +76,7 @@ def test_cli_csv_flag(tmp_path, capsys, monkeypatch):
         {"fig1": (lambda: [], lambda rows, d: export.export_fig1(rows, d))},
     )
     assert cli.main(["fig1", "--csv-dir", str(tmp_path)]) == 0
-    out = capsys.readouterr().out
-    assert "csv written" in out
+    captured = capsys.readouterr()
+    assert "TABLE" in captured.out
+    assert "csv written" in captured.err  # diagnostics are logged, not printed
     assert (tmp_path / "fig1_stream.csv").exists()

@@ -1,0 +1,184 @@
+"""Journal enrichment (provenance, durations) and the status CLI."""
+
+import json
+
+import pytest
+
+from repro.runtime.journal import (
+    SOURCE_DISK_CACHE,
+    SOURCE_SIMULATED,
+    Journal,
+    JournalEntry,
+    duration_quantiles,
+    figure_of_key,
+    percentile,
+    read_journal,
+    summarize,
+)
+
+
+def _entry(key="v2:[\"fig2\",\"Naive\"]", outcome="completed", duration=1.0,
+           attempts=1, source=SOURCE_SIMULATED, error=""):
+    return JournalEntry(
+        ts=0.0, key=key, outcome=outcome, duration_s=duration,
+        attempts=attempts, error=error, source=source,
+    )
+
+
+# -- parsing helpers -----------------------------------------------------------
+
+
+class TestFigureOfKey:
+    def test_canonical_key(self):
+        assert figure_of_key('v2:["fig2","Naive",512]') == "fig2"
+
+    def test_non_json_payload(self):
+        assert figure_of_key("v2:not json") == "?"
+        assert figure_of_key("just-a-string") == "?"
+
+    def test_non_list_or_non_string_head(self):
+        assert figure_of_key('v2:{"a":1}') == "?"
+        assert figure_of_key("v2:[42]") == "?"
+        assert figure_of_key("v2:[]") == "?"
+
+
+class TestPercentile:
+    def test_empty_and_single(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.95) == 3.0
+
+    def test_interpolation(self):
+        values = [0.0, 1.0, 2.0, 3.0]
+        assert percentile(values, 0.5) == pytest.approx(1.5)
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 1.0) == 3.0
+        assert percentile(values, 0.95) == pytest.approx(2.85)
+
+
+class TestDurationQuantiles:
+    def test_groups_by_figure_and_skips_cache_hits(self):
+        entries = [
+            _entry(duration=1.0),
+            _entry(duration=3.0),
+            _entry(key='v2:["fig6","Memory"]', duration=10.0),
+            _entry(duration=99.0, source=SOURCE_DISK_CACHE),  # excluded
+        ]
+        quantiles = duration_quantiles(entries)
+        assert set(quantiles) == {"fig2", "fig6"}
+        assert quantiles["fig2"]["runs"] == 2
+        assert quantiles["fig2"]["p50"] == pytest.approx(2.0)
+        assert quantiles["fig6"]["p95"] == 10.0
+
+    def test_empty(self):
+        assert duration_quantiles([]) == {}
+
+
+# -- summarize -----------------------------------------------------------------
+
+
+class TestSummarize:
+    def test_empty_journal(self):
+        stats = summarize([])
+        assert stats["total"] == 0
+        assert stats["by_outcome"] == {}
+        assert stats["by_source"] == {}
+        assert stats["failures"] == []
+        assert stats["duration_quantiles"] == {}
+
+    def test_mixed_outcomes_and_sources(self):
+        entries = [
+            _entry(outcome="completed", attempts=2, duration=1.5),
+            _entry(outcome="completed", source=SOURCE_DISK_CACHE, duration=0.0),
+            _entry(outcome="failed", error="boom", duration=0.5),
+            _entry(outcome="skipped", error="OOM", duration=0.0),
+        ]
+        stats = summarize(entries)
+        assert stats["total"] == 4
+        assert stats["by_outcome"] == {"completed": 2, "failed": 1, "skipped": 1}
+        assert stats["by_source"] == {SOURCE_SIMULATED: 3, SOURCE_DISK_CACHE: 1}
+        assert stats["retries"] == 1
+        assert stats["duration_s"] == pytest.approx(2.0)
+        assert [e.outcome for e in stats["failures"]] == ["failed", "skipped"]
+
+
+# -- read_journal robustness ---------------------------------------------------
+
+
+class TestReadJournal:
+    def test_missing_file(self, tmp_path):
+        assert read_journal(str(tmp_path / "nope.jsonl")) == []
+        assert read_journal("") == []
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        good = json.dumps(
+            {"ts": 1.0, "key": "k", "outcome": "completed",
+             "duration_s": 0.1, "attempts": 1, "error": "", "source": "simulated"}
+        )
+        # Simulate a torn write: the process died mid-append.
+        path.write_text(good + "\n" + good[: len(good) // 2])
+        entries = read_journal(str(path))
+        assert len(entries) == 1
+        assert entries[0].outcome == "completed"
+
+    def test_blank_lines_and_default_source(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        legacy = json.dumps(
+            {"ts": 1.0, "key": "k", "outcome": "completed",
+             "duration_s": 0.1, "attempts": 1, "error": ""}
+        )
+        path.write_text("\n" + legacy + "\n\n")
+        entries = read_journal(str(path))
+        assert len(entries) == 1
+        assert entries[0].source == SOURCE_SIMULATED  # pre-enrichment lines
+
+    def test_round_trip_preserves_source(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.append(_entry(source=SOURCE_DISK_CACHE))
+        entries = read_journal(path)
+        assert entries[0].source == SOURCE_DISK_CACHE
+
+
+# -- status CLI ----------------------------------------------------------------
+
+
+class TestStatusCli:
+    def _write_journal(self, tmp_path, entries):
+        from repro.runtime import default_journal_path
+
+        cache_path = str(tmp_path / "cache.json")
+        journal = Journal(default_journal_path(cache_path))
+        for entry in entries:
+            journal.append(entry)
+        return cache_path
+
+    def test_status_empty_journal(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache.json"))
+        assert cli.main(["status"]) == 0
+        assert "run journal empty" in capsys.readouterr().out
+
+    def test_status_prints_quantiles_and_provenance(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+
+        cache_path = self._write_journal(
+            tmp_path,
+            [
+                _entry(duration=1.0),
+                _entry(duration=2.0),
+                _entry(key='v2:["fig6","Memory"]', duration=4.0),
+                _entry(source=SOURCE_DISK_CACHE, duration=0.0),
+                _entry(outcome="failed", error="boom", duration=0.1),
+            ],
+        )
+        monkeypatch.setenv("REPRO_CACHE", cache_path)
+        assert cli.main(["status"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulated run durations per figure" in out
+        assert "fig2" in out and "fig6" in out
+        assert "p50" in out and "p95" in out
+        assert "disk-cache: 1" in out
+        assert "simulated: 4" in out
+        assert "boom" in out

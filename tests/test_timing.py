@@ -36,12 +36,13 @@ def _work(loads=0, stores=0, flops=0, fmas=0, int_ops=0, vector=False):
     return work
 
 
-def _snapshot(levels, dram_read=0, dram_written=0, tlb=0):
+def _snapshot(levels, dram_read=0, dram_written=0, tlb=0, line_size=64):
     return HierarchySnapshot(
         [LevelSnapshot(name, h, m, p, w) for name, h, m, p, w in levels],
         dram_read,
         dram_written,
         tlb,
+        line_size,
     )
 
 
