@@ -6,13 +6,17 @@
   legality certification;
 * :mod:`repro.analysis.footprint` — footprint boxes, essential DRAM
   traffic, working-set sizes;
-* :mod:`repro.analysis.reuse` — LRU stack-distance histograms.
+* :mod:`repro.analysis.reuse` — LRU stack-distance histograms;
+* :mod:`repro.analysis.lint` — the symbolic dependence engine and the
+  ``repro lint`` diagnostics framework.
 """
 
 from repro.analysis.dependence import (
     Conflict,
+    EnumerationBudgetError,
     certify_interchange,
     certify_parallel,
+    enumeration_oracle,
     gcd_independent,
     loop_conflicts,
     may_alias,
@@ -31,6 +35,7 @@ from repro.analysis.summation import newton_sum, sum_over_range
 __all__ = [
     "ArrayFootprint",
     "Conflict",
+    "EnumerationBudgetError",
     "LruStack",
     "OpCounts",
     "ReuseHistogram",
@@ -38,6 +43,7 @@ __all__ = [
     "certify_parallel",
     "count_expr",
     "count_program",
+    "enumeration_oracle",
     "essential_traffic_bytes",
     "footprints",
     "gcd_independent",

@@ -1,19 +1,22 @@
 """Data-dependence testing and transformation-legality certification.
 
-Two complementary mechanisms:
+Three complementary mechanisms:
 
 * **Fast conservative tests** on affine subscript pairs (ZIV and GCD tests)
   that can *disprove* a dependence without enumerating iterations.
-* **Concrete certification**: exhaustively execute the (small) iteration
-  space symbolically, recording which iteration of a candidate parallel
-  loop touches which array elements, and report any cross-iteration
-  conflict.  This is exact, and because every kernel family in the suite is
-  size-generic, legality certified at a small size transfers to large sizes
-  (the subscript functions are identical polynomials in the sizes).
+* **Symbolic certification** (primary): exact distance/direction vectors
+  from :mod:`repro.analysis.lint.symbolic` — Banerjee bounds plus a small
+  integer solver — giving size-generic proofs whose cost is independent of
+  the iteration space.
+* **Concrete enumeration** (cross-check oracle): exhaustively execute the
+  iteration space, recording which iteration of a candidate parallel loop
+  touches which elements.  Exact but budget-limited; when the space
+  exceeds the budget the oracle is *skipped* (the symbolic proof stands on
+  its own) rather than failing the certification.
 
 The transform passes call :func:`certify_parallel` /
-:func:`certify_interchange` at construction-test time; see
-``tests/test_dependence.py``.
+:func:`certify_interchange`; see ``tests/test_dependence.py`` and the
+symbolic-vs-enumeration property tests in ``tests/test_symbolic.py``.
 """
 
 from __future__ import annotations
@@ -21,27 +24,40 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.ir.affine import Affine
-from repro.ir.expr import Load, loads_in
+from repro.ir.expr import loads_in
 from repro.ir.program import Program
 from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store, find_loop
 
 MAX_CERTIFY_POINTS = 2_000_000
 
 
+class EnumerationBudgetError(AnalysisError):
+    """The concrete oracle's iteration space exceeded its access budget.
+
+    Direct callers of :func:`loop_conflicts` still see an
+    :class:`AnalysisError`; the certification entry points catch this
+    subclass and downgrade the oracle to "skipped"."""
+
+
 @dataclass(frozen=True)
 class Access:
     """One dynamic array access: which element, read or write, and the
-    value of the candidate loop variable when it happened."""
+    value of the candidate loop variable when it happened.  ``outer``
+    holds the values of the loops *enclosing* the candidate: iterations
+    from different outer values run in different parallel regions, with
+    an implicit barrier between them, so only accesses with equal
+    ``outer`` can race."""
 
     array: str
     element: Tuple[int, ...]
     is_write: bool
     loop_value: int
     sequence: int  # program order
+    outer: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -106,6 +122,22 @@ def may_alias(a_indices, b_indices) -> bool:
 # Concrete certification
 # ---------------------------------------------------------------------------
 
+def _enclosing_vars(stmt: Stmt, var: str, path: Tuple[str, ...] = ()) -> Optional[Tuple[str, ...]]:
+    """Variables of the loops enclosing the loop named ``var`` (outside-in),
+    or ``None`` if no such loop exists."""
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            found = _enclosing_vars(child, var, path)
+            if found is not None:
+                return found
+        return None
+    if isinstance(stmt, For):
+        if stmt.var == var:
+            return path
+        return _enclosing_vars(stmt.body, var, path + (stmt.var,))
+    return None
+
+
 def _accesses(
     stmt: Stmt,
     env: Dict[str, int],
@@ -113,15 +145,16 @@ def _accesses(
     out: List[Access],
     counter: List[int],
     budget: int,
+    enclosing: Tuple[str, ...] = (),
 ) -> None:
     if isinstance(stmt, Block):
         for child in stmt.stmts:
-            _accesses(child, env, loop_var, out, counter, budget)
+            _accesses(child, env, loop_var, out, counter, budget, enclosing)
         return
     if isinstance(stmt, For):
         for value in stmt.iter_values(env):
             env[stmt.var] = value
-            _accesses(stmt.body, env, loop_var, out, counter, budget)
+            _accesses(stmt.body, env, loop_var, out, counter, budget, enclosing)
         env.pop(stmt.var, None)
         return
     if isinstance(stmt, (Store, LocalAssign)):
@@ -130,6 +163,7 @@ def _accesses(
             # the parallel region's implicit barrier — cannot race.
             return
         loop_value = env.get(loop_var, 0) if loop_var is not None else 0
+        outer = tuple(env[v] for v in enclosing)
         for load in loads_in(stmt.value):
             if load.array.scope != "global":
                 # Thread-local scratch is privatized per OpenMP thread;
@@ -138,7 +172,7 @@ def _accesses(
                 continue
             counter[0] += 1
             if counter[0] > budget:
-                raise AnalysisError(
+                raise EnumerationBudgetError(
                     f"iteration space too large to certify (> {budget} accesses); "
                     "certify at a smaller size of the same kernel family"
                 )
@@ -149,14 +183,15 @@ def _accesses(
                     False,
                     loop_value,
                     counter[0],
+                    outer,
                 )
             )
         if isinstance(stmt, Store) and stmt.array.scope == "global":
             counter[0] += 1
             element = tuple(ix.evaluate(env) for ix in stmt.indices)
             if stmt.accumulate:
-                out.append(Access(stmt.array.name, element, False, loop_value, counter[0]))
-            out.append(Access(stmt.array.name, element, True, loop_value, counter[0]))
+                out.append(Access(stmt.array.name, element, False, loop_value, counter[0], outer))
+            out.append(Access(stmt.array.name, element, True, loop_value, counter[0], outer))
         return
     raise AnalysisError(f"unknown statement {stmt!r}")
 
@@ -167,15 +202,17 @@ def loop_conflicts(
     """All cross-iteration conflicts that forbid parallelizing loop ``var``.
 
     A conflict is two accesses to the same element from different values of
-    ``var`` where at least one access is a write.
+    ``var`` — at the *same* values of every enclosing loop, since distinct
+    outer iterations open distinct parallel regions separated by the
+    implicit barrier — where at least one access is a write.
     """
-    loop = find_loop(program.body, var)
+    find_loop(program.body, var)  # raises if the loop does not exist
+    enclosing = _enclosing_vars(program.body, var) or ()
     accesses: List[Access] = []
     env: Dict[str, int] = {}
     # Walk the whole program so surrounding loops bind their variables too.
-    _accesses(program.body, env, var, accesses, [0], budget)
+    _accesses(program.body, env, var, accesses, [0], budget, enclosing)
 
-    last_seen: Dict[Tuple[str, Tuple[int, ...]], List[Access]] = {}
     conflicts: List[Conflict] = []
     by_element: Dict[Tuple[str, Tuple[int, ...]], List[Access]] = {}
     for access in accesses:
@@ -184,7 +221,7 @@ def loop_conflicts(
         if len(hits) < 2:
             continue
         for first, second in itertools.combinations(hits, 2):
-            if first.loop_value == second.loop_value:
+            if first.loop_value == second.loop_value or first.outer != second.outer:
                 continue
             if first.is_write or second.is_write:
                 conflicts.append(Conflict(array, element, first, second))
@@ -192,17 +229,49 @@ def loop_conflicts(
     return conflicts
 
 
-def certify_parallel(program: Program, var: str, budget: int = MAX_CERTIFY_POINTS) -> None:
-    """Raise :class:`AnalysisError` if parallelizing ``var`` is illegal."""
-    conflicts = loop_conflicts(program, var, budget)
-    if conflicts:
-        sample = "; ".join(str(c) for c in conflicts[:3])
-        raise AnalysisError(
-            f"loop {var!r} of {program.name!r} carries dependences: {sample}"
+def enumeration_oracle(
+    program: Program, var: str, budget: int = MAX_CERTIFY_POINTS
+) -> Optional[List[Conflict]]:
+    """Concrete cross-check: the conflict list, or ``None`` when the
+    iteration space exceeds ``budget`` (oracle skipped, not an error)."""
+    try:
+        return loop_conflicts(program, var, budget)
+    except EnumerationBudgetError:
+        return None
+
+
+def certify_parallel(
+    program: Program, var: str, budget: int = MAX_CERTIFY_POINTS
+) -> Optional[str]:
+    """Prove parallelizing ``var`` legal; raise :class:`AnalysisError` if not.
+
+    The symbolic engine is the primary proof (size-generic).  Concrete
+    enumeration then cross-checks it when the iteration space fits the
+    budget; over budget it is skipped and the skip is reported in the
+    return value (``None`` means fully cross-checked).
+    """
+    from repro.analysis.lint.symbolic import certify_parallel_symbolic
+
+    certify_parallel_symbolic(program, var)
+    oracle = enumeration_oracle(program, var, budget)
+    if oracle is None:
+        return (
+            f"enumeration oracle skipped for loop {var!r}: iteration space "
+            f"exceeds the {budget}-access budget (symbolic proof stands alone)"
         )
+    if oracle:
+        sample = "; ".join(str(c) for c in oracle[:3])
+        raise AnalysisError(
+            f"internal analysis disagreement on loop {var!r} of "
+            f"{program.name!r}: the symbolic engine certified it parallel but "
+            f"enumeration found conflicts: {sample}"
+        )
+    return None
 
 
-def execution_order_signature(program: Program) -> List[Tuple[str, Tuple[int, ...], bool]]:
+def execution_order_signature(
+    program: Program, budget: int = MAX_CERTIFY_POINTS
+) -> List[Tuple[str, Tuple[int, ...], bool]]:
     """The sequence of (array, element, is_write) touches of a program.
 
     Interchange is legal iff the *set* of reads-before-writes relations per
@@ -210,22 +279,34 @@ def execution_order_signature(program: Program) -> List[Tuple[str, Tuple[int, ..
     write sequences and final values instead (see certify_interchange).
     """
     accesses: List[Access] = []
-    _accesses(program.body, {}, None, accesses, [0], MAX_CERTIFY_POINTS)
+    _accesses(program.body, {}, None, accesses, [0], budget)
     return [(a.array, a.element, a.is_write) for a in accesses]
 
 
-def certify_interchange(original: Program, transformed: Program) -> None:
+def certify_interchange(
+    original: Program, transformed: Program, budget: int = MAX_CERTIFY_POINTS
+) -> Optional[str]:
     """Certify an interchange/tiling by comparing per-element access
     multisets (same elements read and written the same number of times).
 
     This is a necessary condition; combined with the interpreter-equality
     tests in the kernel test-suites (bitwise equal outputs) it gives strong
-    evidence of semantic preservation.
+    evidence of semantic preservation.  Over-budget iteration spaces skip
+    the comparison and report it in the return value instead of raising —
+    the symbolic direction-vector proof
+    (:func:`repro.analysis.lint.symbolic.certify_interchange_symbolic`)
+    is the primary legality argument.
     """
-    before = execution_order_signature(original)
-    after = execution_order_signature(transformed)
     from collections import Counter
 
+    try:
+        before = execution_order_signature(original, budget)
+        after = execution_order_signature(transformed, budget)
+    except EnumerationBudgetError:
+        return (
+            f"enumeration oracle skipped for {original.name!r}: iteration "
+            f"space exceeds the {budget}-access budget"
+        )
     if Counter(before) != Counter(after):
         missing = Counter(before) - Counter(after)
         extra = Counter(after) - Counter(before)
@@ -233,3 +314,4 @@ def certify_interchange(original: Program, transformed: Program) -> None:
             f"transformation changed the access multiset: missing={list(missing)[:3]} "
             f"extra={list(extra)[:3]}"
         )
+    return None

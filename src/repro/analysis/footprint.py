@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.ir.affine import Affine
-from repro.ir.expr import Load, loads_in
+from repro.ir.expr import loads_in
 from repro.ir.program import Array, Program
 from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
 

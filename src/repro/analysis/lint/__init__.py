@@ -1,0 +1,59 @@
+"""Symbolic IR linter.
+
+A small MLIR-style diagnostics framework over the affine loop-nest IR:
+
+* :mod:`repro.analysis.lint.symbolic` — the symbolic dependence engine
+  (exact distance/direction vectors via Banerjee bounds, integer equality
+  elimination and Fourier-Motzkin with integer tightening).  Size-generic:
+  no iteration-space enumeration, so certification cost is independent of
+  the problem size.
+* :mod:`repro.analysis.lint.diagnostics` — structured :class:`Diagnostic`
+  records with stable ``RPR0xx`` codes and text / JSON / SARIF emitters.
+* :mod:`repro.analysis.lint.checkers` — the checkers encoding the paper's
+  Section 4/5 lessons: ``race``, ``false-sharing``, ``stride``,
+  ``tile-fit``, ``uncertified-transform``.
+* :mod:`repro.analysis.lint.engine` — checker registry, waiver handling
+  and the strict-gate policy behind ``repro lint``.
+"""
+
+from repro.analysis.lint.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.analysis.lint.engine import (
+    DEFAULT_CHECKERS,
+    FIGURE_WAIVERS,
+    LintReport,
+    lint_program,
+    strict_failures,
+)
+from repro.analysis.lint.symbolic import (
+    SymbolicDependence,
+    carried_dependences,
+    certify_interchange_symbolic,
+    certify_parallel_symbolic,
+    dependence_relations,
+)
+
+__all__ = [
+    "CODES",
+    "DEFAULT_CHECKERS",
+    "Diagnostic",
+    "FIGURE_WAIVERS",
+    "LintReport",
+    "Severity",
+    "SymbolicDependence",
+    "carried_dependences",
+    "certify_interchange_symbolic",
+    "certify_parallel_symbolic",
+    "dependence_relations",
+    "lint_program",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "strict_failures",
+]

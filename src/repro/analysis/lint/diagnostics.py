@@ -1,0 +1,219 @@
+"""Structured lint diagnostics with stable codes and three emitters.
+
+Every checker finding is a :class:`Diagnostic` carrying a stable ``RPR0xx``
+code, a severity, the loop path it anchors to, and a fix-it hint.  The
+code table is the public contract: codes are never reused, and waivers in
+figure pipelines reference them by code (see
+:data:`repro.analysis.lint.engine.FIGURE_WAIVERS`).
+
+Emitters: compiler-style text (one line per finding), JSON (machine
+consumption / journal), and SARIF 2.1.0 (uploadable to code-scanning UIs
+straight from CI).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; comparisons follow escalation order."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @staticmethod
+    def parse(name: str) -> "Severity":
+        return Severity[name.upper()]
+
+    @property
+    def sarif_level(self) -> str:
+        return {"NOTE": "note", "WARNING": "warning", "ERROR": "error"}[self.name]
+
+
+#: The stable diagnostic code table: code -> (checker name, default
+#: severity, one-line description).  Codes are append-only.
+CODES: Dict[str, Tuple[str, Severity, str]] = {
+    "RPR001": (
+        "race",
+        Severity.ERROR,
+        "a parallel loop carries a dependence (data race under OpenMP semantics)",
+    ),
+    "RPR002": (
+        "false-sharing",
+        Severity.WARNING,
+        "different iterations of a parallel loop write the same cache line",
+    ),
+    "RPR003": (
+        "stride",
+        Severity.WARNING,
+        "innermost loop walks an array with a non-unit (cache-hostile) stride",
+    ),
+    "RPR004": (
+        "tile-fit",
+        Severity.WARNING,
+        "blocking tile footprint exceeds the targeted cache capacity",
+    ),
+    "RPR005": (
+        "uncertified-transform",
+        Severity.WARNING,
+        "a semantics-changing transform was applied without a legality proof",
+    ),
+    "RPR006": (
+        "oracle-budget",
+        Severity.NOTE,
+        "concrete enumeration cross-check skipped: iteration space over budget",
+    ),
+    "RPR007": (
+        "inexact-analysis",
+        Severity.NOTE,
+        "the symbolic solver answered conservatively (result may be a superset)",
+    ),
+}
+
+
+def checker_name(code: str) -> str:
+    return CODES[code][0]
+
+
+def default_severity(code: str) -> Severity:
+    return CODES[code][1]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to a loop path of a program."""
+
+    code: str
+    message: str
+    severity: Severity
+    program: str
+    loop_path: Tuple[str, ...] = ()
+    array: Optional[str] = None
+    device: Optional[str] = None
+    hint: Optional[str] = None
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def checker(self) -> str:
+        return checker_name(self.code)
+
+    @property
+    def location(self) -> str:
+        """Logical location: ``program::loop>loop``."""
+        if not self.loop_path:
+            return self.program
+        return f"{self.program}::{'>'.join(self.loop_path)}"
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "checker": self.checker,
+            "severity": str(self.severity),
+            "program": self.program,
+            "loop_path": list(self.loop_path),
+            "message": self.message,
+        }
+        if self.array is not None:
+            out["array"] = self.array
+        if self.device is not None:
+            out["device"] = self.device
+        if self.hint is not None:
+            out["hint"] = self.hint
+        if self.data:
+            out["data"] = dict(self.data)
+        return out
+
+    def render(self) -> str:
+        """Compiler-style one-liner (plus an indented fix-it line)."""
+        where = f" [{'>'.join(self.loop_path)}]" if self.loop_path else ""
+        dev = f" ({self.device})" if self.device else ""
+        line = f"{self.program}{where}: {self.severity} {self.code} ({self.checker}){dev}: {self.message}"
+        if self.hint:
+            line += f"\n    fix: {self.hint}"
+        return line
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """All findings as compiler-style text, most severe first."""
+    ordered = sorted(diagnostics, key=lambda d: (-d.severity, d.code, d.location))
+    return "\n".join(d.render() for d in ordered)
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic], meta: Optional[Mapping[str, object]] = None
+) -> str:
+    doc: Dict[str, object] = dict(meta or {})
+    doc["diagnostics"] = [d.as_dict() for d in diagnostics]
+    counts: Dict[str, int] = {}
+    for d in diagnostics:
+        counts[str(d.severity)] = counts.get(str(d.severity), 0) + 1
+    doc["counts"] = counts
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic], meta: Optional[Mapping[str, object]] = None
+) -> str:
+    """Minimal SARIF 2.1.0 document (GitHub code-scanning compatible)."""
+    used = sorted({d.code for d in diagnostics})
+    rules = [
+        {
+            "id": code,
+            "name": CODES[code][0],
+            "shortDescription": {"text": CODES[code][2]},
+            "defaultConfiguration": {"level": CODES[code][1].sarif_level},
+        }
+        for code in used
+    ]
+    results = []
+    for d in diagnostics:
+        result: Dict[str, object] = {
+            "ruleId": d.code,
+            "level": d.severity.sarif_level,
+            "message": {"text": d.message + (f" (fix: {d.hint})" if d.hint else "")},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {"fullyQualifiedName": d.location, "kind": "function"}
+                    ]
+                }
+            ],
+        }
+        props = {k: v for k, v in dict(d.data).items()}
+        if d.device:
+            props["device"] = d.device
+        if d.array:
+            props["array"] = d.array
+        if props:
+            result["properties"] = props
+        results.append(result)
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "properties": dict(meta or {}),
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,699 @@
+"""Symbolic dependence engine: exact distance/direction vectors.
+
+Replaces budget-limited enumeration with size-generic proofs.  For every
+pair of references to the same global array (at least one a write), the
+engine builds a system of integer constraints —
+
+* per-dimension subscript equalities ``f_d(I) == g_d(I')`` between two
+  symbolic iteration vectors ``I`` and ``I'``,
+* loop-bound inequalities for both iteration vectors, including the
+  ``min()`` / ``max()`` bounds produced by tiling and a stride variable
+  for stepped (block) loops,
+
+and decides feasibility with three exact-leaning layers:
+
+1. **Banerjee bounds**: interval-evaluate each equality over the
+   rectangular hull of the iteration space; if ``0`` falls outside, the
+   references are independent.
+2. **Integer equality elimination**: GCD-normalize each equality and
+   substitute out unit-coefficient variables (every subscript in the
+   kernel suite reaches a unit pivot), reducing the system to
+   inequalities only.
+3. **Fourier-Motzkin elimination with integer tightening**: project out
+   the remaining variables; each derived inequality is divided by the
+   GCD of its coefficients with a ceiling-rounded constant, which keeps
+   the projection exact on the unit-coefficient systems that loop nests
+   produce.
+
+Distance vectors are read off by protecting a variable ``d = i' - i``
+per common loop during elimination: the projected interval of ``d``
+gives the exact distance when it is a single point and the feasible
+direction signs otherwise.  Property tests
+(``tests/test_symbolic.py``) assert agreement with concrete enumeration
+on every kernel family at small sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AnalysisError
+from repro.ir.affine import Affine
+from repro.ir.expr import loads_in
+from repro.ir.program import Program
+from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
+
+# Tri-state feasibility results.
+FEASIBLE = "feasible"
+INFEASIBLE = "infeasible"
+UNKNOWN = "unknown"
+
+#: Bail out of Fourier-Motzkin if the constraint set grows past this; the
+#: answer degrades to UNKNOWN (treated conservatively as "may depend").
+FM_CONSTRAINT_LIMIT = 600
+
+_INF = math.inf
+
+
+# ---------------------------------------------------------------------------
+# Reference collection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RefSite:
+    """One static array reference with its enclosing loop context."""
+
+    array: str
+    is_write: bool
+    indices: Tuple[Affine, ...]
+    path: Tuple[For, ...]        # enclosing For nodes, outside-in
+    order: int                   # program order of the statement
+
+    @property
+    def loop_vars(self) -> Tuple[str, ...]:
+        return tuple(loop.var for loop in self.path)
+
+    def describe(self) -> str:
+        subs = ", ".join(repr(ix) for ix in self.indices)
+        kind = "write" if self.is_write else "read"
+        return f"{kind} {self.array}[{subs}]"
+
+
+def reference_sites(program: Program) -> List[RefSite]:
+    """Every global-array reference with its loop path, program order.
+
+    Thread-local scratch (``scope != 'global'``) is privatized per core
+    and excluded, mirroring the enumeration oracle in
+    :mod:`repro.analysis.dependence`.
+    """
+    out: List[RefSite] = []
+    counter = [0]
+
+    def walk(stmt: Stmt, path: Tuple[For, ...]) -> None:
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                walk(child, path)
+            return
+        if isinstance(stmt, For):
+            walk(stmt.body, path + (stmt,))
+            return
+        if isinstance(stmt, (Store, LocalAssign)):
+            counter[0] += 1
+            order = counter[0]
+            for load in loads_in(stmt.value):
+                if load.array.scope == "global":
+                    out.append(RefSite(load.array.name, False, load.indices, path, order))
+            if isinstance(stmt, Store) and stmt.array.scope == "global":
+                if stmt.accumulate:
+                    out.append(RefSite(stmt.array.name, False, stmt.indices, path, order))
+                out.append(RefSite(stmt.array.name, True, stmt.indices, path, order))
+            return
+        raise AnalysisError(f"unknown statement {stmt!r}")
+
+    walk(program.body, ())
+    return out
+
+
+def _common_prefix(a: Tuple[For, ...], b: Tuple[For, ...]) -> Tuple[For, ...]:
+    out = []
+    for la, lb in zip(a, b):
+        if la is lb:
+            out.append(la)
+        else:
+            break
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Constraint system construction
+# ---------------------------------------------------------------------------
+
+def _rename_map(path: Sequence[For], suffix: str) -> Dict[str, str]:
+    return {loop.var: loop.var + suffix for loop in path}
+
+
+def _copy_constraints(
+    path: Sequence[For], suffix: str, eqs: List[Affine], ineqs: List[Affine]
+) -> None:
+    """Bounds (and stride) constraints for one iteration-vector copy."""
+    mapping = _rename_map(path, suffix)
+    for loop in path:
+        v = Affine.var(mapping[loop.var])
+        lo = loop.lo.rename(mapping)
+        hi = loop.hi.rename(mapping)
+        for op in lo.operands:        # max(ops) <= v  ->  op - v <= 0
+            ineqs.append(op - v)
+        for op in hi.operands:        # v < min(ops)   ->  v - op + 1 <= 0
+            ineqs.append(v - op + 1)
+        if loop.step > 1 and lo.is_plain:
+            t = Affine.var(mapping[loop.var] + "$t")
+            eqs.append(v - lo.plain - t * loop.step)
+            ineqs.append(-t)          # t >= 0
+    return
+
+
+def _hull(path: Sequence[For], suffix: str) -> Optional[Dict[str, Tuple[float, float]]]:
+    """Rectangular hull of the iteration space of one copy.
+
+    Returns None when some loop is statically zero-trip (no iterations,
+    hence no dependence through this path).
+    """
+    mapping = _rename_map(path, suffix)
+    hull: Dict[str, Tuple[float, float]] = {}
+    for loop in path:
+        lo = loop.lo.rename(mapping)
+        hi = loop.hi.rename(mapping)
+        lo_min: float = -_INF
+        for op in lo.operands:
+            iv = _interval(op, hull)
+            lo_min = max(lo_min, iv[0])
+        hi_max: float = _INF
+        for op in hi.operands:
+            iv = _interval(op, hull)
+            hi_max = min(hi_max, iv[1])
+        if hi_max - 1 < lo_min:
+            return None
+        hull[mapping[loop.var]] = (lo_min, hi_max - 1)
+        if loop.step > 1 and lo.is_plain:
+            span = hi_max - 1 - lo_min
+            t_hi = _INF if math.isinf(span) else span // loop.step
+            hull[mapping[loop.var] + "$t"] = (0, t_hi)
+    return hull
+
+
+def _interval(expr: Affine, hull: Dict[str, Tuple[float, float]]) -> Tuple[float, float]:
+    lo = hi = float(expr.const)
+    for var, coeff in expr.terms.items():
+        vlo, vhi = hull.get(var, (-_INF, _INF))
+        if coeff >= 0:
+            lo += coeff * vlo
+            hi += coeff * vhi
+        else:
+            lo += coeff * vhi
+            hi += coeff * vlo
+    return lo, hi
+
+
+def _banerjee_rejects(eq: Affine, hull: Dict[str, Tuple[float, float]]) -> bool:
+    """Banerjee bounds test: no zero of ``eq`` over the hull."""
+    lo, hi = _interval(eq, hull)
+    return lo > 0 or hi < 0
+
+
+def _gcd_rejects(eq: Affine) -> bool:
+    """GCD test: the Diophantine equation has no integer solution."""
+    if eq.is_constant:
+        return eq.const != 0
+    g = 0
+    for coeff in eq.terms.values():
+        g = math.gcd(g, abs(coeff))
+    return g != 0 and eq.const % g != 0
+
+
+# ---------------------------------------------------------------------------
+# Integer solving: equality elimination + Fourier-Motzkin
+# ---------------------------------------------------------------------------
+
+def _tighten(expr: Affine) -> Affine:
+    """Integer-tighten ``expr <= 0``: divide by the coefficient GCD with a
+    ceiling-rounded constant (sound and lossless over the integers)."""
+    if expr.is_constant:
+        return expr
+    g = 0
+    for coeff in expr.terms.values():
+        g = math.gcd(g, abs(coeff))
+    if g <= 1:
+        return expr
+    # g*T + c <= 0  <=>  T <= floor(-c/g)  <=>  T + ceil(c/g) <= 0
+    const = -((-expr.const) // g)
+    return Affine(const, {v: c // g for v, c in expr.terms.items()})
+
+
+def _eliminate_equalities(
+    eqs: List[Affine], ineqs: List[Affine], protect: FrozenSet[str]
+) -> Tuple[str, List[Affine], bool]:
+    """Substitute equalities away.  Returns (status, inequalities, exact).
+
+    ``status`` is INFEASIBLE when an equality is unsatisfiable, FEASIBLE
+    otherwise.  ``exact`` turns False when an equality without a unit
+    pivot had to be dropped (after GCD/Banerjee screening), making the
+    remaining analysis conservative.
+    """
+    eqs = list(eqs)
+    ineqs = list(ineqs)
+    exact = True
+    while eqs:
+        progress = False
+        for k, eq in enumerate(eqs):
+            if eq.is_constant:
+                if eq.const != 0:
+                    return INFEASIBLE, ineqs, exact
+                eqs.pop(k)
+                progress = True
+                break
+            if _gcd_rejects(eq):
+                return INFEASIBLE, ineqs, exact
+            g = 0
+            for coeff in eq.terms.values():
+                g = math.gcd(g, abs(coeff))
+            if g > 1:  # constant divisible by g (GCD test passed)
+                eq = Affine(eq.const // g, {v: c // g for v, c in eq.terms.items()})
+                eqs[k] = eq
+            pivots = [v for v, c in eq.terms.items() if abs(c) == 1 and v not in protect]
+            if not pivots:
+                continue
+            var = sorted(pivots)[0]
+            coeff = eq.terms[var]
+            rest = eq - Affine(0, {var: coeff})
+            # coeff=+1: var = -rest ; coeff=-1: var = rest
+            replacement = rest * (-1) if coeff == 1 else rest
+            eqs.pop(k)
+            eqs = [e.substitute(var, replacement) for e in eqs]
+            ineqs = [c.substitute(var, replacement) for c in ineqs]
+            progress = True
+            break
+        if not progress:
+            # No unprotected unit pivot left.  Converting ``eq == 0`` to the
+            # inequality pair ``eq <= 0 and -eq <= 0`` is lossless, so hand
+            # the leftovers to Fourier-Motzkin.  Non-unit coefficients make
+            # the real-relaxation potentially slack, so flag those inexact.
+            for eq in eqs:
+                if _gcd_rejects(eq):
+                    return INFEASIBLE, ineqs, exact
+                if any(abs(c) != 1 for c in eq.terms.values()):
+                    exact = False
+                ineqs.extend((eq, -eq))
+            break
+    return FEASIBLE, ineqs, exact
+
+
+def _simplify(ineqs: List[Affine]) -> Tuple[str, List[Affine]]:
+    out: Dict[Affine, None] = {}
+    for c in ineqs:
+        c = _tighten(c)
+        if c.is_constant:
+            if c.const > 0:
+                return INFEASIBLE, []
+            continue
+        out[c] = None
+    return FEASIBLE, list(out)
+
+
+def _fm_project(
+    ineqs: List[Affine], keep: FrozenSet[str]
+) -> Tuple[str, List[Affine]]:
+    """Project the system onto ``keep`` via Fourier-Motzkin.
+
+    Returns (status, projected) where status is INFEASIBLE when a
+    contradiction surfaced, UNKNOWN when the system grew past the limit,
+    FEASIBLE otherwise.
+    """
+    status, ineqs = _simplify(ineqs)
+    if status == INFEASIBLE:
+        return INFEASIBLE, []
+    while True:
+        variables: Set[str] = set()
+        for c in ineqs:
+            variables |= set(c.terms)
+        candidates = sorted(variables - keep)
+        if not candidates:
+            return FEASIBLE, ineqs
+        # Eliminate the variable producing the fewest combined constraints.
+        def cost(v: str) -> int:
+            ups = sum(1 for c in ineqs if c.coefficient(v) > 0)
+            downs = sum(1 for c in ineqs if c.coefficient(v) < 0)
+            return ups * downs - ups - downs
+
+        var = min(candidates, key=cost)
+        uppers = [c for c in ineqs if c.coefficient(var) > 0]
+        lowers = [c for c in ineqs if c.coefficient(var) < 0]
+        others = [c for c in ineqs if c.coefficient(var) == 0]
+        new: List[Affine] = list(others)
+        for up, low in itertools.product(uppers, lowers):
+            a = up.coefficient(var)
+            b = -low.coefficient(var)
+            comb = (up - Affine(0, {var: a})) * b + (low + Affine(0, {var: b})) * a
+            new.append(comb)
+        status, ineqs = _simplify(new)
+        if status == INFEASIBLE:
+            return INFEASIBLE, []
+        if len(ineqs) > FM_CONSTRAINT_LIMIT:
+            return UNKNOWN, ineqs
+
+
+def _feasible(ineqs: List[Affine]) -> str:
+    status, _ = _fm_project(ineqs, frozenset())
+    return status
+
+
+def _projected_interval(
+    ineqs: List[Affine], var: str
+) -> Tuple[str, Tuple[float, float]]:
+    """Feasible interval of ``var`` after projecting everything else out."""
+    status, projected = _fm_project(ineqs, frozenset({var}))
+    if status != FEASIBLE:
+        return status, (-_INF, _INF)
+    lo: float = -_INF
+    hi: float = _INF
+    for c in projected:
+        a = c.coefficient(var)
+        if a == 0:
+            continue
+        if a > 0:      # a*var + const <= 0  ->  var <= floor(-const/a)
+            hi = min(hi, (-c.const) // a)
+        else:          # var >= ceil(const / -a)
+            b = -a
+            lo = max(lo, -((-c.const) // b))
+    if lo > hi:
+        return INFEASIBLE, (lo, hi)
+    return FEASIBLE, (lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# Pair analysis
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _PairSystem:
+    eqs: List[Affine]
+    ineqs: List[Affine]
+    common: Tuple[For, ...]
+    #: per common loop: the two copies' variable names and the distance var
+    levels: List[Tuple[str, str, str]]
+
+
+def _build_system(a: RefSite, b: RefSite) -> Optional[_PairSystem]:
+    """Constraint system for 'instance of a and instance of b touch the
+    same element'.  None when Banerjee/GCD or hull emptiness disproves it.
+    """
+    common = _common_prefix(a.path, b.path)
+    map_a = _rename_map(a.path, "$1")
+    map_b = _rename_map(b.path, "$2")
+    eqs: List[Affine] = []
+    ineqs: List[Affine] = []
+    for ix_a, ix_b in zip(a.indices, b.indices):
+        eqs.append(ix_a.rename(map_a) - ix_b.rename(map_b))
+    hull_a = _hull(a.path, "$1")
+    hull_b = _hull(b.path, "$2")
+    if hull_a is None or hull_b is None:
+        return None
+    hull = dict(hull_a)
+    hull.update(hull_b)
+    for eq in eqs:
+        if _gcd_rejects(eq) or _banerjee_rejects(eq, hull):
+            return None
+    _copy_constraints(a.path, "$1", eqs, ineqs)
+    _copy_constraints(b.path, "$2", eqs, ineqs)
+    levels = []
+    for loop in common:
+        va, vb = map_a[loop.var], map_b[loop.var]
+        d = loop.var + "$d"
+        eqs.append(Affine.var(vb) - Affine.var(va) - Affine.var(d))
+        levels.append((va, vb, d))
+    return _PairSystem(eqs, ineqs, common, levels)
+
+
+def _solve(
+    system: _PairSystem, extra: Sequence[Affine] = (), extra_eqs: Sequence[Affine] = ()
+) -> Tuple[str, List[Affine], bool]:
+    """Eliminate equalities, returning (status, inequalities, exact)."""
+    protect = frozenset(d for _va, _vb, d in system.levels)
+    status, ineqs, exact = _eliminate_equalities(
+        list(system.eqs) + list(extra_eqs), list(system.ineqs) + list(extra), protect
+    )
+    return status, ineqs, exact
+
+
+@dataclass(frozen=True)
+class SymbolicDependence:
+    """One proven (or conservatively assumed) dependence between two
+    references, summarized over the common loops."""
+
+    array: str
+    source: str                      # RefSite.describe() of the earlier ref
+    sink: str
+    loops: Tuple[str, ...]           # common loop vars, outside-in
+    distances: Tuple[Optional[int], ...]   # exact distance per level, else None
+    directions: Tuple[str, ...]      # per level: subset of "<=>" that is feasible
+    exact: bool
+
+    def carries(self, var: str) -> bool:
+        """True when the dependence is carried by loop ``var`` (a nonzero
+        distance at that level is feasible)."""
+        try:
+            k = self.loops.index(var)
+        except ValueError:
+            return False
+        return any(sign in self.directions[k] for sign in "<>")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        vec = ", ".join(
+            str(d) if d is not None else s
+            for d, s in zip(self.distances, self.directions)
+        )
+        return f"{self.source} -> {self.sink} on {self.array}: ({vec})"
+
+
+def _analyze_pair(a: RefSite, b: RefSite) -> Optional[SymbolicDependence]:
+    """Distance/direction summary for one ordered reference pair.
+
+    Directions at level k are computed with all outer levels pinned to
+    distance 0 (the standard 'carried at level k' refinement).
+    """
+    system = _build_system(a, b)
+    if system is None:
+        return None
+    status, base_ineqs, exact = _solve(system)
+    if status == INFEASIBLE:
+        return None
+    if _feasible(base_ineqs) == INFEASIBLE:
+        return None
+
+    # Per-level marginal distances and feasible signs (projection of the
+    # joint solution set onto each distance variable).
+    distances: List[Optional[int]] = []
+    directions: List[str] = []
+    same_site = a is b
+    for _va, _vb, d in system.levels:
+        d_var = Affine.var(d)
+        signs = ""
+        st = _feasible(base_ineqs + [d_var + 1])  # d <= -1
+        if st != INFEASIBLE:
+            signs += ">"
+            exact = exact and st == FEASIBLE
+        st = _feasible(base_ineqs + [d_var, -d_var])  # d == 0
+        if st != INFEASIBLE:
+            signs += "="
+            exact = exact and st == FEASIBLE
+        st = _feasible(base_ineqs + [1 - d_var])  # d >= 1
+        if st != INFEASIBLE:
+            signs += "<"
+            exact = exact and st == FEASIBLE
+        st, (lo, hi) = _projected_interval(base_ineqs, d)
+        if st == FEASIBLE and lo == hi and signs:
+            distances.append(int(lo))
+        else:
+            distances.append(None)
+        directions.append("".join(c for c in "<=>" if c in signs))
+    if not any("<" in s or ">" in s for s in directions):
+        if same_site:
+            # A reference trivially aliases itself in the same iteration;
+            # only cross-iteration (carried) self-dependences matter.
+            return None
+        if system.levels and all("=" not in s for s in directions):
+            return None
+    # Orient source -> sink: if the leading nonzero level only admits a
+    # negative distance, the dependence flows from b to a — flip it so the
+    # reported vector is lexicographically positive.
+    flip = False
+    for signs in directions:
+        if "<" in signs:
+            break
+        if ">" in signs:
+            flip = True
+            break
+    if flip:
+        distances = [None if v is None else -v for v in distances]
+        swap = {"<": ">", ">": "<", "=": "="}
+        directions = [
+            "".join(c for c in "<=>" if c in {swap[s] for s in signs})
+            for signs in directions
+        ]
+        source, sink = b, a
+    else:
+        source, sink = a, b
+    return SymbolicDependence(
+        array=a.array,
+        source=source.describe(),
+        sink=sink.describe(),
+        loops=tuple(loop.var for loop in system.common),
+        distances=tuple(distances),
+        directions=tuple(directions),
+        exact=exact,
+    )
+
+
+def _eq_as_ineqs(expr: Affine) -> Tuple[Affine, Affine]:
+    """``expr == 0`` as the pair of inequalities ``expr <= 0``, ``-expr <= 0``."""
+    return expr, -expr
+
+
+def _pairs(sites: List[RefSite]):
+    for i, a in enumerate(sites):
+        for b in sites[i:]:
+            if a.array != b.array:
+                continue
+            if not (a.is_write or b.is_write):
+                continue
+            yield a, b
+
+
+def dependence_relations(program: Program) -> List[SymbolicDependence]:
+    """All dependences between global-array reference pairs."""
+    sites = reference_sites(program)
+    out: List[SymbolicDependence] = []
+    for a, b in _pairs(sites):
+        dep = _analyze_pair(a, b)
+        if dep is not None:
+            out.append(dep)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Targeted queries
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CarriedDependence:
+    """A dependence carried by a specific (candidate-parallel) loop."""
+
+    array: str
+    source: str
+    sink: str
+    var: str
+    distance: Optional[int]          # exact carried distance, when constant
+    distance_range: Tuple[float, float]
+    exact: bool
+
+    def __str__(self) -> str:
+        if self.distance is not None:
+            dist = f"distance {self.distance}"
+        else:
+            lo, hi = self.distance_range
+            fmt = lambda v: str(int(v)) if not math.isinf(v) else ("-inf" if v < 0 else "inf")  # noqa: E731
+            dist = f"distance in [{fmt(lo)}, {fmt(hi)}]"
+        return f"{self.source} vs {self.sink} on {self.array!r} ({dist})"
+
+
+def carried_dependences(program: Program, var: str) -> List[CarriedDependence]:
+    """Dependences carried by loop ``var``: two different iterations of
+    ``var`` (within the same iteration of every enclosing loop) touch the
+    same element with at least one write.  Symbolic and size-generic.
+    """
+    sites = [s for s in reference_sites(program) if var in s.loop_vars]
+    out: List[CarriedDependence] = []
+    for a, b in _pairs(sites):
+        system = _build_system(a, b)
+        if system is None:
+            continue
+        d_name = None
+        outer_zero: List[Affine] = []
+        for loop, (va, vb, d) in zip(system.common, system.levels):
+            if loop.var == var:
+                d_name = d
+                break
+            # Enclosing serial loops: same iteration (the parallel region's
+            # implicit barrier separates different outer iterations).
+            outer_zero.extend(_eq_as_ineqs(Affine.var(d)))
+        if d_name is None:
+            continue  # var is not a common loop of this pair
+        status, ineqs, exact = _solve(system)
+        if status == INFEASIBLE:
+            continue
+        d_var = Affine.var(d_name)
+        found = None
+        # d >= 1 (covers the symmetric case for same-site pairs too).
+        st_pos = _feasible(ineqs + outer_zero + [1 - d_var])
+        st_neg = INFEASIBLE
+        if st_pos == INFEASIBLE and a is not b:
+            st_neg = _feasible(ineqs + outer_zero + [d_var + 1])
+        if st_pos != INFEASIBLE or st_neg != INFEASIBLE:
+            st_iv, (lo, hi) = _projected_interval(ineqs + outer_zero, d_name)
+            flipped = st_pos == INFEASIBLE  # dependence flows b -> a only
+            if flipped:
+                lo, hi = -hi, -lo
+            distance = int(lo) if st_iv == FEASIBLE and lo == hi else None
+            source, sink = (b, a) if flipped else (a, b)
+            found = CarriedDependence(
+                array=a.array,
+                source=source.describe(),
+                sink=sink.describe(),
+                var=var,
+                distance=distance,
+                distance_range=(lo, hi),
+                exact=exact and UNKNOWN not in (st_pos, st_neg),
+            )
+        if found is not None:
+            out.append(found)
+    return out
+
+
+def certify_parallel_symbolic(program: Program, var: str) -> None:
+    """Prove loop ``var`` free of loop-carried dependences, at any size.
+
+    Raises :class:`AnalysisError` when a carried dependence exists (or
+    when the solver cannot exclude one — the engine fails closed).
+    """
+    carried = carried_dependences(program, var)
+    if carried:
+        sample = "; ".join(str(c) for c in carried[:3])
+        raise AnalysisError(
+            f"loop {var!r} of {program.name!r} carries dependences "
+            f"(symbolic proof): {sample}"
+        )
+
+
+def certify_interchange_symbolic(program: Program, outer: str, inner: str) -> None:
+    """Prove interchanging ``outer`` and ``inner`` legal: no dependence
+    with direction ``(<, >)`` at those two levels (equal at every level
+    above).  Raises :class:`AnalysisError` on a proven or unexcludable
+    violation."""
+    sites = [
+        s
+        for s in reference_sites(program)
+        if outer in s.loop_vars and inner in s.loop_vars
+    ]
+    for a, b in _pairs(sites):
+        system = _build_system(a, b)
+        if system is None:
+            continue
+        constraints: List[Affine] = []
+        d_outer = d_inner = None
+        for loop, (_va, _vb, d) in zip(system.common, system.levels):
+            if loop.var == outer:
+                d_outer = Affine.var(d)
+            elif loop.var == inner:
+                d_inner = Affine.var(d)
+            elif d_outer is None:
+                constraints.extend(_eq_as_ineqs(Affine.var(d)))
+        if d_outer is None or d_inner is None:
+            continue
+        status, ineqs, _exact = _solve(system)
+        if status == INFEASIBLE:
+            continue
+        # outer distance >= 1 and inner distance <= -1: the pattern that
+        # interchange would reverse.  Check both sign patterns — for
+        # distinct references the reversed pattern is the same dependence
+        # with the other reference as its source.
+        for pos, neg in ((d_outer, d_inner), (d_inner, d_outer)):
+            st = _feasible(ineqs + constraints + [1 - pos, neg + 1])
+            if st != INFEASIBLE:
+                qualifier = "" if st == FEASIBLE else " (solver inconclusive)"
+                raise AnalysisError(
+                    f"interchange({outer}, {inner}) of {program.name!r} would "
+                    f"reverse a ({'<'}, {'>'}) dependence between "
+                    f"{a.describe()} and {b.describe()} on {a.array!r}{qualifier}"
+                )

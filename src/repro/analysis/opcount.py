@@ -14,7 +14,7 @@ These counts feed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from repro.errors import AnalysisError

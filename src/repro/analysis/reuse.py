@@ -15,7 +15,7 @@ this analysis targets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 
 INF = float("inf")

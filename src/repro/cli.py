@@ -10,6 +10,9 @@ Usage::
     repro-experiments profile transpose Naive mango_pi_d1
     repro-experiments profile blur Memory xeon_4310t --json --trace out.json
     repro-experiments profile transpose Naive mango_pi_d1 --n 256 --check
+    repro lint transpose Naive --strict
+    repro lint --figures --sarif -o lint.sarif
+    repro lint scan Parallel --device mango_pi_d1 --json
 
 (The ``repro`` console script is an alias, so ``repro profile ...`` works
 as well.)
@@ -22,7 +25,9 @@ runner appends next to the on-disk cache.  ``profile`` simulates one
 (kernel, variant, device) triple and prints its perf counters, time
 attribution and roofline position; ``--save-baseline`` / ``--check``
 maintain the committed counter baseline, ``--trace`` writes a Chrome
-trace-event JSON of the run's pipeline spans.
+trace-event JSON of the run's pipeline spans.  ``lint`` statically
+checks a kernel variant with the symbolic dependence engine (races,
+false sharing, strides, tile fit) and gates CI via ``--strict``.
 
 Diagnostics (progress, warnings, failure summaries) go through
 ``logging`` — quiet them with ``--quiet`` or amplify with ``-v`` —
@@ -282,6 +287,171 @@ class _noop_context:
         return False
 
 
+def _dedupe_diagnostics(diagnostics):
+    """Collapse diagnostics repeated verbatim across devices (race,
+    false-sharing and most stride findings are device-independent; only
+    capacity-dependent messages differ and therefore survive)."""
+    seen = set()
+    out = []
+    for diag in diagnostics:
+        key = (diag.code, diag.location, diag.array, diag.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(diag)
+    return out
+
+
+def lint_main(argv: List[str]) -> int:
+    from repro.analysis.lint import (
+        FIGURE_WAIVERS,
+        Severity,
+        lint_program,
+        render_json,
+        render_sarif,
+        strict_failures,
+    )
+    from repro.devices.catalog import DEVICE_KEYS, get_device
+    from repro.experiments.config import paper_variants
+    from repro.profiling.profile import KERNELS, ProfileError, build_profile_program
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Statically lint a kernel variant: race / false-sharing / "
+            "stride / tile-fit / uncertified-transform diagnostics from "
+            "the symbolic dependence engine."
+        ),
+    )
+    parser.add_argument("kernel", nargs="?", help=" | ".join(KERNELS))
+    parser.add_argument("variant", nargs="?",
+                        help="figure variant label (e.g. Naive, Blocking, triad)")
+    parser.add_argument("--figures", action="store_true",
+                        help="lint every paper figure variant (Fig. 2 transpose + "
+                             "Fig. 6 blur) with the committed figure waivers")
+    parser.add_argument("--device", action="append", dest="devices", metavar="KEY",
+                        default=None,
+                        help="device for the locality checkers (repeatable; "
+                             "default: all catalog devices)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="cache scale factor (default 1: lint against the "
+                             "real hardware cache sizes)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="problem size override (matrix n / image width / elements)")
+    parser.add_argument("--block", type=int, default=None, help="transpose block size")
+    parser.add_argument("--filter", dest="filter_size", type=int, default=None,
+                        help="blur filter size")
+    fmt = parser.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true", help="emit diagnostics as JSON")
+    fmt.add_argument("--sarif", action="store_true",
+                     help="emit diagnostics as SARIF 2.1.0 (for code-scanning upload)")
+    parser.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="write the report to FILE instead of stdout")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any unwaived warning-or-worse diagnostic")
+    parser.add_argument("--waive", action="append", default=[], metavar="CODE[=REASON]",
+                        help="waive a diagnostic code for this run (repeatable)")
+    _add_logging_flags(parser)
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+
+    if args.figures == bool(args.kernel and args.variant):
+        parser.error("give a kernel and a variant, or --figures (not both)")
+
+    extra_waivers = {}
+    for spec in args.waive:
+        code, _, reason = spec.partition("=")
+        extra_waivers[code.strip().upper()] = reason or "waived on the command line"
+
+    device_keys = args.devices if args.devices else list(DEVICE_KEYS)
+    targets = paper_variants() if args.figures else [(args.kernel, args.variant)]
+
+    sections = []          # (kernel, variant, diagnostics, waived, failures)
+    try:
+        for kernel, variant in targets:
+            waivers = dict(FIGURE_WAIVERS.get((kernel, variant), {})) if args.figures else {}
+            waivers.update(extra_waivers)
+            diagnostics = []
+            waived = []
+            failures = []
+            program = None
+            for key in device_keys:
+                device = get_device(key).scaled(args.scale)
+                # Only stream sizes its arrays off the device; every other
+                # kernel builds (and certifies its transforms) once.
+                if program is None or kernel.lower() == "stream":
+                    program, _params, _kwargs = build_profile_program(
+                        kernel, variant, device,
+                        n=args.n, block=args.block, filter_size=args.filter_size,
+                    )
+                report = lint_program(
+                    program, device=device, waivers=waivers,
+                    kernel=kernel, variant=variant,
+                )
+                diagnostics.extend(report.diagnostics)
+                waived.extend(report.waived)
+                failures.extend(strict_failures(report))
+            sections.append((
+                kernel,
+                variant,
+                _dedupe_diagnostics(diagnostics),
+                _dedupe_diagnostics([d for d, _ in waived]),
+                _dedupe_diagnostics(failures),
+            ))
+    except ProfileError as exc:
+        LOG.error("%s", exc)
+        return 2
+
+    all_diags = [d for _, _, diags, _, _ in sections for d in diags]
+    failed = [d for _, _, _, _, fails in sections for d in fails]
+    meta = {
+        "targets": [f"{k}/{v}" for k, v, _, _, _ in sections],
+        "devices": device_keys,
+        "scale": args.scale,
+        "strict": args.strict,
+    }
+
+    if args.sarif:
+        output = render_sarif(all_diags, meta=meta)
+    elif args.json:
+        output = render_json(all_diags, meta=meta)
+    else:
+        lines = []
+        waiver_reasons = dict(extra_waivers)
+        for kernel, variant, diags, waived, _fails in sections:
+            reasons = dict(FIGURE_WAIVERS.get((kernel, variant), {})) if args.figures else {}
+            reasons.update(waiver_reasons)
+            for diag in diags:
+                lines.append(diag.render())
+            for diag in waived:
+                reason = reasons.get(diag.code, "waived")
+                lines.append(f"{diag.program}: waived {diag.code} ({diag.checker}): {reason}")
+            if not diags and not waived:
+                lines.append(f"{kernel}/{variant}: clean")
+        n_warn = sum(1 for d in all_diags if d.severity >= Severity.WARNING)
+        n_note = len(all_diags) - n_warn
+        n_waived = sum(len(w) for _, _, _, w, _ in sections)
+        lines.append(
+            f"{n_warn} warning{'s' if n_warn != 1 else ''}, "
+            f"{n_note} note{'s' if n_note != 1 else ''}"
+            + (f", {n_waived} waived" if n_waived else "")
+        )
+        output = "\n".join(lines)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(output + "\n")
+        LOG.info("[lint report written to %s]", args.output)
+    else:
+        print(output)
+
+    if args.strict and failed:
+        LOG.error("strict lint FAILED: %d unwaived warning-or-worse diagnostic%s",
+                  len(failed), "s" if len(failed) != 1 else "")
+        return 1
+    return 0
+
+
 def profile_main(argv: List[str]) -> int:
     from repro.experiments.config import CACHE_SCALE
     from repro.profiling.baseline import (
@@ -346,6 +516,7 @@ def profile_main(argv: List[str]) -> int:
         print(json.dumps(report.as_dict(), indent=1))
     else:
         print(render_report(report))
+    _lint_hints_for_profile(report, args)
     if args.tree:
         tree = trace_obj.render_tree(min_us=10.0)
         print(tree, file=sys.stderr if args.json else sys.stdout)
@@ -366,10 +537,66 @@ def profile_main(argv: List[str]) -> int:
     return 0
 
 
+#: Share of wall-clock spent in exposed DRAM latency above which the
+#: profiler cross-references the linter for a likely cause.
+DRAM_LATENCY_HINT_THRESHOLD = 0.5
+
+
+def _lint_hints_for_profile(report, args) -> None:
+    """When the attribution blames exposed DRAM latency for most of the
+    run, point at the matching static diagnostics (a column-stride walk
+    or an oversized tile usually *is* the cause)."""
+    try:
+        from repro.analysis.lint import lint_program
+        from repro.devices.catalog import get_device
+        from repro.profiling.profile import build_profile_program
+
+        device = get_device(args.device.lower()).scaled(args.scale)
+        # Exposed latency is keyed by the cache level the miss occurred
+        # at; misses at the *last* level are the ones DRAM services.  The
+        # bandwidth terms (dram_stream/dram_contention) are DRAM-exposed
+        # time too, just attributed to throughput rather than latency.
+        dram_keys = {
+            f"exposed_latency.{device.caches[-1].name}",
+            "exposed_latency.all",
+            "dram_stream",
+            "dram_contention",
+        }
+        total = sum(report.attribution.values())
+        exposed_dram = sum(
+            seconds
+            for component, seconds in report.attribution.items()
+            if component in dram_keys
+        )
+        if total <= 0 or exposed_dram / total <= DRAM_LATENCY_HINT_THRESHOLD:
+            return
+        program, _params, _kwargs = build_profile_program(
+            report.kernel, report.variant, device,
+            n=args.n, block=args.block, filter_size=args.filter_size,
+        )
+        lint = lint_program(program, device=device,
+                            kernel=report.kernel, variant=report.variant)
+        hints = [d for d in lint.diagnostics if d.code in ("RPR002", "RPR003", "RPR004")]
+    except Exception as exc:  # a failed hint must never fail the profile
+        LOG.debug("lint hint skipped (%s: %s)", type(exc).__name__, exc)
+        return
+    if not hints:
+        return
+    LOG.warning(
+        "%.0f%% of the wall-clock is exposed DRAM latency; "
+        "`repro lint %s %s` flags likely causes:",
+        100.0 * exposed_dram / total, report.kernel, report.variant,
+    )
+    for diag in hints:
+        LOG.warning("  %s", diag.render().replace("\n", "\n  "))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     return figures_main(argv)
 
 

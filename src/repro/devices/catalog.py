@@ -17,7 +17,7 @@ EXPERIMENTS.md records the calibrated values next to each figure.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.devices.spec import CacheLevelSpec, CpuSpec, DeviceSpec, DramSpec
 from repro.errors import DeviceError

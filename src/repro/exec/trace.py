@@ -14,7 +14,7 @@ touches, not 512 events), while op counts are tracked exactly on the side.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Tuple
+from typing import NamedTuple
 
 from repro.analysis.opcount import OpCounts
 

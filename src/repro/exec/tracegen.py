@@ -35,10 +35,10 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.analysis.opcount import OpCounts, count_expr, iteration_cost
 from repro.errors import SimulationError
 from repro.ir.affine import Affine
-from repro.ir.expr import Load, loads_in
+from repro.ir.expr import loads_in
 from repro.ir.program import MemoryLayout, Program
 from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store, walk_stmts
-from repro.exec.trace import CoreWork, Reference, Segment
+from repro.exec.trace import CoreWork, Segment
 from repro.profiling import tracer
 
 

@@ -12,7 +12,7 @@ reproduction is to its own modelling decisions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import Dict, List
 
 from repro.devices.catalog import get_device
@@ -20,7 +20,7 @@ from repro.devices.spec import DeviceSpec
 from repro.errors import SimulationError
 from repro.experiments.config import CACHE_SCALE, scaled_device
 from repro.experiments.report import render_table
-from repro.kernels import blur, transpose
+from repro.kernels import transpose
 from repro.memsim.prefetch import NO_PREFETCH
 from repro.runtime import OutcomeStatus, RetryPolicy, supervise
 from repro.simulate import simulate

@@ -20,7 +20,7 @@ EXPERIMENTS.md records both size columns next to every figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.devices.catalog import DEVICE_KEYS, get_device
 from repro.devices.spec import DeviceSpec
@@ -51,6 +51,17 @@ class SizedWorkload:
 def scaled_device(key: str, scale: int = CACHE_SCALE) -> DeviceSpec:
     """The device model used by all figure harnesses."""
     return get_device(key).scaled(scale)
+
+
+def paper_variants() -> List[Tuple[str, str]]:
+    """Every (kernel, variant) pair behind the paper's kernel figures
+    (Fig. 2 transpose, Fig. 6 blur) — the sweep the ``repro lint
+    --figures`` gate and the symbolic/enumeration agreement tests cover."""
+    from repro.kernels import blur, transpose
+
+    pairs = [("transpose", v) for v in transpose.VARIANT_ORDER]
+    pairs += [("blur", v) for v in blur.VARIANT_ORDER]
+    return pairs
 
 
 def transpose_workload(paper_n: int) -> SizedWorkload:

@@ -14,7 +14,7 @@ tiling/interchange are simple symbolic rewrites.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Union
+from typing import Dict, Mapping, Union
 
 from repro.errors import IRError
 

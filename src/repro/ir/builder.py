@@ -20,8 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import IRError
-from repro.ir.affine import Affine, AffineBound
-from repro.ir.expr import Expr, ExprLike, Load, LocalRef, wrap_expr
+from repro.ir.affine import Affine
+from repro.ir.expr import ExprLike, Load, LocalRef
 from repro.ir.program import Array, Program
 from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
 from repro.ir.types import DType

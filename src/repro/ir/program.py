@@ -13,8 +13,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import IRError
-from repro.ir.stmt import Block, Stmt, loops_in, stores_in, walk_stmts
-from repro.ir.expr import Load, loads_in
+from repro.ir.stmt import Block, Stmt, walk_stmts
+from repro.ir.expr import loads_in
 from repro.ir.types import DType
 
 SCOPES = ("global", "local", "register")
@@ -101,7 +101,13 @@ class Array:
 class Program:
     """A complete kernel: arrays plus a statement tree."""
 
-    def __init__(self, name: str, body: Stmt, arrays: Optional[Sequence[Array]] = None):
+    def __init__(
+        self,
+        name: str,
+        body: Stmt,
+        arrays: Optional[Sequence[Array]] = None,
+        meta: Optional[Dict[str, object]] = None,
+    ):
         self.name = name
         self.body = body if isinstance(body, Block) else Block([body])
         if arrays is None:
@@ -110,6 +116,9 @@ class Program:
         names = [a.name for a in self.arrays]
         if len(set(names)) != len(names):
             raise IRError(f"duplicate array names in program {name!r}: {names}")
+        #: Free-form provenance written by passes (e.g. which transforms ran
+        #: and whether they were certified); read by the lint checkers.
+        self.meta: Dict[str, object] = dict(meta) if meta else {}
 
     def array(self, name: str) -> Array:
         for arr in self.arrays:
@@ -131,7 +140,7 @@ class Program:
 
     def with_body(self, body: Stmt, name: Optional[str] = None) -> "Program":
         """A copy of this program with a new body (used by passes)."""
-        return Program(name or self.name, body, arrays=None)
+        return Program(name or self.name, body, arrays=None, meta=self.meta)
 
     def __repr__(self) -> str:
         return f"Program({self.name!r}, arrays={[a.name for a in self.arrays]})"

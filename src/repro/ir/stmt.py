@@ -12,7 +12,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import IRError
 from repro.ir.affine import Affine, AffineBound, AffineLowerBound
-from repro.ir.expr import Expr, ExprLike, rename_expr, substitute_expr, wrap_expr
+from repro.ir.expr import ExprLike, rename_expr, substitute_expr, wrap_expr
 
 SCHEDULES = ("static", "dynamic")
 

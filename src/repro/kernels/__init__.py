@@ -5,9 +5,11 @@
   (Section 4.2, Listings 1-3);
 * :mod:`repro.kernels.blur` — five Gaussian-blur variants (Section 4.3,
   Listings 4-5);
+* :mod:`repro.kernels.scan` — a loop-carried recurrence (not a paper
+  kernel; the race-checker demo for ``repro lint``);
 * :mod:`repro.kernels.common` — filter weights and input generators.
 """
 
-from repro.kernels import blur, common, stream, transpose
+from repro.kernels import blur, common, scan, stream, transpose
 
-__all__ = ["blur", "common", "stream", "transpose"]
+__all__ = ["blur", "common", "scan", "stream", "transpose"]

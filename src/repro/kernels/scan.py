@@ -1,0 +1,71 @@
+"""First-order linear recurrence — the linter's loop-carried demo kernel.
+
+Not one of the paper's figure suites: every loop the paper parallelizes
+is genuinely parallel, so none of them can make the race checker fire.
+This kernel fills that gap with the canonical sequential loop
+
+    a[i] = ALPHA * a[i-1] + b[i]
+
+(an IIR filter / inclusive scan).  The ``Parallel`` variant commits the
+mistake ``repro lint`` exists to catch: it parallelizes the recurrence
+anyway, opting out of certification with ``certify=False``.  The linter
+reports it twice — ``RPR001`` (the distance-1 carried dependence proper)
+and ``RPR005`` (a transform applied without its legality proof).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.builder import LoopBuilder
+from repro.ir.program import Program
+from repro.ir.types import DType
+from repro.transforms import Parallelize, apply_passes
+
+ALPHA = 0.5
+DEFAULT_N = 65536
+
+
+def reference(a0: float, src: np.ndarray) -> np.ndarray:
+    """Ground truth: the recurrence evaluated sequentially in numpy."""
+    out = np.empty(len(src) + 1, dtype=np.float64)
+    out[0] = a0
+    for i in range(1, len(out)):
+        out[i] = ALPHA * out[i - 1] + src[i - 1]
+    return out
+
+
+def naive(n: int) -> Program:
+    """The recurrence as written: sequential, correct."""
+    b = LoopBuilder(f"scan_naive_{n}")
+    acc = b.array("a", DType.F64, (n,))
+    src = b.array("b", DType.F64, (n,))
+    with b.loop("i", 1, n) as i:
+        b.store(acc, i, acc[i - 1] * ALPHA + src[i])
+    return b.build()
+
+
+def parallel(n: int, schedule: str = "static") -> Program:
+    """The recurrence parallelized *illegally* (certification skipped)."""
+    return apply_passes(
+        naive(n),
+        [Parallelize("i", schedule=schedule, certify=False)],
+        rename=f"scan_parallel_{n}",
+    )
+
+
+VARIANT_ORDER = ["Naive", "Parallel"]
+
+BUILDERS = {
+    "Naive": lambda n: naive(n),
+    "Parallel": lambda n: parallel(n),
+}
+
+
+def build(variant: str, n: int = DEFAULT_N) -> Program:
+    try:
+        builder = BUILDERS[variant]
+    except KeyError:
+        raise IRError(f"unknown scan variant {variant!r}; known: {VARIANT_ORDER}")
+    return builder(n)

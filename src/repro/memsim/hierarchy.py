@@ -19,14 +19,14 @@ The hierarchy consumes compressed trace segments.  Per segment it:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.exec.trace import Segment
 from repro.memsim.cache import Cache
 from repro.memsim.dram import DramCounters
 from repro.memsim.prefetch import NO_PREFETCH, PrefetcherSpec, StridePrefetcher
-from repro.memsim.tlb import PAGE_SIZE, Tlb, TlbSpec
+from repro.memsim.tlb import PAGE_SIZE, TlbSpec
 
 
 class MemoryHierarchy:

@@ -25,7 +25,7 @@ segments with a fixed base delta) trains exactly like it would on silicon.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.exec.trace import Segment
 

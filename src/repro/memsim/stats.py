@@ -7,7 +7,7 @@ after the repetition and diff them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.memsim.hierarchy import MemoryHierarchy

@@ -13,9 +13,9 @@ same compressed segments as the caches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
-from repro.memsim.cache import Cache, CacheStats
+from repro.memsim.cache import CacheStats
 from repro.errors import SimulationError
 
 PAGE_SIZE = 4096

@@ -14,7 +14,7 @@ Implements the paper's methodology (Section 4.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.devices.spec import DeviceSpec
 from repro.errors import DeviceError

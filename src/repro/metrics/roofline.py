@@ -82,8 +82,6 @@ def roofline_point(
 
 def render_ascii(points: List[RooflinePoint], width: int = 60) -> str:
     """A small textual roofline chart (log-intensity axis)."""
-    import math
-
     if not points:
         return "(no points)"
     lines = ["intensity (flop/byte)   bound        attainable"]

@@ -10,8 +10,9 @@ then reports
 * the kernel's roofline position on the device.
 
 Kernels are the paper's suites: ``transpose`` (Fig. 2), ``blur``
-(Fig. 6) and ``stream`` (Fig. 1, steady-state DRAM footprint).  Sizes
-default to the figure-harness simulated sizes and can be overridden.
+(Fig. 6) and ``stream`` (Fig. 1, steady-state DRAM footprint), plus
+``scan`` (the linter's loop-carried recurrence demo).  Sizes default to
+the figure-harness simulated sizes and can be overridden.
 """
 
 from __future__ import annotations
@@ -37,7 +38,7 @@ from repro.profiling.counters import counter_set, per_core_counter_sets
 from repro.simulate import SimulationResult, simulate
 from repro.transforms import AutoVectorize
 
-KERNELS = ("transpose", "blur", "stream")
+KERNELS = ("transpose", "blur", "stream", "scan")
 
 
 class ProfileError(ReproError):
@@ -100,6 +101,10 @@ def _variants(kernel: str) -> List[str]:
         from repro.kernels import blur
 
         return list(blur.VARIANT_ORDER)
+    if kernel == "scan":
+        from repro.kernels import scan
+
+        return list(scan.VARIANT_ORDER)
     from repro.kernels import stream
 
     return list(stream.TESTS)
@@ -132,6 +137,12 @@ def build_profile_program(
         f = filter_size if filter_size is not None else BLUR_FILTER
         program = blur.build(variant, h, size, f)
         return program, {"w": size, "h": h, "filter": f}, {"check_capacity": False}
+    if kernel == "scan":
+        from repro.kernels import scan
+
+        size = n if n is not None else scan.DEFAULT_N
+        program = scan.build(variant, size)
+        return program, {"n": size}, {"check_capacity": False}
     from repro.kernels import stream
     from repro.metrics.bandwidth import level_footprint_bytes
 

@@ -7,7 +7,7 @@ encoder, and the property-based tests round-trip every mnemonic through
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.errors import DecodingError
 from repro.riscv.encode import Instruction

@@ -20,15 +20,14 @@ code is exactly what the paper's outlook anticipates).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import EmulationError
 from repro.exec.trace import Segment
 from repro.riscv.assembler import AssembledProgram
-from repro.riscv.isa import VECTOR_WIDTH_BYTES
 
 MASK64 = 0xFFFFFFFFFFFFFFFF
 

@@ -13,7 +13,7 @@ ablation bench compares it against naive equal-share division.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 
 def demand_rate(bytes_needed: float, time_available: float) -> float:

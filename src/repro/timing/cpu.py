@@ -8,7 +8,6 @@ miss latency is accounted separately in :mod:`repro.timing.model`.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.devices.spec import CpuSpec

@@ -36,12 +36,26 @@ class Pass(abc.ABC):
         return self.describe()
 
 
+#: Checkers the strict pass manager runs after every pass.  The locality
+#: checkers (stride/tile-fit) are profitability advice and stay in the
+#: ``repro lint`` gate; mid-pipeline we only police *correctness*.
+STRICT_LINT_CHECKERS = ("race", "uncertified-transform")
+
+
 @dataclass
 class PassManager:
-    """Applies a pipeline of passes with validation between steps."""
+    """Applies a pipeline of passes with validation between steps.
+
+    ``strict`` additionally runs the correctness lint checkers
+    (:data:`STRICT_LINT_CHECKERS`) after every pass and fails the pipeline
+    on any warning-or-worse diagnostic — a parallel loop with a carried
+    dependence or a transform applied without its legality proof never
+    makes it out of the pipeline.
+    """
 
     passes: List[Pass] = field(default_factory=list)
     validate: bool = True
+    strict: bool = False
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
@@ -57,9 +71,23 @@ class PassManager:
                 raise TransformError(f"pass {pass_.name} did not return a Program")
             if self.validate:
                 validate_program(current)
+            if self.strict:
+                self._lint_gate(current, pass_)
         if rename is not None:
             current = current.with_body(current.body, name=rename)
         return current
+
+    @staticmethod
+    def _lint_gate(program: Program, pass_: Pass) -> None:
+        from repro.analysis.lint import lint_program, strict_failures
+
+        report = lint_program(program, checkers=STRICT_LINT_CHECKERS)
+        failures = strict_failures(report)
+        if failures:
+            rendered = "; ".join(f"{d.code}: {d.message}" for d in failures[:3])
+            raise TransformError(
+                f"strict lint failed after {pass_.describe()}: {rendered}"
+            )
 
     def describe(self) -> str:
         return " | ".join(p.describe() for p in self.passes) or "<identity>"

@@ -1,19 +1,33 @@
 """Parallelization (the IR analogue of ``#pragma omp parallel for``).
 
 The pass marks a loop parallel with a schedule.  Legality (no loop-carried
-dependence) can be certified concretely via
-:func:`repro.analysis.dependence.certify_parallel`; the kernel test-suite
-certifies every schedule the paper uses at representative sizes.
+dependence) is certified by default through the symbolic dependence engine
+(:func:`repro.analysis.dependence.certify_parallel`), which is size-generic
+and cheap; concrete enumeration cross-checks the proof when the iteration
+space fits the budget.  Opting out with ``certify=False`` no longer skips
+silently: the skip is recorded in ``program.meta`` and surfaces as an
+``RPR005`` lint diagnostic.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import logging
+from typing import Optional, Union
 
-from repro.errors import TransformError
+from repro.errors import AnalysisError, TransformError
 from repro.ir.program import Program
 from repro.ir.stmt import For, Stmt, map_loops
 from repro.transforms.base import Pass
+
+log = logging.getLogger(__name__)
+
+CERTIFY_MODES = ("symbolic", "enumerate")
+
+
+def record_meta(program: Program, key: str, entry: dict) -> None:
+    """Append ``entry`` to a tuple-valued meta key without sharing state
+    with ancestor programs (meta dicts are shallow-copied by passes)."""
+    program.meta[key] = tuple(program.meta.get(key, ())) + (entry,)
 
 
 class Parallelize(Pass):
@@ -24,9 +38,15 @@ class Parallelize(Pass):
         var: str,
         schedule: str = "static",
         chunk: Optional[int] = None,
-        certify: bool = False,
+        certify: Union[bool, str] = "symbolic",
         certify_budget: int = 200_000,
     ):
+        if certify is True:
+            certify = "symbolic"
+        if certify and certify not in CERTIFY_MODES:
+            raise TransformError(
+                f"unknown certify mode {certify!r} (use one of {CERTIFY_MODES} or False)"
+            )
         self.var = var
         self.schedule = schedule
         self.chunk = chunk
@@ -38,11 +58,6 @@ class Parallelize(Pass):
         return f"parallelize({self.var}, {self.schedule}{chunk})"
 
     def run(self, program: Program) -> Program:
-        if self.certify:
-            from repro.analysis.dependence import certify_parallel
-
-            certify_parallel(program, self.var, self.certify_budget)
-
         state = {"applied": False}
 
         def rewrite(loop: For) -> Stmt:
@@ -54,7 +69,48 @@ class Parallelize(Pass):
         body = map_loops(program.body, rewrite)
         if not state["applied"]:
             raise TransformError(f"no loop {self.var!r} to parallelize")
-        return program.with_body(body)
+
+        oracle_note: Optional[str] = None
+        if self.certify == "symbolic":
+            from repro.analysis.dependence import certify_parallel
+
+            oracle_note = certify_parallel(program, self.var, self.certify_budget)
+        elif self.certify == "enumerate":
+            from repro.analysis.dependence import loop_conflicts
+
+            conflicts = loop_conflicts(program, self.var, self.certify_budget)
+            if conflicts:
+                sample = "; ".join(str(c) for c in conflicts[:3])
+                raise AnalysisError(
+                    f"loop {self.var!r} of {program.name!r} carries dependences: {sample}"
+                )
+
+        out = program.with_body(body)
+        if not self.certify:
+            log.warning(
+                "RPR005: %s applied to %r without a legality proof "
+                "(certify=False); `repro lint` will flag this",
+                self.describe(),
+                program.name,
+            )
+            record_meta(
+                out,
+                "uncertified_transforms",
+                {
+                    "transform": "Parallelize",
+                    "loops": (self.var,),
+                    "reason": "certify=False",
+                },
+            )
+        else:
+            record_meta(
+                out,
+                "certified_transforms",
+                {"transform": "Parallelize", "loops": (self.var,), "method": self.certify},
+            )
+            if oracle_note is not None:
+                record_meta(out, "oracle_skipped", {"note": oracle_note})
+        return out
 
 
 class Serialize(Pass):

@@ -15,7 +15,7 @@ Two entry points:
 from __future__ import annotations
 
 from repro.errors import TransformError
-from repro.ir.affine import Affine, AffineBound, AffineLowerBound, affine_max, affine_min
+from repro.ir.affine import Affine, AffineBound, AffineLowerBound, affine_max
 from repro.ir.program import Program
 from repro.ir.stmt import Block, For, Stmt, map_loops
 from repro.transforms.base import Pass

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.errors import TransformError
-from repro.ir.expr import Load, loads_in
+from repro.ir.expr import loads_in
 from repro.ir.program import Program
 from repro.ir.stmt import For, LocalAssign, Stmt, Store, map_loops, walk_stmts
 from repro.transforms.base import Pass

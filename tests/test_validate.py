@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ValidationError
-from repro.ir import Affine, Block, DType, For, LoopBuilder, Store, validate_program
+from repro.ir import Affine, AffineBound, Block, DType, For, LoopBuilder, Store, validate_program
 from repro.ir.program import Array, Program
 from repro.ir.stmt import LocalAssign
 
@@ -89,6 +89,88 @@ def test_zero_trip_loop_is_fine():
 def test_triangular_bounds_validate():
     # j in [i+1, n): max value of j is n-1, within bounds.
     validate_program(transpose_program(16))
+
+
+class TestIntervalAnalysis:
+    """The interval analysis behind the subscript bounds check."""
+
+    def test_negative_coefficient_in_bounds(self):
+        # a[n-1-i] for i in [0, n) sweeps [0, n-1]: legal.
+        n = 8
+        arr = Array("a", DType.F64, (n,))
+        body = For("i", 0, n, Block([Store(arr, [Affine(n - 1) - Affine.var("i")], 1.0)]))
+        validate_program(Program("reverse", body))
+
+    def test_negative_coefficient_underflow_rejected(self):
+        # a[n-2-i] reaches -1 at the last iteration.
+        n = 8
+        arr = Array("a", DType.F64, (n,))
+        body = For("i", 0, n, Block([Store(arr, [Affine(n - 2) - Affine.var("i")], 1.0)]))
+        with pytest.raises(ValidationError, match=r"\[-1, 6\]"):
+            validate_program(Program("reverse", body))
+
+    def test_negative_coefficient_interval_orientation(self):
+        # -2i over i in [0, 3] is [-6, 0], not [0, -6]: the coefficient
+        # sign must swap which endpoint feeds which bound.
+        from repro.ir.validate import _affine_range
+
+        assert _affine_range(Affine.var("i") * -2, {"i": (0, 3)}) == (-6, 0)
+        assert _affine_range(Affine.var("i") * -2 + 6, {"i": (0, 3)}) == (0, 6)
+
+    def test_min_upper_bound_caps_the_range(self):
+        # for i_blk in [0, 10, step 4): for i in [i_blk, min(i_blk+4, 10)):
+        # i's maximum is 9, so a[i] over shape (10,) validates even though
+        # i_blk+4 alone would reach 12.
+        arr = Array("a", DType.F64, (10,))
+        i_blk = Affine.var("i_blk")
+        inner = For(
+            "i", i_blk, AffineBound(i_blk + 4, Affine(10)),
+            Block([Store(arr, [Affine.var("i")], 1.0)]),
+        )
+        outer = For("i_blk", 0, 10, Block([inner]), step=4)
+        validate_program(Program("blocked", Block([outer])))
+
+    def test_min_upper_bound_still_detects_overflow(self):
+        # With shape (9,) the same nest overruns: min(i_blk+4, 10) allows
+        # i = 9.
+        arr = Array("a", DType.F64, (9,))
+        i_blk = Affine.var("i_blk")
+        inner = For(
+            "i", i_blk, AffineBound(i_blk + 4, Affine(10)),
+            Block([Store(arr, [Affine.var("i")], 1.0)]),
+        )
+        outer = For("i_blk", 0, 10, Block([inner]), step=4)
+        with pytest.raises(ValidationError, match="outside"):
+            validate_program(Program("blocked", Block([outer])))
+
+    def test_blur_halo_out_of_bounds_rejected(self):
+        # A blur row pass that forgets to shrink the output range reads
+        # src[i + i_f] past the end of the row: the classic halo bug.
+        n, f = 12, 3
+        b = LoopBuilder("blur_bad_halo")
+        src = b.array("src", DType.F64, (n,))
+        dst = b.array("dst", DType.F64, (n,))
+        with pytest.raises(ValidationError, match="outside"):
+            with b.loop("i", 0, n) as i:
+                with b.loop("i_f", 0, f) as i_f:
+                    b.accumulate(dst, i, src[i + i_f])
+            validate_program(b.build())
+
+    def test_blur_halo_correct_range_validates(self):
+        n, f = 12, 3
+        b = LoopBuilder("blur_good_halo")
+        src = b.array("src", DType.F64, (n,))
+        dst = b.array("dst", DType.F64, (n,))
+        with b.loop("i", 0, n - f + 1) as i:
+            with b.loop("i_f", 0, f) as i_f:
+                b.accumulate(dst, i, src[i + i_f])
+        validate_program(b.build())
+
+    def test_paper_blur_variants_have_legal_halos(self):
+        from repro.kernels import blur
+
+        for variant in blur.VARIANT_ORDER:
+            validate_program(blur.build(variant, 16, 12, 5))
 
 
 def test_validation_collects_multiple_errors():
