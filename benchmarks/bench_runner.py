@@ -1,0 +1,79 @@
+"""Wall-clock benchmark of the parallel figure pipeline.
+
+Times the full Fig. 2 grid (both panels, every variant x device cell)
+serially and fanned across worker processes, with the run cache disabled
+so every cell actually simulates.  Writes the measurements to
+``benchmarks/BENCH_runner.json`` (committed, so the repo records what the
+fan-out bought on the measuring host — the speedup is bounded by the
+host's core count, which is recorded alongside).
+
+Not a pytest-benchmark module: run it directly.
+
+    PYTHONPATH=src python benchmarks/bench_runner.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_runner.json")
+
+
+def measure(jobs: int) -> float:
+    """Seconds to regenerate the whole Fig. 2 grid with ``jobs`` workers."""
+    from repro.experiments import fig2
+    from repro.experiments.runner import reset_default_runner
+    from repro.runtime import WorkPool
+
+    reset_default_runner()  # drop memory-cached records between measurements
+    start = time.perf_counter()
+    with WorkPool(jobs=jobs) as pool:
+        panels = fig2.run(pool=pool)
+    elapsed = time.perf_counter() - start
+    assert panels and all(panel.rows for panel in panels)
+    return elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count for the parallel measurement (default: all cores, min 2)",
+    )
+    parser.add_argument("--output", default=OUTPUT, help="result JSON path")
+    args = parser.parse_args()
+
+    # Disable the run cache so both measurements simulate every cell.
+    os.environ["REPRO_CACHE"] = "off"
+    cores = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs else max(2, cores)
+
+    serial_s = measure(1)
+    parallel_s = measure(jobs)
+
+    payload = {
+        "benchmark": "fig2 grid (both panels, run cache disabled)",
+        "host": platform.machine(),
+        "host_cores": cores,
+        "serial_seconds": round(serial_s, 3),
+        "jobs": jobs,
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "note": (
+            "speedup is bounded by host_cores; on a single-core host the "
+            "parallel run only measures spawn/pickle overhead"
+        ),
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,7 +4,8 @@ Usage::
 
     repro-experiments fig1
     repro-experiments fig2 fig3 --trace figures.json
-    repro-experiments all
+    repro-experiments all --jobs 4
+    repro-experiments fig2 --jobs 2 --json-dir out/
     repro-experiments ablations
     repro-experiments status
     repro-experiments profile transpose Naive mango_pi_d1
@@ -20,8 +21,13 @@ as well.)
 Figures are isolated from one another: a failure in one figure does not
 abort the rest of the run (or lose already-written ``--csv-dir`` output).
 A failure summary logs at the end and the exit code is nonzero iff any
-figure failed.  ``status`` summarizes the run journal the supervised
-runner appends next to the on-disk cache.  ``profile`` simulates one
+figure failed.  ``--jobs N`` (or ``REPRO_JOBS``) fans the independent
+figure cells across N worker processes via the runtime
+:class:`~repro.runtime.WorkPool`; results are collected in task order,
+so figures (and ``--csv-dir``/``--json-dir`` exports) are byte-identical
+for any worker count.  ``status`` summarizes the run journal the
+supervised runner appends next to the on-disk cache, including
+per-worker throughput when parallel runs were journalled.  ``profile`` simulates one
 (kernel, variant, device) triple and prints its perf counters, time
 attribution and roofline position; ``--save-baseline`` / ``--check``
 maintain the committed counter baseline, ``--trace`` writes a Chrome
@@ -47,6 +53,7 @@ from repro.experiments import ablations, fig1, fig2, fig3, fig6, fig7
 from repro.experiments.report import render_table
 from repro.experiments.runner import default_cache_path
 from repro.profiling import tracer
+from repro.runtime import WorkPool
 
 LOG = logging.getLogger("repro.cli")
 
@@ -90,32 +97,35 @@ def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_figure(name: str) -> str:
-    with tracer.span(f"figure.{name}", cat="figure"):
-        if name == "fig1":
-            return fig1.render(fig1.run())
-        if name == "fig2":
-            return fig2.render(fig2.run())
-        if name == "fig3":
-            return fig3.render(fig3.run())
-        if name == "fig6":
-            return fig6.render(fig6.run())
-        if name == "fig7":
-            return fig7.render(fig7.run())
+_FIGURE_MODULES = {"fig1": fig1, "fig2": fig2, "fig3": fig3, "fig6": fig6, "fig7": fig7}
+
+
+def _run_figure(name: str, pool: Optional[WorkPool] = None) -> Tuple[str, object]:
+    """Regenerate one figure; returns (rendered text, raw result) so
+    exports reuse the result instead of re-running the figure."""
+    try:
+        module = _FIGURE_MODULES[name]
+    except KeyError:
         raise ValueError(f"unknown figure {name!r}")
+    with tracer.span(f"figure.{name}", cat="figure"):
+        result = module.run(pool=pool)
+    return module.render(result), result
 
 
-def _run_ablations() -> Tuple[str, List[str]]:
+def _run_ablations(pool: Optional[WorkPool] = None) -> Tuple[str, List[str]]:
     """Each ablation block is isolated: a failing block renders an error
     note while the remaining blocks still run.  Returns the rendered text
     plus the labels of any failed blocks."""
     blocks = [
-        ("block-size sweep", lambda: ablations.render_block_sweep(ablations.block_size_sweep())),
+        (
+            "block-size sweep",
+            lambda: ablations.render_block_sweep(ablations.block_size_sweep(pool=pool)),
+        ),
         (
             "prefetcher on/off",
             lambda: render_table(
                 ["device", "prefetch on (s)", "prefetch off (s)", "slowdown"],
-                ablations.prefetch_ablation(),
+                ablations.prefetch_ablation(pool=pool),
                 title="Ablation — prefetcher on/off (naive transpose)",
             ),
         ),
@@ -194,6 +204,24 @@ def _render_status() -> str:
                 title="Simulated run durations per figure",
             )
         )
+    throughput = stats.get("worker_throughput", {})
+    if throughput:
+        worker_rows = [
+            [
+                worker,
+                int(t["attempts"]),
+                int(t["simulated"]),
+                f"{t['throughput_per_s']:.2f}",
+            ]
+            for worker, t in sorted(throughput.items())
+        ]
+        lines.append(
+            render_table(
+                ["worker", "attempts", "simulated", "attempts/s"],
+                worker_rows,
+                title="Per-worker throughput",
+            )
+        )
     if stats["failures"]:
         lines.append("most recent non-completed attempts:")
         for entry in stats["failures"]:
@@ -209,13 +237,28 @@ def figures_main(argv: List[str]) -> int:
     parser.add_argument(
         "figures",
         nargs="+",
-        choices=FIGURES + ["all", "ablations", "status"],
-        help="figures to regenerate (or 'status' for the run-journal summary)",
+        choices=FIGURES + ["all", "figures", "ablations", "status"],
+        help="figures to regenerate ('figures' = 'all'; 'status' for the "
+             "run-journal summary)",
     )
     parser.add_argument(
         "--csv-dir",
         default=None,
         help="also write each figure's data as CSV into this directory",
+    )
+    parser.add_argument(
+        "--json-dir",
+        default=None,
+        help="also write each figure's full result as canonical JSON "
+             "(byte-identical for equal results; CI diffs these)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan figure cells across N worker processes "
+             "(0 = all cores; default: REPRO_JOBS or serial)",
     )
     parser.add_argument(
         "--trace",
@@ -229,26 +272,30 @@ def figures_main(argv: List[str]) -> int:
 
     names: List[str] = []
     for name in args.figures:
-        if name == "all":
+        if name in ("all", "figures"):
             names.extend(FIGURES)
         else:
             names.append(name)
 
     trace_obj = tracer.Tracer() if args.trace else None
     failures: List[Tuple[str, str]] = []
-    with tracer.install(trace_obj) if trace_obj else _noop_context():
+    with tracer.install(trace_obj) if trace_obj else _noop_context(), \
+            WorkPool(args.jobs) as pool:
+        if pool.parallel:
+            LOG.info("[parallel run: --jobs %d]", pool.jobs)
         for name in dict.fromkeys(names):  # dedupe, keep order
             if name == "status":
                 print(_render_status())
                 continue
             start = time.time()
+            result = None
             try:
                 if name == "ablations":
-                    output, block_errors = _run_ablations()
+                    output, block_errors = _run_ablations(pool)
                     for detail in block_errors:
                         failures.append(("ablations", detail))
                 else:
-                    output = _run_figure(name)
+                    output, result = _run_figure(name, pool)
             except Exception as exc:
                 detail = f"{type(exc).__name__}: {exc}"
                 failures.append((name, detail))
@@ -256,15 +303,25 @@ def figures_main(argv: List[str]) -> int:
                 continue
             print(output)
             if args.csv_dir and name != "ablations":
-                from repro.experiments.export import export_figure
+                from repro.experiments.export import EXPORTERS
 
                 try:
-                    path = export_figure(name, args.csv_dir)
+                    path = EXPORTERS[name][1](result, args.csv_dir)
                     LOG.info("[csv written to %s]", path)
                 except Exception as exc:
                     detail = f"{type(exc).__name__}: {exc}"
                     failures.append((f"{name} (csv export)", detail))
                     LOG.error("[%s csv export FAILED: %s]", name, detail)
+            if args.json_dir and name != "ablations":
+                from repro.experiments.export import export_figure_json
+
+                try:
+                    path = export_figure_json(name, args.json_dir, result=result)
+                    LOG.info("[json written to %s]", path)
+                except Exception as exc:
+                    detail = f"{type(exc).__name__}: {exc}"
+                    failures.append((f"{name} (json export)", detail))
+                    LOG.error("[%s json export FAILED: %s]", name, detail)
             LOG.info("[%s regenerated in %.1fs]", name, time.time() - start)
 
     if trace_obj is not None:

@@ -13,16 +13,16 @@ reproduction is to its own modelling decisions:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.devices.catalog import get_device
 from repro.devices.spec import DeviceSpec
 from repro.errors import SimulationError
-from repro.experiments.config import CACHE_SCALE, scaled_device
+from repro.experiments.config import CACHE_SCALE, all_device_keys, scaled_device
 from repro.experiments.report import render_table
 from repro.kernels import transpose
 from repro.memsim.prefetch import NO_PREFETCH
-from repro.runtime import OutcomeStatus, RetryPolicy, supervise
+from repro.runtime import OutcomeStatus, RetryPolicy, WorkPool, supervise
 from repro.simulate import simulate
 from repro.transforms import AutoVectorize
 from repro.timing.contention import equal_share_makespan, makespan
@@ -46,20 +46,26 @@ def _run(program, device: DeviceSpec, **kwargs) -> float:
 
 # -- block size sweep ---------------------------------------------------------
 
+def _block_cell(task: Tuple[str, int, int, int]) -> float:
+    """One block-size point; runs in a work-pool worker process."""
+    device_key, n, block, scale = task
+    device = scaled_device(device_key, scale)
+    return _run(transpose.blocking(n, block=block), device)
+
+
 def block_size_sweep(
     device_key: str = "xeon_4310t",
     n: int = 512,
     blocks: List[int] = (4, 8, 16, 32, 64, 128),
     scale: int = CACHE_SCALE,
+    pool: Optional[WorkPool] = None,
 ) -> Dict[int, float]:
     """Blocking-transpose time per block size (expect a U-shape: tiny
     blocks pay loop overhead, huge blocks stop fitting in L1)."""
-    device = scaled_device(device_key, scale)
-    return {
-        block: _run(transpose.blocking(n, block=block), device)
-        for block in blocks
-        if block < n
-    }
+    pool = pool or WorkPool.serial()
+    used = [block for block in blocks if block < n]
+    times = pool.map(_block_cell, [(device_key, n, block, scale) for block in used])
+    return dict(zip(used, times))
 
 
 # -- replacement policy -------------------------------------------------------
@@ -85,18 +91,27 @@ def replacement_policy_swap(
 
 # -- prefetcher ---------------------------------------------------------------
 
+def _prefetch_cell(task: Tuple[str, int, int, bool]) -> float:
+    """One (device, prefetch on/off) point; runs in a work-pool worker."""
+    key, n, scale, prefetch_on = task
+    device = scaled_device(key, scale)
+    if not prefetch_on:
+        device = replace(device, key=f"{device.key}+nopf", prefetch=NO_PREFETCH)
+    return _run(transpose.naive(n), device)
+
+
 def prefetch_ablation(
-    n: int = 512, scale: int = CACHE_SCALE
+    n: int = 512, scale: int = CACHE_SCALE, pool: Optional[WorkPool] = None
 ) -> List[List]:
     """Naive transpose with the device prefetcher on vs off."""
+    pool = pool or WorkPool.serial()
+    keys = all_device_keys()
+    tasks = [(key, n, scale, on) for key in keys for on in (True, False)]
+    seconds = dict(zip(tasks, pool.map(_prefetch_cell, tasks)))
     rows = []
-    from repro.experiments.config import all_device_keys
-
-    for key in all_device_keys():
-        base = scaled_device(key, scale)
-        off = replace(base, key=f"{base.key}+nopf", prefetch=NO_PREFETCH)
-        with_pf = _run(transpose.naive(n), base)
-        without = _run(transpose.naive(n), off)
+    for key in keys:
+        with_pf = seconds[(key, n, scale, True)]
+        without = seconds[(key, n, scale, False)]
         rows.append([key, with_pf, without, without / with_pf])
     return rows
 

@@ -1,18 +1,25 @@
-"""CSV export of regenerated figures.
+"""CSV and JSON export of regenerated figures.
 
 Downstream users plot the figures with their own tooling; this module
 writes each figure's rows/series as plain CSV (one file per figure), via
-``python -m repro.cli --csv-dir out/ all``.
+``python -m repro.cli --csv-dir out/ all``, and as canonical JSON
+(``--json-dir``).  The JSON form is deterministic — dataclasses are
+flattened with :func:`dataclasses.asdict` and dumped with sorted keys —
+so two runs that produced the same figure write byte-identical files.
+CI uses exactly this to check that ``--jobs N`` does not change results.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 import os
-from typing import List
+from dataclasses import asdict, is_dataclass
+from typing import List, Optional
 
 from repro.experiments import fig1, fig2, fig3, fig6, fig7
 from repro.kernels import blur, transpose
+from repro.runtime import WorkPool
 
 
 def _write(path: str, header: List[str], rows) -> str:
@@ -139,7 +146,41 @@ EXPORTERS = {
 }
 
 
-def export_figure(name: str, directory: str) -> str:
+def export_figure(name: str, directory: str, pool: Optional[WorkPool] = None) -> str:
     """Regenerate one figure and write its CSV; returns the file path."""
     run, write = EXPORTERS[name]
-    return write(run(), directory)
+    return write(run(pool=pool), directory)
+
+
+def _jsonable(result):
+    """Flatten a figure result (dataclass, or list of dataclasses) into
+    plain JSON-serializable containers."""
+    if is_dataclass(result) and not isinstance(result, type):
+        return asdict(result)
+    if isinstance(result, (list, tuple)):
+        return [_jsonable(item) for item in result]
+    return result
+
+
+def export_figure_json(
+    name: str,
+    directory: str,
+    pool: Optional[WorkPool] = None,
+    result=None,
+) -> str:
+    """Write one figure's full result as canonical JSON; returns the path.
+
+    Canonical means sorted keys, fixed separators and a trailing newline,
+    so equal results are byte-equal files — the determinism contract the
+    ``--jobs`` smoke check in CI diffs against.  Pass ``result`` to export
+    an already-computed figure without re-running it.
+    """
+    if result is None:
+        run, _write = EXPORTERS[name]
+        result = run(pool=pool)
+    path = os.path.join(directory, f"{name}.json")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(_jsonable(result), fh, sort_keys=True, indent=1, separators=(",", ": "))
+        fh.write("\n")
+    return path

@@ -20,13 +20,13 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.config import CACHE_SCALE, all_device_keys, scaled_device
 from repro.experiments.report import DASH, render_footnotes, render_table
 from repro.kernels import stream
 from repro.metrics import bandwidth
-from repro.runtime import supervise
+from repro.runtime import WorkPool, supervise
 
 
 @dataclass
@@ -61,32 +61,42 @@ def _measure_level(device_key: str, level: str, scale: int) -> Fig1Row:
     )
 
 
-def run(scale: int = CACHE_SCALE) -> List[Fig1Row]:
-    """All rows of Fig. 1; failed levels degrade to placeholder rows."""
-    rows: List[Fig1Row] = []
-    for key in all_device_keys():
-        device = scaled_device(key, scale)
-        for level in device.memory_levels:
-            outcome = supervise(
-                lambda k=key, lv=level: _measure_level(k, lv, scale),
-                label=f"{key}/{level}",
-            )
-            if outcome.ok:
-                rows.append(outcome.value)
-            else:
-                rows.append(
-                    Fig1Row(
-                        device_key=key,
-                        level=level,
-                        copy_gbs=0.0,
-                        scale_gbs=0.0,
-                        add_gbs=0.0,
-                        triad_gbs=0.0,
-                        status=outcome.status.value,
-                        note=outcome.note(),
-                    )
-                )
-    return rows
+def _cell(task: Tuple[str, str, int]) -> Fig1Row:
+    """One supervised (device, level) measurement; failures degrade to a
+    placeholder row.  Runs in a work-pool worker when one is active."""
+    key, level, scale = task
+    outcome = supervise(
+        lambda: _measure_level(key, level, scale),
+        label=f"{key}/{level}",
+    )
+    if outcome.ok:
+        return outcome.value
+    return Fig1Row(
+        device_key=key,
+        level=level,
+        copy_gbs=0.0,
+        scale_gbs=0.0,
+        add_gbs=0.0,
+        triad_gbs=0.0,
+        status=outcome.status.value,
+        note=outcome.note(),
+    )
+
+
+def run(scale: int = CACHE_SCALE, pool: Optional[WorkPool] = None) -> List[Fig1Row]:
+    """All rows of Fig. 1; failed levels degrade to placeholder rows.
+
+    The (device × level) grid fans out across ``pool`` when given; rows
+    come back in task order, so the figure is byte-identical for any
+    worker count.
+    """
+    pool = pool or WorkPool.serial()
+    tasks = [
+        (key, level, scale)
+        for key in all_device_keys()
+        for level in scaled_device(key, scale).memory_levels
+    ]
+    return pool.map(_cell, tasks)
 
 
 @functools.lru_cache(maxsize=None)

@@ -9,12 +9,17 @@ Each variant runs under the runtime supervisor: a cell whose run is
 skipped, times out or fails renders as ``—`` with a footnote (graceful
 per-cell degradation), and only the affected cells are missing from the
 panel.
+
+Cells are independent, so ``run_panel``/``run`` accept a
+:class:`~repro.runtime.WorkPool` and fan the (device × variant) grid out
+across worker processes; collection order is fixed by the task list, so
+the panel is byte-identical for any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.config import (
     CACHE_SCALE,
@@ -26,9 +31,10 @@ from repro.experiments.config import (
     transpose_workload,
 )
 from repro.experiments.report import DASH, CellFailure, render_footnotes, render_table, seconds_label
-from repro.experiments.runner import default_runner
+from repro.experiments.runner import CellResult, cell_result, default_runner
 from repro.kernels import transpose
 from repro.metrics.speedup import SpeedupRow, speedup_row
+from repro.runtime import WorkPool
 
 
 @dataclass
@@ -57,35 +63,58 @@ class Fig2Panel:
         return out
 
 
+def _cell(task: Tuple[str, int, int, str, int]) -> CellResult:
+    """One (variant, device) cell; runs in a work-pool worker process."""
+    variant, sim_n, block, key, scale = task
+    runner = default_runner()
+    device = scaled_device(key, scale)
+    outcome = runner.run_supervised(
+        ("fig2", variant, sim_n, block, key, scale),
+        lambda: transpose.build(variant, sim_n, block=block),
+        device,
+    )
+    return cell_result(outcome)
+
+
 def run_panel(
     paper_n: int,
     scale: int = CACHE_SCALE,
     block: int = TRANSPOSE_BLOCK,
     variants: Optional[List[str]] = None,
+    pool: Optional[WorkPool] = None,
 ) -> Fig2Panel:
+    pool = pool or WorkPool.serial()
     sim_n = {p: s for p, s in TRANSPOSE_SIZES}[paper_n]
     workload = transpose_workload(paper_n)
     panel = Fig2Panel(paper_n=paper_n, sim_n=sim_n)
     runner = default_runner()
     order = variants or transpose.VARIANT_ORDER
     naive_label = transpose.VARIANT_ORDER[0]
+
+    included: List[str] = []
     for key in all_device_keys():
-        if not device_fits_paper_workload(key, workload.paper_bytes):
+        if device_fits_paper_workload(key, workload.paper_bytes):
+            included.append(key)
+        else:
             panel.excluded.append(key)
-            continue
-        device = scaled_device(key, scale)
+
+    tasks = [
+        (variant, sim_n, block, key, scale)
+        for key in included
+        for variant in order
+    ]
+    by_task = dict(zip(tasks, pool.map(_cell, tasks)))
+
+    for key in included:
         seconds: Dict[str, float] = {}
         for variant in order:
-            outcome = runner.run_supervised(
-                ("fig2", variant, sim_n, block, key, scale),
-                lambda v=variant: transpose.build(v, sim_n, block=block),
-                device,
-            )
-            if outcome.ok:
-                seconds[variant] = outcome.value.seconds
+            result = by_task[(variant, sim_n, block, key, scale)]
+            if result.ok:
+                seconds[variant] = result.record.seconds
+                runner.adopt(("fig2", variant, sim_n, block, key, scale), result.record)
             else:
                 panel.failures.append(
-                    CellFailure(key, variant, outcome.status.value, outcome.reason)
+                    CellFailure(key, variant, result.status, result.reason)
                 )
         if naive_label in seconds:
             panel.rows.append(speedup_row(key, seconds))
@@ -96,9 +125,9 @@ def run_panel(
     return panel
 
 
-def run(scale: int = CACHE_SCALE) -> List[Fig2Panel]:
+def run(scale: int = CACHE_SCALE, pool: Optional[WorkPool] = None) -> List[Fig2Panel]:
     """Both panels of Fig. 2."""
-    return [run_panel(paper_n, scale) for paper_n, _sim_n in TRANSPOSE_SIZES]
+    return [run_panel(paper_n, scale, pool=pool) for paper_n, _sim_n in TRANSPOSE_SIZES]
 
 
 def render(panels: List[Fig2Panel]) -> str:

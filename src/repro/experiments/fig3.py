@@ -23,7 +23,7 @@ from repro.experiments.config import CACHE_SCALE, TRANSPOSE_SIZES
 from repro.experiments.report import DASH, render_footnotes, render_table
 from repro.metrics.speedup import best_variant
 from repro.metrics.utilization import relative_bandwidth_utilization
-from repro.runtime import supervise
+from repro.runtime import WorkPool, supervise
 
 COMPLETED = "completed"
 
@@ -39,10 +39,12 @@ class Fig3Row:
     note: str = ""
 
 
-def run(scale: int = CACHE_SCALE) -> List[Fig3Row]:
+def run(scale: int = CACHE_SCALE, pool: Optional[WorkPool] = None) -> List[Fig3Row]:
+    """The transpose runs fan out through ``pool`` (via Fig. 2's grid);
+    the derived utilization metric is computed serially on top."""
     rows: List[Fig3Row] = []
     for paper_n, sim_n in TRANSPOSE_SIZES:
-        panel = fig2.run_panel(paper_n, scale)
+        panel = fig2.run_panel(paper_n, scale, pool=pool)
         essential = 2 * 8 * sim_n * sim_n  # read + write every element
         for speed_row in panel.rows:
             bw = supervise(

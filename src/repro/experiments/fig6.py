@@ -7,12 +7,17 @@ the full image exceeds every scaled last-level cache).
 
 Each variant runs under the runtime supervisor: failed/skipped variants
 render as ``—`` cells with a footnote instead of aborting the sweep.
+
+The (device × variant) grid fans out across a
+:class:`~repro.runtime.WorkPool` when one is given; collection order is
+fixed by the task list, so the result is byte-identical for any worker
+count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.config import (
     BLUR_FILTER,
@@ -24,9 +29,10 @@ from repro.experiments.config import (
     scaled_device,
 )
 from repro.experiments.report import DASH, CellFailure, render_footnotes, render_table, seconds_label
-from repro.experiments.runner import default_runner
+from repro.experiments.runner import CellResult, cell_result, default_runner
 from repro.kernels import blur
 from repro.metrics.speedup import SpeedupRow, speedup_row
+from repro.runtime import WorkPool
 
 
 @dataclass
@@ -53,30 +59,56 @@ class Fig6Result:
         return out
 
 
-def run(scale: int = CACHE_SCALE, variants: Optional[List[str]] = None) -> Fig6Result:
+def _cell(task: Tuple[str, int, int, int, str, int]) -> CellResult:
+    """One (variant, device) cell; runs in a work-pool worker process."""
+    variant, w, h, filter_size, key, scale = task
+    runner = default_runner()
+    device = scaled_device(key, scale)
+    outcome = runner.run_supervised(
+        ("fig6", variant, w, h, filter_size, key, scale),
+        lambda: blur.build(variant, h, w, filter_size),
+        device,
+    )
+    return cell_result(outcome)
+
+
+def run(
+    scale: int = CACHE_SCALE,
+    variants: Optional[List[str]] = None,
+    pool: Optional[WorkPool] = None,
+) -> Fig6Result:
+    pool = pool or WorkPool.serial()
     w, h = BLUR_SIM_WH
     result = Fig6Result(width=w, height=h, filter_size=BLUR_FILTER)
     workload = blur_workload()
     runner = default_runner()
     order = variants or blur.VARIANT_ORDER
     naive_label = blur.VARIANT_ORDER[0]
+
+    included: List[str] = []
     for key in all_device_keys():
-        if not device_fits_paper_workload(key, workload.paper_bytes):
+        if device_fits_paper_workload(key, workload.paper_bytes):
+            included.append(key)
+        else:
             result.excluded.append(key)  # all four devices hold the blur image, but stay safe
-            continue
-        device = scaled_device(key, scale)
+
+    tasks = [
+        (variant, w, h, BLUR_FILTER, key, scale)
+        for key in included
+        for variant in order
+    ]
+    by_task = dict(zip(tasks, pool.map(_cell, tasks)))
+
+    for key in included:
         seconds: Dict[str, float] = {}
         for variant in order:
-            outcome = runner.run_supervised(
-                ("fig6", variant, w, h, BLUR_FILTER, key, scale),
-                lambda v=variant: blur.build(v, h, w, BLUR_FILTER),
-                device,
-            )
-            if outcome.ok:
-                seconds[variant] = outcome.value.seconds
+            cell = by_task[(variant, w, h, BLUR_FILTER, key, scale)]
+            if cell.ok:
+                seconds[variant] = cell.record.seconds
+                runner.adopt(("fig6", variant, w, h, BLUR_FILTER, key, scale), cell.record)
             else:
                 result.failures.append(
-                    CellFailure(key, variant, outcome.status.value, outcome.reason)
+                    CellFailure(key, variant, cell.status, cell.reason)
                 )
         if naive_label in seconds:
             result.rows.append(speedup_row(key, seconds))

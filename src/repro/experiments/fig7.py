@@ -12,7 +12,7 @@ is missing) degrade to ``—`` cells with a footnote.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.footprint import essential_traffic_bytes
 from repro.experiments import fig1, fig6
@@ -20,7 +20,7 @@ from repro.experiments.config import BLUR_FILTER, BLUR_SIM_WH, CACHE_SCALE
 from repro.experiments.report import DASH, render_footnotes, render_table
 from repro.kernels import blur
 from repro.metrics.utilization import relative_bandwidth_utilization
-from repro.runtime import supervise
+from repro.runtime import WorkPool, supervise
 
 VARIANTS = ["1D_kernels", "Memory", "Parallel"]
 
@@ -41,8 +41,10 @@ def baseline_bytes() -> int:
     return essential_traffic_bytes(blur.one_d(h, w, BLUR_FILTER))
 
 
-def run(scale: int = CACHE_SCALE) -> List[Fig7Row]:
-    result = fig6.run(scale)
+def run(scale: int = CACHE_SCALE, pool: Optional[WorkPool] = None) -> List[Fig7Row]:
+    """The blur runs fan out through ``pool`` (via Fig. 6's grid); the
+    derived utilization metric is computed serially on top."""
+    result = fig6.run(scale, pool=pool)
     traffic = baseline_bytes()
     rows: List[Fig7Row] = []
     for speed_row in result.rows:

@@ -58,6 +58,33 @@ class RunRecord:
 RECORD_FIELDS = frozenset(f.name for f in fields(RunRecord))
 
 
+@dataclass(frozen=True)
+class CellResult:
+    """A picklable reduction of one figure cell's :class:`Outcome`.
+
+    Work-pool workers ship this back to the parent instead of the raw
+    :class:`~repro.runtime.Outcome`, whose ``error`` may hold an
+    arbitrary (possibly unpicklable) exception object.
+    """
+
+    status: str                      # an OutcomeStatus value
+    reason: str
+    record: Optional[RunRecord] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "completed"
+
+
+def cell_result(outcome) -> CellResult:
+    """Reduce a supervised outcome to its picklable cell form."""
+    return CellResult(
+        status=outcome.status.value,
+        reason=outcome.reason,
+        record=outcome.value if outcome.ok else None,
+    )
+
+
 class Runner:
     """Builds, vectorizes (per device) and simulates kernels with caching
     and supervised, journalled execution."""
@@ -119,19 +146,7 @@ class Runner:
             )
         cached = self.cache.get(disk_key)
         if cached is not None:
-            # Field sets were validated at cache load, so this cannot
-            # raise the historical RunRecord(**dict) TypeError.
-            record = RunRecord(**cached)
-            self._memory[key] = record
-            outcome = Outcome(
-                OutcomeStatus.COMPLETED,
-                value=record,
-                attempts=0,
-                reason="disk-cache hit",
-                label=disk_key,
-            )
-            self.journal.record(disk_key, outcome, source=SOURCE_DISK_CACHE)
-            return outcome
+            return self._disk_hit(key, disk_key, cached)
 
         def execute() -> RunRecord:
             faults.before_simulate(disk_key)
@@ -151,12 +166,47 @@ class Runner:
             )
 
         policy = self._policy or RetryPolicy.from_env()
-        with tracer.span("runner.supervise", cat="runner", key=disk_key):
-            outcome = supervise(execute, policy, label=disk_key)
-        self.journal.record(disk_key, outcome)
-        if outcome.ok:
-            self._memory[key] = outcome.value
-            self.cache.put(disk_key, asdict(outcome.value))
+
+        # Cross-process dogpile protection: take the per-key lockfile so
+        # a sibling worker computing the same key finishes first, then
+        # serve its freshly persisted record instead of recomputing.
+        lock = self.cache.key_lock(disk_key)
+        locked = lock.acquire() if lock is not None else False
+        try:
+            if locked:
+                fresh = self.cache.reload(disk_key)
+                if fresh is not None:
+                    return self._disk_hit(key, disk_key, fresh)
+            with tracer.span("runner.supervise", cat="runner", key=disk_key):
+                outcome = supervise(execute, policy, label=disk_key)
+            self.journal.record(disk_key, outcome)
+            if outcome.ok:
+                self._memory[key] = outcome.value
+                self.cache.put(disk_key, asdict(outcome.value))
+        finally:
+            if locked:
+                lock.release()
+        return outcome
+
+    def adopt(self, key: Tuple, record: RunRecord) -> None:
+        """Install a record a worker process computed (and already
+        journalled/persisted) into this process's memory cache."""
+        self._memory[key] = record
+        self.cache.put(canonical_key(key), asdict(record), save=False)
+
+    def _disk_hit(self, key: Tuple, disk_key: str, cached: Dict) -> Outcome:
+        # Field sets were validated at cache load, so this cannot raise
+        # the historical RunRecord(**dict) TypeError.
+        record = RunRecord(**cached)
+        self._memory[key] = record
+        outcome = Outcome(
+            OutcomeStatus.COMPLETED,
+            value=record,
+            attempts=0,
+            reason="disk-cache hit",
+            label=disk_key,
+        )
+        self.journal.record(disk_key, outcome, source=SOURCE_DISK_CACHE)
         return outcome
 
 

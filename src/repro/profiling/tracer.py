@@ -33,7 +33,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-#: Synthetic process id used for all events (one simulated process).
+#: Synthetic process id used for events of the local process; spans
+#: absorbed from worker processes keep their own (real) pid.
 TRACE_PID = 1
 
 
@@ -49,6 +50,7 @@ class Span:
     depth: int                # nesting depth within its thread
     seq: int                  # global start order, for stable sorting
     args: Dict[str, Any] = field(default_factory=dict)
+    pid: int = TRACE_PID      # trace process id (worker spans differ)
 
 
 class Tracer:
@@ -136,7 +138,7 @@ class Tracer:
                 "ph": "X",
                 "ts": round(span.start_us, 3),
                 "dur": round(span.dur_us, 3),
-                "pid": TRACE_PID,
+                "pid": span.pid,
                 "tid": span.tid,
             }
             if span.cat:
@@ -153,16 +155,64 @@ class Tracer:
             json.dump(self.chrome_events(), fh, indent=1)
             fh.write("\n")
 
+    # -- cross-process merge -------------------------------------------------
+
+    def span_dicts(self) -> List[Dict[str, Any]]:
+        """Spans as plain dicts, picklable/JSON-able for worker → parent
+        transfer (:class:`repro.runtime.workpool.WorkPool`)."""
+        return [
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "start_us": s.start_us,
+                "dur_us": s.dur_us,
+                "tid": s.tid,
+                "depth": s.depth,
+                "seq": s.seq,
+                "args": s.args,
+                "pid": s.pid,
+            }
+            for s in self.spans
+        ]
+
+    def absorb(self, span_dicts: List[Dict[str, Any]], pid: int) -> None:
+        """Merge spans recorded by another process into this tracer.
+
+        Worker epochs differ from ours, so absorbed spans keep their own
+        relative timeline; ``pid`` separates them into their own track in
+        the Chrome trace (the real worker pid is the natural choice).
+        """
+        with self._lock:
+            for raw in span_dicts:
+                seq = self._seq
+                self._seq += 1
+                self.spans.append(
+                    Span(
+                        name=str(raw.get("name", "")),
+                        cat=str(raw.get("cat", "")),
+                        start_us=float(raw.get("start_us", 0.0)),
+                        dur_us=float(raw.get("dur_us", 0.0)),
+                        tid=int(raw.get("tid", 0)),
+                        depth=int(raw.get("depth", 0)),
+                        seq=seq,
+                        args=dict(raw.get("args") or {}),
+                        pid=int(pid),
+                    )
+                )
+
     def render_tree(self, min_us: float = 0.0) -> str:
         """Plain-text tree of spans (per thread, nested by depth)."""
         lines: List[str] = []
-        ordered = sorted(self.spans, key=lambda s: (s.tid, s.start_us, s.seq, -s.dur_us))
-        threads = sorted({s.tid for s in ordered})
-        for tid in threads:
+        ordered = sorted(
+            self.spans, key=lambda s: (s.pid, s.tid, s.start_us, s.seq, -s.dur_us)
+        )
+        threads = sorted({(s.pid, s.tid) for s in ordered})
+        for pid, tid in threads:
             if len(threads) > 1:
-                lines.append(f"thread {tid}:")
+                label = f"thread {tid}:" if pid == TRACE_PID else f"process {pid} thread {tid}:"
+                lines.append(label)
             for span in ordered:
-                if span.tid != tid or span.dur_us < min_us:
+                if (span.pid, span.tid) != (pid, tid) or span.dur_us < min_us:
                     continue
                 indent = "  " * span.depth
                 extra = ""

@@ -14,7 +14,12 @@ matrix does not fit the Mango Pi's DRAM).
 * :mod:`repro.runtime.faults` — deterministic fault injection
   (``REPRO_FAULTS``) used by the chaos test-suite;
 * :mod:`repro.runtime.journal` — append-only JSONL journal of every
-  attempt, surfaced by ``repro-experiments status``.
+  attempt, surfaced by ``repro-experiments status``;
+* :mod:`repro.runtime.locks` — cross-process ``O_EXCL`` lockfiles with
+  stale-lock reclaim, shared by the cache and the journal;
+* :mod:`repro.runtime.workpool` — spawn-based multiprocess fan-out of
+  figure/ablation/sweep cells (``--jobs`` / ``REPRO_JOBS``) with
+  deterministic collection order and merged profiler traces.
 """
 
 from repro.runtime.faults import (
@@ -36,27 +41,33 @@ from repro.runtime.journal import (
     read_journal,
     summarize,
 )
+from repro.runtime.locks import FileLock
 from repro.runtime.supervisor import (
     Outcome,
     OutcomeStatus,
     RetryPolicy,
     supervise,
 )
+from repro.runtime.workpool import WorkPool, current_worker_id, jobs_from_env
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "FaultPlan",
+    "FileLock",
     "Journal",
     "JournalEntry",
     "Outcome",
     "OutcomeStatus",
     "RetryPolicy",
     "RunCache",
+    "WorkPool",
     "active_plan",
     "canonical_key",
     "clear_faults",
+    "current_worker_id",
     "default_journal_path",
     "install_faults",
+    "jobs_from_env",
     "read_journal",
     "record_digest",
     "summarize",

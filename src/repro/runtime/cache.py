@@ -24,6 +24,20 @@ Robustness rules, in order:
   individually (no ``RunRecord(**dict)`` ``TypeError``);
 * writes are atomic (temp file in the same directory + ``os.replace``)
   and write failures are logged, never silently swallowed.
+
+Cross-process safety (the parallel figure pipeline runs one cache file
+from many worker processes):
+
+* :meth:`RunCache.save` takes the cache-level ``O_EXCL`` lockfile
+  (stale locks are reclaimed) and **merges** the on-disk records it does
+  not hold in memory before the atomic rename, so concurrent writers
+  cannot lose each other's records;
+* :meth:`RunCache.reload` re-reads one key from disk, giving a worker
+  visibility into records a sibling worker persisted after this
+  process's initial load;
+* :meth:`RunCache.key_lock` hands out a per-key lockfile under
+  ``<path>.locks/`` so two processes never simulate the same key
+  concurrently (dogpile protection).
 """
 
 from __future__ import annotations
@@ -38,6 +52,7 @@ from typing import Any, Dict, FrozenSet, Optional
 
 from repro.profiling import tracer
 from repro.runtime import faults
+from repro.runtime.locks import FileLock
 
 LOG = logging.getLogger("repro.runtime.cache")
 
@@ -165,18 +180,90 @@ class RunCache:
         entry = self.records.get(key)
         return entry["record"] if entry else None
 
-    def put(self, key: str, record: Dict[str, Any]) -> None:
+    def put(self, key: str, record: Dict[str, Any], save: bool = True) -> None:
+        """Store a record; ``save=False`` defers persistence (used when
+        adopting records another process already wrote to disk)."""
         self.records[key] = {"digest": record_digest(record), "record": record}
-        self.save()
+        if save:
+            self.save()
+
+    # -- cross-process views -------------------------------------------------
+
+    def _read_disk_records(self) -> Dict[str, Dict[str, Any]]:
+        """Valid entries currently on disk; empty on any problem.
+
+        Unlike :meth:`_load_file` this never quarantines or warns — it is
+        the quiet merge/reload view used while other processes may be
+        writing concurrently.
+        """
+        if not self.path:
+            return {}
+        try:
+            with open(self.path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(data, dict) or data.get("schema") != CACHE_SCHEMA_VERSION:
+            return {}
+        raw = data.get("records")
+        if not isinstance(raw, dict):
+            return {}
+        return {k: v for k, v in raw.items() if self._valid_entry(k, v)}
+
+    def reload(self, key: str) -> Optional[Dict[str, Any]]:
+        """Re-read ``key`` from disk (a sibling process may have written
+        it after our load); adopts and returns the record on a hit."""
+        if not self.path or key in self.records:
+            return self.get(key)
+        entry = self._read_disk_records().get(key)
+        if entry is None:
+            return None
+        self.records[key] = entry
+        return entry["record"]
+
+    def key_lock(self, key: str) -> Optional[FileLock]:
+        """A per-key cross-process lock (``None`` for a memory-only cache).
+
+        The lockfile name is the key's digest so arbitrarily long or
+        slash-containing keys stay filesystem-safe.
+        """
+        if not self.path:
+            return None
+        directory = f"{os.path.abspath(self.path)}.locks"
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            LOG.warning("lock directory %s not creatable: %s", directory, exc)
+            return None
+        name = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return FileLock(os.path.join(directory, f"{name}.lock"))
 
     # -- save ----------------------------------------------------------------
 
     def save(self) -> None:
-        """Atomic write: temp file in the same directory + ``os.replace``."""
+        """Locked merge + atomic write.
+
+        Holding the cache-level lockfile, on-disk records this process
+        does not hold in memory are merged in first (another worker may
+        have saved since our load), then the whole store is written to a
+        temp file and atomically renamed over the cache.  If the lock
+        cannot be taken the write still happens — ``os.replace`` keeps it
+        atomic, we merely risk racing another writer's merge.
+        """
         if not self.path:
             return
         with tracer.span("cache.save", cat="cache", path=self.path, records=len(self.records)):
-            self._save_file()
+            lock = FileLock(f"{self.path}.lock", timeout_s=10.0)
+            locked = lock.acquire()
+            if not locked:
+                LOG.warning("cache lock %s.lock busy; saving without it", self.path)
+            try:
+                for key, entry in self._read_disk_records().items():
+                    self.records.setdefault(key, entry)
+                self._save_file()
+            finally:
+                if locked:
+                    lock.release()
 
     def _save_file(self) -> None:
         payload = {"schema": CACHE_SCHEMA_VERSION, "records": self.records}

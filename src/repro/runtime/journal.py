@@ -9,12 +9,21 @@ it, and failed runs keep their reason even after the process exits.
 Line format::
 
     {"ts": 1754459000.1, "key": "v2:[...]", "outcome": "completed",
-     "duration_s": 0.42, "attempts": 1, "error": "", "source": "simulated"}
+     "duration_s": 0.42, "attempts": 1, "error": "", "source": "simulated",
+     "worker": "12345"}
 
 ``source`` records provenance: ``simulated`` for a fresh supervised run,
 ``disk-cache`` when the record was served from the persisted run cache
 (memory-cache hits within one process are not journalled — they would
-flood the file with intra-process memoisation noise).
+flood the file with intra-process memoisation noise).  ``worker`` is the
+work-pool worker id (the worker's pid) when the attempt ran inside a
+parallel figure pipeline worker, and ``""`` for serial runs.
+
+The parallel pipeline appends to one journal from many processes, so
+every append holds a cross-process lockfile
+(:class:`repro.runtime.locks.FileLock`) around the write — lines can
+never tear into each other even on filesystems without atomic
+``O_APPEND`` semantics for the line size.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
 from repro.profiling import tracer
+from repro.runtime.locks import FileLock
 from repro.runtime.supervisor import Outcome
 
 LOG = logging.getLogger("repro.runtime.journal")
@@ -49,6 +59,7 @@ class JournalEntry:
     attempts: int
     error: str = ""
     source: str = SOURCE_SIMULATED
+    worker: str = ""
 
 
 class Journal:
@@ -58,6 +69,8 @@ class Journal:
         self.path = path
 
     def record(self, key: str, outcome: Outcome, source: str = SOURCE_SIMULATED) -> None:
+        from repro.runtime.workpool import current_worker_id
+
         self.append(
             JournalEntry(
                 ts=time.time(),
@@ -67,6 +80,7 @@ class Journal:
                 attempts=outcome.attempts,
                 error=outcome.reason,
                 source=source,
+                worker=current_worker_id(),
             )
         )
 
@@ -75,8 +89,16 @@ class Journal:
             return
         try:
             with tracer.span("journal.append", cat="journal", key=entry.key):
-                with open(self.path, "a") as fh:
-                    fh.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
+                lock = FileLock(f"{self.path}.lock", timeout_s=10.0)
+                locked = lock.acquire()
+                if not locked:
+                    LOG.warning("journal lock %s.lock busy; appending without it", self.path)
+                try:
+                    with open(self.path, "a") as fh:
+                        fh.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
+                finally:
+                    if locked:
+                        lock.release()
         except OSError as exc:
             LOG.warning("journal %s not appended: %s", self.path, exc)
 
@@ -112,6 +134,7 @@ def read_journal(path: str) -> List[JournalEntry]:
                     attempts=int(raw.get("attempts", 1)),
                     error=str(raw.get("error", "")),
                     source=str(raw.get("source", SOURCE_SIMULATED)),
+                    worker=str(raw.get("worker", "")),
                 )
             )
         except (ValueError, KeyError, TypeError):
@@ -171,6 +194,29 @@ def duration_quantiles(entries: List[JournalEntry]) -> Dict[str, Dict[str, float
     return out
 
 
+def worker_throughput(entries: List[JournalEntry]) -> Dict[str, Dict[str, float]]:
+    """Per-worker attempt counts and throughput.
+
+    Serial (non-pool) attempts group under ``"serial"``.  Throughput is
+    attempts per wall-clock second over the worker's active window
+    (first to last journalled timestamp); a single-entry window reports
+    ``0.0`` rather than a meaningless infinity.
+    """
+    by_worker: Dict[str, List[JournalEntry]] = {}
+    for entry in entries:
+        by_worker.setdefault(entry.worker or "serial", []).append(entry)
+    out: Dict[str, Dict[str, float]] = {}
+    for worker, group in sorted(by_worker.items()):
+        window = max(e.ts for e in group) - min(e.ts for e in group)
+        out[worker] = {
+            "attempts": float(len(group)),
+            "simulated": float(sum(1 for e in group if e.source == SOURCE_SIMULATED)),
+            "duration_s": sum(e.duration_s for e in group),
+            "throughput_per_s": (len(group) / window) if window > 0 else 0.0,
+        }
+    return out
+
+
 def summarize(entries: List[JournalEntry]) -> Dict:
     """Aggregate counts for the ``status`` subcommand."""
     by_outcome: Dict[str, int] = {}
@@ -193,4 +239,5 @@ def summarize(entries: List[JournalEntry]) -> Dict:
         "duration_s": duration,
         "failures": failures[-10:],
         "duration_quantiles": duration_quantiles(entries),
+        "worker_throughput": worker_throughput(entries),
     }

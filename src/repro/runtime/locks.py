@@ -1,0 +1,132 @@
+"""Cross-process file locks for the experiment runtime.
+
+The parallel figure pipeline (:mod:`repro.runtime.workpool`) runs many
+host processes against one on-disk run cache and one JSONL journal, so
+both need mutual exclusion that works across processes without any
+third-party dependency.  The primitive here is the classic lockfile:
+
+* acquisition creates ``<name>.lock`` with ``O_CREAT | O_EXCL`` — an
+  atomic operation on every platform Python supports — and writes the
+  holder's pid and timestamp into it for diagnostics;
+* a holder that crashed leaves its lockfile behind; a waiter reclaims a
+  lock whose file is older than ``stale_after_s`` by deleting it and
+  retrying (the deletion itself may race with another waiter, which is
+  fine: only one ``O_EXCL`` create wins afterwards);
+* acquisition is bounded by ``timeout_s``.  Callers for whom the lock is
+  an optimisation rather than a correctness requirement (e.g. the cache's
+  merge-save, which is still atomic via ``os.replace`` without it) may
+  proceed on timeout; :meth:`FileLock.acquire` just reports ``False``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from typing import Optional
+
+LOG = logging.getLogger("repro.runtime.locks")
+
+#: A lock older than this is presumed to belong to a dead process.
+DEFAULT_STALE_AFTER_S = 60.0
+DEFAULT_TIMEOUT_S = 30.0
+DEFAULT_POLL_S = 0.01
+
+
+class FileLock:
+    """An ``O_EXCL`` lockfile with stale-lock reclaim.
+
+    Usable as a context manager; ``with FileLock(path):`` raises
+    :class:`TimeoutError` if the lock cannot be taken in time, while the
+    explicit :meth:`acquire` / :meth:`release` API lets callers choose to
+    continue without it.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        stale_after_s: float = DEFAULT_STALE_AFTER_S,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        poll_s: float = DEFAULT_POLL_S,
+    ):
+        self.path = path
+        self.stale_after_s = stale_after_s
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self._held = False
+
+    # -- core protocol -------------------------------------------------------
+
+    def _try_create(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            # An unwritable directory etc.: treat as "lock unavailable"
+            # rather than crashing the experiment pipeline.
+            LOG.warning("lockfile %s not creatable: %s", self.path, exc)
+            return False
+        try:
+            os.write(fd, f"{os.getpid()} {time.time():.3f}\n".encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def _reclaim_if_stale(self) -> bool:
+        """Delete a lockfile whose holder looks dead; True if deleted."""
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return True  # gone already: someone else released/reclaimed it
+        if age <= self.stale_after_s:
+            return False
+        try:
+            os.unlink(self.path)
+            LOG.warning(
+                "reclaimed stale lock %s (%.1fs old > %.1fs)",
+                self.path, age, self.stale_after_s,
+            )
+            return True
+        except OSError:
+            return True  # lost the reclaim race; retry the create anyway
+
+    def acquire(self, timeout_s: Optional[float] = None) -> bool:
+        """Take the lock; ``False`` when ``timeout_s`` elapses first."""
+        if self._held:
+            return True
+        deadline = time.monotonic() + (
+            self.timeout_s if timeout_s is None else timeout_s
+        )
+        while True:
+            if self._try_create():
+                self._held = True
+                return True
+            self._reclaim_if_stale()
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(self.poll_s)
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError as exc:
+            LOG.warning("lockfile %s not released: %s", self.path, exc)
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "FileLock":
+        if not self.acquire():
+            raise TimeoutError(f"could not acquire lock {self.path}")
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False

@@ -1,0 +1,167 @@
+"""Multiprocess fan-out for figure/ablation/sweep cells.
+
+The paper's figures are sweeps over (kernel variant × device × scale)
+cells, and the cells are embarrassingly parallel — the same OpenMP-style
+fan-out the paper itself studies, applied to the simulation pipeline.
+:class:`WorkPool` fans picklable tasks out across host processes:
+
+* workers are started with ``multiprocessing.get_context("spawn")`` so
+  every worker is a fresh interpreter (no inherited fork state, identical
+  behaviour on every platform);
+* results are collected **in task order** regardless of which worker
+  finished first, so figure output is byte-identical for any worker
+  count;
+* job count comes from the ``--jobs`` CLI flag or the ``REPRO_JOBS``
+  environment variable and defaults to 1, where ``map`` degenerates to a
+  plain in-process loop — bit-identical serial behaviour;
+* when a profiler tracer is installed in the parent, each task runs
+  under a worker-local tracer and its spans are shipped back and merged
+  into the parent's trace under the worker's real pid — one Chrome trace
+  for the whole fan-out;
+* per-cell supervision (:func:`repro.runtime.supervise` retry/deadline)
+  and fault injection (``REPRO_FAULTS``) run *inside* the workers, which
+  inherit the parent's environment.
+
+Task functions must be module-level (picklable by qualified name) and
+their arguments and results picklable.  The pool is lazily created and
+reused across :meth:`WorkPool.map` calls; use it as a context manager
+(or call :meth:`close`) to reap the workers.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.profiling import tracer
+
+LOG = logging.getLogger("repro.runtime.workpool")
+
+ENV_JOBS = "REPRO_JOBS"
+
+#: Worker-id string recorded in journal entries; empty in the parent
+#: process until :func:`_worker_init` tags the worker.
+_WORKER_ID = ""
+
+
+def current_worker_id() -> str:
+    """The pool worker id of this process ("" in the parent/serial case)."""
+    return _WORKER_ID
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Resolve ``REPRO_JOBS``: a positive int, or ``0`` for all cores."""
+    raw = os.environ.get(ENV_JOBS, "")
+    if not raw:
+        return default
+    try:
+        jobs = int(raw)
+    except ValueError:
+        LOG.warning("ignoring non-integer %s=%r", ENV_JOBS, raw)
+        return default
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """CLI ``--jobs`` wins; ``None`` falls back to ``REPRO_JOBS``; ``0``
+    means all cores."""
+    if jobs is None:
+        return jobs_from_env()
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _worker_init() -> None:
+    """Runs once in every worker: tag the process for journal entries."""
+    global _WORKER_ID
+    _WORKER_ID = str(os.getpid())
+
+
+def _run_task(payload: Tuple[Callable[[Any], Any], Any, bool]):
+    """Execute one task in a worker, optionally under a local tracer.
+
+    Returns ``(result, span_dicts, pid)`` so the parent can both collect
+    the result in task order and merge the worker's profiler spans into
+    its own Chrome trace.
+    """
+    fn, task, traced = payload
+    if not traced:
+        return fn(task), None, os.getpid()
+    local = tracer.Tracer()
+    with tracer.install(local):
+        result = fn(task)
+    return result, local.span_dicts(), os.getpid()
+
+
+class WorkPool:
+    """Fans tasks across spawn processes; deterministic collection order.
+
+    ``jobs <= 1`` (the default) runs every task inline in the calling
+    process — no worker, no pickling, bit-identical to the historical
+    serial loops.  ``jobs > 1`` lazily starts a reusable spawn pool.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = resolve_jobs(jobs)
+        self._pool = None
+
+    @classmethod
+    def serial(cls) -> "WorkPool":
+        """A pool that always runs inline (ignores ``REPRO_JOBS``)."""
+        return cls(jobs=1)
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    # -- mapping -------------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every task; results in task order.
+
+        ``fn`` must be a module-level function when the pool is parallel.
+        A task that raises inside a worker re-raises here, exactly like
+        the serial loop would.
+        """
+        items: Sequence[Any] = list(tasks)
+        if not items:
+            return []
+        if self.jobs <= 1:
+            return [fn(task) for task in items]
+        traced = tracer.current() is not None
+        payloads = [(fn, task, traced) for task in items]
+        wrapped = self._get_pool().map(_run_task, payloads)
+        results: List[Any] = []
+        current = tracer.current()
+        for result, spans, pid in wrapped:
+            if spans and current is not None:
+                current.absorb(spans, pid=pid)
+            results.append(result)
+        return results
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _get_pool(self):
+        if self._pool is None:
+            ctx = multiprocessing.get_context("spawn")
+            self._pool = ctx.Pool(self.jobs, initializer=_worker_init)
+            LOG.info("work pool started: %d spawn workers", self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

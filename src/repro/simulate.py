@@ -98,7 +98,10 @@ def simulate(
         Run the access trace ``repetitions`` times through the hierarchy;
         with ``steady_state=True`` the timing uses only the *last*
         repetition (caches warm), which is how STREAM-style bandwidth is
-        measured.
+        measured.  With ``steady_state=False`` all repetitions are timed:
+        memory events and operation counts accumulate across every
+        repetition (the first one cold, the rest as warm as the caches
+        allow).
     flush_writebacks:
         Charge dirty lines still cached at the end as DRAM writebacks.
     check_capacity:
@@ -125,9 +128,13 @@ def simulate(
             generator = TraceGenerator(program, num_cores=active_cores)
 
         baselines = [snapshot(h) for h in hierarchies]
+        works = [CoreWork() for _ in range(active_cores)]
         for rep in range(repetitions):
-            if rep == repetitions - 1:
+            if steady_state and rep == repetitions - 1:
+                # Warm measurement: only the last repetition's memory
+                # events and work count toward the timing.
                 baselines = [snapshot(h) for h in hierarchies]
+                works = [CoreWork() for _ in range(active_cores)]
             for core, hierarchy in enumerate(hierarchies):
                 run = hierarchy.process_segment
                 # Trace generation and cache simulation are one pipeline:
@@ -137,6 +144,10 @@ def simulate(
                 ):
                     for seg in generator.core_stream(core):
                         run(seg)
+            # ``core_stream`` resets ``generator.work[core]`` on entry, so
+            # after the loop it holds exactly this repetition's counts;
+            # accumulate so ``works`` always matches the snapshot deltas.
+            works = [acc.merge(one) for acc, one in zip(works, generator.work)]
 
         if flush_writebacks:
             with tracer.span("flush_writebacks", cat="memsim"):
@@ -145,7 +156,6 @@ def simulate(
 
         finals = [snapshot(h) for h in hierarchies]
         deltas = [final - base for final, base in zip(finals, baselines)]
-        works = list(generator.work)  # per-core counts of one repetition
 
         timing = time_run(device, works, deltas, active_cores)
     return SimulationResult(

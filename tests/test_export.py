@@ -69,11 +69,11 @@ def test_exporters_cover_all_figures():
 def test_cli_csv_flag(tmp_path, capsys, monkeypatch):
     from repro import cli
 
-    monkeypatch.setattr(cli.fig1, "run", lambda: [])
+    monkeypatch.setattr(cli.fig1, "run", lambda pool=None: [])
     monkeypatch.setattr(cli.fig1, "render", lambda rows: "TABLE")
     monkeypatch.setattr(
         "repro.experiments.export.EXPORTERS",
-        {"fig1": (lambda: [], lambda rows, d: export.export_fig1(rows, d))},
+        {"fig1": (lambda pool=None: [], lambda rows, d: export.export_fig1(rows, d))},
     )
     assert cli.main(["fig1", "--csv-dir", str(tmp_path)]) == 0
     captured = capsys.readouterr()

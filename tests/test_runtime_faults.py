@@ -318,7 +318,9 @@ class TestFigureDegradation:
     def test_fig3_mango_pi_16384_skipped_cell_with_oom_footnote(self, monkeypatch):
         """The acceptance case: the 16384^2 Mango Pi transpose renders as
         a skipped row with an OOM footnote instead of raising."""
-        monkeypatch.setattr(fig2, "run_panel", lambda paper_n, scale: _fake_panel(paper_n))
+        monkeypatch.setattr(
+            fig2, "run_panel", lambda paper_n, scale, pool=None: _fake_panel(paper_n)
+        )
         monkeypatch.setattr(fig1, "dram_bandwidth", lambda key, scale: 10.0)
         rows = fig3.run()
         mango = [r for r in rows if r.device_key == "mango_pi_d1"]
@@ -372,7 +374,7 @@ class TestCliIsolation:
 
         for name in cli.FIGURES:
             mod = getattr(cli, name)
-            monkeypatch.setattr(mod, "run", lambda: [], raising=True)
+            monkeypatch.setattr(mod, "run", lambda pool=None: [], raising=True)
             monkeypatch.setattr(
                 mod, "render", lambda rows, _n=name: f"{_n.upper()}OUT", raising=True
             )
@@ -402,13 +404,20 @@ class TestCliIsolation:
 
         written = []
 
-        def fake_export(name, directory):
-            if name == "fig2":
-                raise OSError("disk full")
-            written.append(name)
-            return f"{directory}/{name}.csv"
+        def fake_writer(name):
+            def _write(result, directory):
+                if name == "fig2":
+                    raise OSError("disk full")
+                written.append(name)
+                return f"{directory}/{name}.csv"
 
-        monkeypatch.setattr(export, "export_figure", fake_export)
+            return _write
+
+        monkeypatch.setattr(
+            export,
+            "EXPORTERS",
+            {name: (lambda pool=None: [], fake_writer(name)) for name in ("fig1", "fig2", "fig3")},
+        )
         rc = stub_figures.main(["fig1", "fig2", "fig3", "--csv-dir", str(tmp_path)])
         _out, err = capsys.readouterr()
         assert rc == 1

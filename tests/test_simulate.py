@@ -76,6 +76,41 @@ class TestSteadyState:
         assert warm.seconds == pytest.approx(cold.seconds, rel=0.15)
 
 
+class TestColdRepetitions:
+    """Regression: cold (``steady_state=False``) multi-repetition runs must
+    account *every* repetition's traffic and work, not just the last one."""
+
+    def test_dram_resident_reps_accumulate(self):
+        n = 400_000  # ~9.6 MB of arrays: DRAM-resident on the D1
+        device = mango_pi_d1()
+        one = simulate(triad_program(n), device)
+        three = simulate(triad_program(n), device, repetitions=3, steady_state=False)
+        assert three.dram_bytes == pytest.approx(3 * one.dram_bytes, rel=0.01)
+        assert three.total_ops.flops == 3 * one.total_ops.flops
+        assert three.seconds == pytest.approx(3 * one.seconds, rel=0.05)
+
+    def test_cache_resident_work_still_counts_every_rep(self):
+        # Later reps hit in cache, so time grows by less than 3x — but the
+        # executed operations (time_run's CoreWork input) triple exactly.
+        n = 512
+        device = mango_pi_d1()
+        one = simulate(triad_program(n), device)
+        three = simulate(triad_program(n), device, repetitions=3, steady_state=False)
+        assert three.total_ops.flops == 3 * one.total_ops.flops
+        assert one.seconds < three.seconds < 3 * one.seconds
+
+    def test_steady_state_measures_last_rep_only(self):
+        # Warm measurement is unaffected by the cold-rep fix: any number of
+        # warm-up reps converges to the same steady-state measurement.
+        n = 512
+        device = mango_pi_d1()
+        warm2 = simulate(triad_program(n), device, repetitions=2, steady_state=True)
+        warm4 = simulate(triad_program(n), device, repetitions=4, steady_state=True)
+        assert warm4.seconds == pytest.approx(warm2.seconds, rel=1e-12)
+        assert warm4.dram_bytes == warm2.dram_bytes
+        assert warm4.total_ops.flops == warm2.total_ops.flops
+
+
 class TestCrossDeviceShape:
     def test_xeon_fastest_on_triad(self):
         n = 100_000

@@ -154,6 +154,52 @@ class TestContention:
         with pytest.raises(ValueError):
             makespan([1.0], [1.0], 0, 1e9)
 
+    def test_zero_slack_core_with_traffic_is_infeasible(self):
+        # A core busy right up to the deadline cannot move any bytes by it,
+        # no matter how much bandwidth is available.
+        assert not feasible(1.0, [1.0], [64.0], 1e12, 1e12)
+        assert feasible(1.0, [1.0], [0.0], 1e12, 1e12)
+
+    def test_zero_slack_core_pushes_makespan_past_busy_time(self):
+        t = makespan([1.0], [1e6], 1e9, 1e9)
+        assert t > 1.0
+        assert t == pytest.approx(1.0 + 1e6 / 1e9, rel=1e-3)
+
+    def test_zero_byte_cores_bounded_by_busy_time_only(self):
+        other = [0.5, 2.5, 1.0]
+        zeros = [0.0, 0.0, 0.0]
+        assert makespan(other, zeros, 1e9, 1e9) == 2.5
+        assert equal_share_makespan(other, zeros, 1e9, 1e9) == 2.5
+
+    def test_zero_byte_core_does_not_steal_bandwidth(self):
+        # Water-filling gives the idle core nothing; equal-share wastes a
+        # 1/n slice on it and finishes later.
+        other = [0.0, 0.0]
+        traffic = [2e9, 0.0]
+        wf = makespan(other, traffic, 2e9, 2e9)
+        eq = equal_share_makespan(other, traffic, 2e9, 2e9)
+        assert wf == pytest.approx(1.0, rel=1e-3)
+        assert eq == pytest.approx(2.0, rel=1e-3)
+
+    @settings(max_examples=200)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 2), st.floats(0, 1e9)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(1e6, 1e11),
+        st.floats(1e6, 1e11),
+    )
+    def test_water_fill_at_most_equal_share(self, cores, total_bw, core_bw):
+        # The equal-share schedule is one feasible allocation, so the
+        # water-filling optimum can never be slower.
+        other = [o for o, _ in cores]
+        traffic = [t for _, t in cores]
+        wf = makespan(other, traffic, total_bw, core_bw)
+        eq = equal_share_makespan(other, traffic, total_bw, core_bw)
+        assert wf <= eq * (1 + 1e-6) + 1e-9
+
     @settings(max_examples=50)
     @given(
         st.lists(st.floats(0, 2), min_size=1, max_size=6),

@@ -1,0 +1,270 @@
+"""Work pool, file locks, and cross-process cache/journal/tracer safety."""
+
+import os
+import time
+
+import pytest
+
+from repro.profiling import tracer
+from repro.runtime import FileLock, WorkPool, current_worker_id, jobs_from_env
+from repro.runtime.cache import RunCache, canonical_key, record_digest
+from repro.runtime.journal import (
+    SOURCE_DISK_CACHE,
+    SOURCE_SIMULATED,
+    JournalEntry,
+    worker_throughput,
+)
+from repro.runtime.workpool import resolve_jobs
+
+
+# -- file locks ----------------------------------------------------------------
+
+
+class TestFileLock:
+    def test_acquire_creates_release_removes(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"))
+        assert lock.acquire()
+        assert lock.held
+        assert os.path.exists(lock.path)
+        lock.release()
+        assert not lock.held
+        assert not os.path.exists(lock.path)
+
+    def test_acquire_is_reentrant_while_held(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"))
+        assert lock.acquire()
+        assert lock.acquire()  # no-op, still held
+        lock.release()
+
+    def test_contended_acquire_times_out(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        holder = FileLock(path)
+        assert holder.acquire()
+        waiter = FileLock(path, timeout_s=0.05, poll_s=0.005)
+        start = time.monotonic()
+        assert not waiter.acquire()
+        assert time.monotonic() - start < 5.0
+        holder.release()
+        assert waiter.acquire()
+        waiter.release()
+
+    def test_stale_lock_reclaimed(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        with open(path, "w") as fh:
+            fh.write("999999 0.0\n")
+        old = time.time() - 120.0
+        os.utime(path, (old, old))
+        waiter = FileLock(path, stale_after_s=60.0, timeout_s=1.0, poll_s=0.005)
+        assert waiter.acquire()
+        waiter.release()
+
+    def test_fresh_foreign_lock_not_reclaimed(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        with open(path, "w") as fh:
+            fh.write("999999 0.0\n")
+        waiter = FileLock(path, stale_after_s=60.0, timeout_s=0.05, poll_s=0.005)
+        assert not waiter.acquire()
+        assert os.path.exists(path)
+
+    def test_context_manager_raises_on_timeout(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        holder = FileLock(path)
+        assert holder.acquire()
+        with pytest.raises(TimeoutError):
+            with FileLock(path, timeout_s=0.05, poll_s=0.005):
+                pass
+        holder.release()
+        with FileLock(path) as lock:
+            assert lock.held
+        assert not os.path.exists(path)
+
+
+# -- job-count resolution ------------------------------------------------------
+
+
+class TestJobResolution:
+    def test_env_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert jobs_from_env() == 1
+        assert jobs_from_env(default=3) == 3
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert jobs_from_env() == 4
+
+    def test_env_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert jobs_from_env() == (os.cpu_count() or 1)
+
+    def test_env_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert jobs_from_env() == 1
+
+    def test_cli_value_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs(2) == 2
+        assert resolve_jobs(None) == 4
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-3) == 1
+
+
+# -- the pool ------------------------------------------------------------------
+
+
+def _echo_cell(task):
+    """Module-level so spawn workers can pickle it by qualified name."""
+    with tracer.span("cell", cat="test"):
+        pass
+    return (task, os.getpid(), current_worker_id())
+
+
+class TestWorkPoolSerial:
+    def test_serial_runs_inline_in_order(self):
+        pool = WorkPool.serial()
+        assert not pool.parallel
+        results = pool.map(_echo_cell, ["a", "b", "c"])
+        assert [task for task, _, _ in results] == ["a", "b", "c"]
+        assert all(pid == os.getpid() for _, pid, _ in results)
+        assert all(worker == "" for _, _, worker in results)
+
+    def test_serial_ignores_repro_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert WorkPool.serial().jobs == 1
+        assert WorkPool().jobs == 8
+
+    def test_empty_task_list(self):
+        assert WorkPool.serial().map(_echo_cell, []) == []
+
+    def test_lambdas_allowed_when_serial(self):
+        # Serial pools never pickle, so closures work (the figure
+        # harnesses rely on this for the default pool-less path).
+        assert WorkPool.serial().map(lambda t: t * 2, [1, 2]) == [2, 4]
+
+
+class TestWorkPoolParallel:
+    def test_parallel_preserves_order_and_tags_workers(self):
+        # One spawn pool exercises ordering, worker tagging and the
+        # tracer span round-trip in a single (expensive) fan-out.
+        trace = tracer.Tracer()
+        with tracer.install(trace), WorkPool(jobs=2) as pool:
+            assert pool.parallel
+            results = pool.map(_echo_cell, list(range(6)))
+        assert [task for task, _, _ in results] == list(range(6))
+        parent = os.getpid()
+        worker_pids = {pid for _, pid, _ in results}
+        assert parent not in worker_pids
+        for _, pid, worker in results:
+            assert worker == str(pid)
+        # Worker spans were absorbed under their real pids.
+        events = trace.chrome_events()
+        cell_pids = {e["pid"] for e in events if e.get("name") == "cell"}
+        assert cell_pids == worker_pids
+
+
+# -- cross-process cache semantics --------------------------------------------
+
+
+def _record(seconds):
+    return {"seconds": seconds}
+
+
+class TestCacheMergeSave:
+    def test_concurrent_writers_do_not_lose_records(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        a = RunCache(path)
+        b = RunCache(path)  # loaded before a saves anything
+        a.put(canonical_key(("ka",)), _record(1.0))
+        b.put(canonical_key(("kb",)), _record(2.0))
+        merged = RunCache(path)
+        assert merged.get(canonical_key(("ka",))) == _record(1.0)
+        assert merged.get(canonical_key(("kb",))) == _record(2.0)
+
+    def test_reload_sees_sibling_writes(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        reader = RunCache(path)
+        writer = RunCache(path)
+        key = canonical_key(("k",))
+        writer.put(key, _record(3.0))
+        assert reader.get(key) is None  # stale in-memory view
+        assert reader.reload(key) == _record(3.0)
+        assert reader.get(key) == _record(3.0)  # adopted
+
+    def test_reload_prefers_memory(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = RunCache(path)
+        key = canonical_key(("k",))
+        cache.put(key, _record(4.0))
+        assert cache.reload(key) == _record(4.0)
+
+    def test_reload_missing_key(self, tmp_path):
+        cache = RunCache(str(tmp_path / "cache.json"))
+        assert cache.reload(canonical_key(("absent",))) is None
+
+    def test_key_lock_is_per_key_and_filesystem_safe(self, tmp_path):
+        cache = RunCache(str(tmp_path / "cache.json"))
+        weird_key = canonical_key(("a/b", "c" * 300))
+        lock1 = cache.key_lock(weird_key)
+        lock2 = cache.key_lock(canonical_key(("other",)))
+        assert lock1 is not None and lock2 is not None
+        assert lock1.path != lock2.path
+        assert lock1.acquire() and lock2.acquire()
+        lock1.release()
+        lock2.release()
+
+    def test_key_lock_none_for_memory_only_cache(self):
+        assert RunCache(None).key_lock("k") is None
+
+    def test_save_survives_held_cache_lock(self, tmp_path):
+        # The cache-level lock is an optimisation: a busy lock must not
+        # block or fail the save (the rename is atomic regardless).
+        path = str(tmp_path / "cache.json")
+        cache = RunCache(path)
+        blocker = FileLock(f"{path}.lock")
+        assert blocker.acquire()
+        try:
+            key = canonical_key(("k",))
+            cache.records[key] = {
+                "digest": record_digest(_record(5.0)),
+                "record": _record(5.0),
+            }
+            start = time.monotonic()
+            cache.save()
+            assert time.monotonic() - start < 15.0
+        finally:
+            blocker.release()
+        assert RunCache(path).get(key) == _record(5.0)
+
+
+# -- journal worker attribution ------------------------------------------------
+
+
+def _journal_entry(ts, worker, source=SOURCE_SIMULATED):
+    return JournalEntry(
+        ts=ts, key='v2:["fig2"]', outcome="completed", duration_s=0.5,
+        attempts=1, source=source, worker=worker,
+    )
+
+
+class TestWorkerThroughput:
+    def test_groups_serial_and_workers(self):
+        entries = [
+            _journal_entry(0.0, ""),
+            _journal_entry(2.0, ""),
+            _journal_entry(0.0, "100"),
+            _journal_entry(1.0, "100"),
+            _journal_entry(4.0, "100", source=SOURCE_DISK_CACHE),
+        ]
+        stats = worker_throughput(entries)
+        assert set(stats) == {"serial", "100"}
+        assert stats["serial"]["attempts"] == 2
+        assert stats["serial"]["throughput_per_s"] == pytest.approx(1.0)
+        assert stats["100"]["attempts"] == 3
+        assert stats["100"]["simulated"] == 2
+        assert stats["100"]["throughput_per_s"] == pytest.approx(3 / 4)
+
+    def test_single_entry_window_reports_zero(self):
+        stats = worker_throughput([_journal_entry(5.0, "7")])
+        assert stats["7"]["throughput_per_s"] == 0.0
+
+    def test_empty(self):
+        assert worker_throughput([]) == {}
