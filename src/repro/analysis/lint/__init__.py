@@ -31,6 +31,7 @@ from repro.analysis.lint.engine import (
     lint_program,
     strict_failures,
 )
+from repro.analysis.lint.evidence import CacheEvidence
 from repro.analysis.lint.symbolic import (
     SymbolicDependence,
     carried_dependences,
@@ -41,6 +42,7 @@ from repro.analysis.lint.symbolic import (
 
 __all__ = [
     "CODES",
+    "CacheEvidence",
     "DEFAULT_CHECKERS",
     "Diagnostic",
     "FIGURE_WAIVERS",

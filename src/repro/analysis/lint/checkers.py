@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis.footprint import ArrayFootprint, _walk
 from repro.analysis.lint.diagnostics import Diagnostic, Severity, default_severity
+from repro.analysis.lint.evidence import CacheEvidence
 from repro.analysis.lint.symbolic import carried_dependences
 from repro.devices.spec import LINE_SIZE, DeviceSpec
 from repro.ir.expr import loads_in
@@ -39,7 +40,11 @@ from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
 #: L1 in the catalog is the Mango Pi's 32 KiB).
 FALLBACK_L1_BYTES = 32 * 1024
 
-CheckerFn = Callable[[Program, Optional[DeviceSpec]], List[Diagnostic]]
+#: A checker takes the program, optionally the device, and optionally
+#: measured PMU evidence (``repro lint --measure``) to cite.
+CheckerFn = Callable[
+    [Program, Optional[DeviceSpec], Optional[CacheEvidence]], List[Diagnostic]
+]
 
 
 # ---------------------------------------------------------------------------
@@ -137,7 +142,11 @@ def _global_refs(stmt: Stmt) -> Iterator[Tuple[object, Tuple, bool]]:
 # Checkers
 # ---------------------------------------------------------------------------
 
-def check_race(program: Program, device: Optional[DeviceSpec] = None) -> List[Diagnostic]:
+def check_race(
+    program: Program,
+    device: Optional[DeviceSpec] = None,
+    evidence: Optional[CacheEvidence] = None,
+) -> List[Diagnostic]:
     """RPR001: a parallel loop carries a dependence — a data race."""
     out: List[Diagnostic] = []
     for loop, path in _loops_with_paths(program.body):
@@ -167,7 +176,11 @@ def check_race(program: Program, device: Optional[DeviceSpec] = None) -> List[Di
     return out
 
 
-def check_false_sharing(program: Program, device: Optional[DeviceSpec] = None) -> List[Diagnostic]:
+def check_false_sharing(
+    program: Program,
+    device: Optional[DeviceSpec] = None,
+    evidence: Optional[CacheEvidence] = None,
+) -> List[Diagnostic]:
     """RPR002: iterations of a parallel loop write within one cache line.
 
     The per-iteration byte advance of each store with respect to the
@@ -238,7 +251,11 @@ def check_false_sharing(program: Program, device: Optional[DeviceSpec] = None) -
     return out
 
 
-def check_stride(program: Program, device: Optional[DeviceSpec] = None) -> List[Diagnostic]:
+def check_stride(
+    program: Program,
+    device: Optional[DeviceSpec] = None,
+    evidence: Optional[CacheEvidence] = None,
+) -> List[Diagnostic]:
     """RPR003: the innermost loop strides an array non-contiguously.
 
     Accesses that stay inside a cache-resident tile (an enclosing stepped
@@ -280,6 +297,18 @@ def check_stride(program: Program, device: Optional[DeviceSpec] = None) -> List[
             per_line = "one element per cache line" if abs(stride) >= LINE_SIZE else (
                 f"{LINE_SIZE // abs(stride)} elements per line"
             )
+            message = (
+                f"innermost loop {loop.var!r} {kind} {array.name!r} "
+                f"with a {abs(stride)}-byte stride ({per_line})"
+            )
+            data = {"stride_bytes": stride, "is_write": is_write}
+            if evidence is not None:
+                citation = evidence.citation(array.name)
+                if citation:
+                    message += f" — {citation}"
+                    data["measured_conflict_misses"] = evidence.array_conflicts(array.name)
+                    data["measured_misses"] = evidence.array_misses(array.name)
+                    data["measured_level"] = evidence.level
             out.append(
                 Diagnostic(
                     code="RPR003",
@@ -288,21 +317,22 @@ def check_stride(program: Program, device: Optional[DeviceSpec] = None) -> List[
                     loop_path=loop_path,
                     array=array.name,
                     device=device.key if device else None,
-                    message=(
-                        f"innermost loop {loop.var!r} {kind} {array.name!r} "
-                        f"with a {abs(stride)}-byte stride ({per_line})"
-                    ),
+                    message=message,
                     hint=(
                         f"interchange so a unit-stride loop is innermost, or "
                         f"block the nest so the strided walk stays cache-resident"
                     ),
-                    data={"stride_bytes": stride, "is_write": is_write},
+                    data=data,
                 )
             )
     return out
 
 
-def check_tile_fit(program: Program, device: Optional[DeviceSpec] = None) -> List[Diagnostic]:
+def check_tile_fit(
+    program: Program,
+    device: Optional[DeviceSpec] = None,
+    evidence: Optional[CacheEvidence] = None,
+) -> List[Diagnostic]:
     """RPR004: a blocking tile overflows the L1 a core owns.
 
     Applies to the innermost stepped loop of each blocked nest; a tile
@@ -323,6 +353,22 @@ def check_tile_fit(program: Program, device: Optional[DeviceSpec] = None) -> Lis
             if tile <= l2:
                 severity = Severity.NOTE
                 level = f"L1 ({l1 // 1024} KiB) but fits {device.caches[1].name}"
+        message = (
+            f"tile of blocked loop {loop.var!r} touches "
+            f"{tile} bytes, exceeding {level} "
+            f"({_l1_per_core(device)} bytes per core)"
+        )
+        data = {"tile_bytes": tile, "l1_bytes": l1}
+        if evidence is not None:
+            citation = evidence.citation()
+            if citation:
+                message += (
+                    f" — {citation}; an overflowing tile shows up as capacity "
+                    f"misses ({evidence.capacity:,d} measured)"
+                )
+                data["measured_capacity_misses"] = evidence.capacity
+                data["measured_conflict_misses"] = evidence.conflict
+                data["measured_level"] = evidence.level
         out.append(
             Diagnostic(
                 code="RPR004",
@@ -330,19 +376,19 @@ def check_tile_fit(program: Program, device: Optional[DeviceSpec] = None) -> Lis
                 program=program.name,
                 loop_path=tuple(p.var for p in path) + (loop.var,),
                 device=device.key if device else None,
-                message=(
-                    f"tile of blocked loop {loop.var!r} touches "
-                    f"{tile} bytes, exceeding {level} "
-                    f"({_l1_per_core(device)} bytes per core)"
-                ),
+                message=message,
                 hint=f"shrink the block factor of {loop.var!r} so the tile fits L1",
-                data={"tile_bytes": tile, "l1_bytes": l1},
+                data=data,
             )
         )
     return out
 
 
-def check_uncertified(program: Program, device: Optional[DeviceSpec] = None) -> List[Diagnostic]:
+def check_uncertified(
+    program: Program,
+    device: Optional[DeviceSpec] = None,
+    evidence: Optional[CacheEvidence] = None,
+) -> List[Diagnostic]:
     """RPR005: a transform recorded that it skipped its legality proof."""
     out: List[Diagnostic] = []
     for entry in program.meta.get("uncertified_transforms", ()):
@@ -365,7 +411,9 @@ def check_uncertified(program: Program, device: Optional[DeviceSpec] = None) -> 
 
 
 def check_analysis_quality(
-    program: Program, device: Optional[DeviceSpec] = None
+    program: Program,
+    device: Optional[DeviceSpec] = None,
+    evidence: Optional[CacheEvidence] = None,
 ) -> List[Diagnostic]:
     """RPR006/RPR007: how trustworthy the other answers are.
 

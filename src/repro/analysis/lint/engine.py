@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.lint.checkers import CHECKERS
+from repro.analysis.lint.evidence import CacheEvidence
 from repro.analysis.lint.diagnostics import (
     Diagnostic,
     Severity,
@@ -105,9 +106,12 @@ def lint_program(
     waivers: Optional[Mapping[str, str]] = None,
     kernel: Optional[str] = None,
     variant: Optional[str] = None,
+    evidence: Optional[CacheEvidence] = None,
 ) -> LintReport:
     """Run ``checkers`` over ``program``; waived codes move aside with
-    their reason instead of counting against the gate."""
+    their reason instead of counting against the gate.  ``evidence`` is
+    measured PMU data (``repro lint --measure``) that evidence-aware
+    checkers cite in their diagnostics."""
     report = LintReport(
         program=program.name,
         kernel=kernel,
@@ -121,7 +125,7 @@ def lint_program(
         except KeyError:
             known = ", ".join(sorted(CHECKERS))
             raise AnalysisError(f"unknown lint checker {name!r} (known: {known})")
-        for diag in fn(program, device):
+        for diag in fn(program, device, evidence):
             if diag.code in waivers:
                 report.waived.append((diag, waivers[diag.code]))
             else:

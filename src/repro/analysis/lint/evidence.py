@@ -1,0 +1,64 @@
+"""Measured evidence the linter can cite.
+
+The lint checkers are static: they predict that a column-stride walk or
+an oversized tile *will* hurt.  When the caller has actually run the
+kernel through the simulator with the PMU attached (``repro lint
+--measure``, or any :class:`repro.observe.perf.PerfCell` reduced via
+:func:`repro.observe.perf.cache_evidence`), the prediction can be backed
+by numbers: how many of the level's misses were conflict misses, and how
+many of those land on the flagged array.  Checkers that receive evidence
+append the measurement to their diagnostic message and data payload —
+the static finding stands either way; the evidence makes it concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheEvidence:
+    """Measured 3C miss composition of one run at one cache level."""
+
+    device_key: str
+    level: str
+    misses: int
+    compulsory: int
+    capacity: int
+    conflict: int
+    #: array name -> (compulsory, capacity, conflict) misses attributed
+    #: to references on that array.
+    per_array: Dict[str, Tuple[int, int, int]] = field(default_factory=dict)
+
+    @property
+    def conflict_share(self) -> float:
+        """Fraction of the level's misses that were conflict misses."""
+        return self.conflict / self.misses if self.misses else 0.0
+
+    def array_conflicts(self, array: str) -> int:
+        return self.per_array.get(array, (0, 0, 0))[2]
+
+    def array_misses(self, array: str) -> int:
+        return sum(self.per_array.get(array, (0, 0, 0)))
+
+    def citation(self, array: Optional[str] = None) -> Optional[str]:
+        """A human-readable measurement sentence, or ``None`` when the
+        evidence has nothing interesting to say about ``array``."""
+        if array is not None and array in self.per_array:
+            total = self.array_misses(array)
+            conflicts = self.array_conflicts(array)
+            if total == 0:
+                return None
+            return (
+                f"measured on {self.device_key}: {conflicts:,d}/{total:,d} of "
+                f"{self.level} misses to {array!r} are conflict misses "
+                f"({100.0 * conflicts / total:.1f}%)"
+            )
+        if self.misses == 0:
+            return None
+        return (
+            f"measured on {self.device_key}: {self.conflict:,d}/{self.misses:,d} "
+            f"of all {self.level} misses are conflict misses "
+            f"({100.0 * self.conflict_share:.1f}%)"
+        )

@@ -14,6 +14,11 @@ Usage::
     repro lint transpose Naive --strict
     repro lint --figures --sarif -o lint.sarif
     repro lint scan Parallel --device mango_pi_d1 --json
+    repro lint transpose Naive --device visionfive --measure
+    repro perf stat transpose Naive Blocking --device visionfive
+    repro perf annotate transpose Naive --device visionfive --level L1
+    repro perf diff transpose Naive Blocking --device visionfive
+    repro perf stat transpose Naive --device mango --check --openmetrics perf.om
 
 (The ``repro`` console script is an alias, so ``repro profile ...`` works
 as well.)
@@ -33,7 +38,15 @@ attribution and roofline position; ``--save-baseline`` / ``--check``
 maintain the committed counter baseline, ``--trace`` writes a Chrome
 trace-event JSON of the run's pipeline spans.  ``lint`` statically
 checks a kernel variant with the symbolic dependence engine (races,
-false sharing, strides, tile fit) and gates CI via ``--strict``.
+false sharing, strides, tile fit) and gates CI via ``--strict``;
+``--measure`` backs the stride/tile-fit diagnostics with measured 3C
+miss counts from the simulated PMU.  ``perf`` runs one or more
+(kernel, variant, device) cells with the PMU attached and reports
+perf-stat style counters (``stat``), a per-IR-statement miss/byte
+annotation (``annotate``), or a side-by-side variant comparison
+(``diff``); ``--openmetrics`` additionally writes the counters in
+OpenMetrics/Prometheus text format, and ``--save-baseline`` /
+``--check`` maintain the committed ``benchmarks/perf_baseline.json``.
 
 Diagnostics (progress, warnings, failure summaries) go through
 ``logging`` — quiet them with ``--quiet`` or amplify with ``-v`` —
@@ -193,8 +206,17 @@ def _render_status() -> str:
     ]
     quantiles = stats["duration_quantiles"]
     if quantiles:
+        from repro.experiments.report import DASH
+
+        # Below 3 samples the quantiles are dominated by noise; print a
+        # dash rather than a number nobody should trust.
         duration_rows = [
-            [figure, int(q["runs"]), f"{q['p50']:.3f}", f"{q['p95']:.3f}"]
+            [
+                figure,
+                int(q["runs"]),
+                DASH if q["runs"] < 3 else f"{q['p50']:.3f}",
+                DASH if q["runs"] < 3 else f"{q['p95']:.3f}",
+            ]
             for figure, q in quantiles.items()
         ]
         lines.append(
@@ -322,6 +344,16 @@ def figures_main(argv: List[str]) -> int:
                     detail = f"{type(exc).__name__}: {exc}"
                     failures.append((f"{name} (json export)", detail))
                     LOG.error("[%s json export FAILED: %s]", name, detail)
+                from repro.experiments.export import export_figure_perf_json
+
+                try:
+                    path = export_figure_perf_json(name, args.json_dir)
+                    if path:
+                        LOG.info("[perf counters written to %s]", path)
+                except Exception as exc:
+                    detail = f"{type(exc).__name__}: {exc}"
+                    failures.append((f"{name} (perf export)", detail))
+                    LOG.error("[%s perf export FAILED: %s]", name, detail)
             LOG.info("[%s regenerated in %.1fs]", name, time.time() - start)
 
     if trace_obj is not None:
@@ -406,6 +438,9 @@ def lint_main(argv: List[str]) -> int:
                         help="write the report to FILE instead of stdout")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on any unwaived warning-or-worse diagnostic")
+    parser.add_argument("--measure", action="store_true",
+                        help="run the kernel through the simulated PMU first and "
+                             "cite measured 3C miss counts in the diagnostics")
     parser.add_argument("--waive", action="append", default=[], metavar="CODE[=REASON]",
                         help="waive a diagnostic code for this run (repeatable)")
     _add_logging_flags(parser)
@@ -441,9 +476,18 @@ def lint_main(argv: List[str]) -> int:
                         kernel, variant, device,
                         n=args.n, block=args.block, filter_size=args.filter_size,
                     )
+                evidence = None
+                if args.measure:
+                    from repro.observe import cache_evidence, run_perf
+
+                    evidence = cache_evidence(run_perf(
+                        kernel, variant, key, scale=args.scale,
+                        n=args.n, block=args.block,
+                        filter_size=args.filter_size,
+                    ))
                 report = lint_program(
                     program, device=device, waivers=waivers,
-                    kernel=kernel, variant=variant,
+                    kernel=kernel, variant=variant, evidence=evidence,
                 )
                 diagnostics.extend(report.diagnostics)
                 waived.extend(report.waived)
@@ -648,10 +692,163 @@ def _lint_hints_for_profile(report, args) -> None:
         LOG.warning("  %s", diag.render().replace("\n", "\n  "))
 
 
+def perf_main(argv: List[str]) -> int:
+    from repro.observe.perf import (
+        PERF_SCALE,
+        check_perf_cell,
+        perf_cell_task,
+        render_diff,
+        render_stat,
+        run_perf,
+        save_perf_baseline,
+    )
+    from repro.profiling.baseline import DEFAULT_PERF_BASELINE_PATH
+    from repro.profiling.profile import ProfileError
+
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description=(
+            "Simulated-PMU reports: perf-stat counter tables with 3C miss "
+            "attribution, per-statement annotation, and variant diffs."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, devices: bool) -> None:
+        p.add_argument("kernel", help="transpose | blur | stream | scan")
+        if devices:
+            p.add_argument("--device", action="append", dest="devices", metavar="KEY",
+                           default=None,
+                           help="device key or unique prefix (repeatable; "
+                                "default: mango_pi_d1)")
+        else:
+            p.add_argument("--device", default="mango_pi_d1", metavar="KEY",
+                           help="device key or unique prefix (default: mango_pi_d1)")
+        p.add_argument("--scale", type=int, default=PERF_SCALE,
+                       help="cache scale factor (default 1: real cache sizes, "
+                            "so miss classes match the hardware story)")
+        p.add_argument("--n", type=int, default=None,
+                       help="problem size override (matrix n / image width / elements)")
+        p.add_argument("--block", type=int, default=None, help="transpose block size")
+        p.add_argument("--filter", dest="filter_size", type=int, default=None,
+                       help="blur filter size")
+        p.add_argument("--cores", type=int, default=None,
+                       help="active core count override")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="fan cells across N worker processes "
+                            "(0 = all cores; default: REPRO_JOBS or serial)")
+        p.add_argument("--json", action="store_true",
+                       help="emit the cells as JSON on stdout")
+        p.add_argument("--openmetrics", metavar="FILE", default=None,
+                       help="also write the counters in OpenMetrics text format")
+        p.add_argument("--baseline", default=DEFAULT_PERF_BASELINE_PATH,
+                       help="baseline file for --save-baseline/--check")
+        p.add_argument("--save-baseline", action="store_true",
+                       help="record each cell's counters in the baseline file")
+        p.add_argument("--check", action="store_true",
+                       help="diff each cell's counters against the baseline "
+                            "(exit 1 on drift)")
+        p.add_argument("--rtol", type=float, default=0.0,
+                       help="relative tolerance for --check counter comparisons")
+        _add_logging_flags(p)
+
+    p_stat = sub.add_parser("stat", help="perf-stat style counter table per cell")
+    common(p_stat, devices=True)
+    p_stat.add_argument("variants", nargs="+", metavar="variant",
+                        help="one or more variant labels (e.g. Naive Blocking)")
+
+    p_annotate = sub.add_parser(
+        "annotate", help="per-IR-statement miss/byte breakdown on the listing"
+    )
+    common(p_annotate, devices=False)
+    p_annotate.add_argument("variant", help="variant label (e.g. Naive)")
+    p_annotate.add_argument("--level", default="L1",
+                            help="cache level to annotate (default L1)")
+
+    p_diff = sub.add_parser("diff", help="two variants side by side")
+    common(p_diff, devices=False)
+    p_diff.add_argument("variant_a", help="baseline variant (e.g. Naive)")
+    p_diff.add_argument("variant_b", help="comparison variant (e.g. Blocking)")
+
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+
+    base = {
+        "kernel": args.kernel,
+        "scale": args.scale,
+        "n": args.n,
+        "block": args.block,
+        "filter_size": args.filter_size,
+        "cores": args.cores,
+    }
+    if args.command == "stat":
+        devices = args.devices or ["mango_pi_d1"]
+        tasks = [
+            dict(base, variant=variant, device_key=device)
+            for device in devices
+            for variant in args.variants
+        ]
+    elif args.command == "annotate":
+        tasks = [dict(base, variant=args.variant, device_key=args.device)]
+    else:
+        tasks = [
+            dict(base, variant=args.variant_a, device_key=args.device),
+            dict(base, variant=args.variant_b, device_key=args.device),
+        ]
+
+    try:
+        if len(tasks) > 1:
+            with WorkPool(args.jobs) as pool:
+                cells = pool.map(perf_cell_task, tasks)
+        else:
+            cells = [run_perf(**tasks[0])]
+    except ProfileError as exc:
+        LOG.error("%s", exc)
+        return 2
+
+    if args.json:
+        print(json.dumps([cell.as_dict() for cell in cells],
+                         indent=1, sort_keys=True))
+    elif args.command == "stat":
+        print("\n\n".join(render_stat(cell) for cell in cells))
+    elif args.command == "annotate":
+        from repro.observe.annotate import render_annotate
+
+        print(render_annotate(cells[0], level=args.level))
+    else:
+        print(render_diff(cells[0], cells[1]))
+
+    if args.openmetrics:
+        from repro.observe.openmetrics import render_openmetrics
+
+        with open(args.openmetrics, "w", encoding="utf-8") as fh:
+            fh.write(render_openmetrics(cells))
+        LOG.info("[openmetrics written to %s]", args.openmetrics)
+
+    if args.save_baseline:
+        for cell in cells:
+            key = save_perf_baseline(cell, args.baseline)
+            LOG.info("[perf baseline %r saved to %s]", key, args.baseline)
+    if args.check:
+        violations = []
+        for cell in cells:
+            for violation in check_perf_cell(cell, args.baseline, counter_rtol=args.rtol):
+                violations.append(f"{cell.baseline_key}: {violation}")
+        if violations:
+            LOG.error("perf baseline check FAILED (%d violations):", len(violations))
+            for violation in violations:
+                LOG.error("  %s", violation)
+            return 1
+        LOG.info("[perf baseline check OK against %s]", args.baseline)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "perf":
+        return perf_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
     return figures_main(argv)

@@ -7,12 +7,13 @@
 """
 
 from repro.exec.interp import Interpreter, run_program
-from repro.exec.trace import CoreWork, Reference, Segment
+from repro.exec.trace import CoreWork, RefInfo, Reference, Segment
 from repro.exec.tracegen import TraceGenerator, split_dynamic, split_static
 
 __all__ = [
     "CoreWork",
     "Interpreter",
+    "RefInfo",
     "Reference",
     "Segment",
     "TraceGenerator",

@@ -55,6 +55,26 @@ class Reference(NamedTuple):
     elem_size: int
 
 
+class RefInfo(NamedTuple):
+    """Full attribution record for one static reference.
+
+    The trace generator assigns one of these to every reference id it
+    emits; the simulated PMU keys its per-reference counters by the id,
+    and ``repro perf annotate`` joins them back to IR statements through
+    ``stmt_id`` (the program-order index of the leaf statement, matching
+    the pretty printer's walk).  ``ref_id == -1`` groups the rare scalar
+    setup accesses emitted outside any innermost loop.
+    """
+
+    ref_id: int
+    array: str
+    is_write: bool
+    elem_size: int
+    stmt_id: int    # program-order leaf index (-1: outside any leaf plan)
+    loop: str       # innermost loop variable ('' for setup leaves)
+    depth: int      # loop-nest depth of the reference (0 = top level)
+
+
 @dataclass
 class CoreWork:
     """Everything one core did: operations plus emitted trace volume.

@@ -38,7 +38,7 @@ from repro.ir.affine import Affine
 from repro.ir.expr import loads_in
 from repro.ir.program import MemoryLayout, Program
 from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store, walk_stmts
-from repro.exec.trace import CoreWork, Segment
+from repro.exec.trace import CoreWork, RefInfo, Segment
 from repro.profiling import tracer
 
 
@@ -46,13 +46,14 @@ class _RefPlan:
     """Precompiled emission plan for one array reference in an innermost
     loop: evaluate base cheaply, emit one segment."""
 
-    __slots__ = ("ref_id", "array", "is_write", "elem_size", "const", "terms", "coeff")
+    __slots__ = ("ref_id", "array", "is_write", "elem_size", "const", "terms", "coeff", "stmt")
 
-    def __init__(self, ref_id: int, array, is_write: bool, offset: Affine, var: str):
+    def __init__(self, ref_id: int, array, is_write: bool, offset: Affine, var: str, stmt=None):
         self.ref_id = ref_id
         self.array = array
         self.is_write = is_write
         self.elem_size = array.dtype.size
+        self.stmt = stmt  # the leaf statement this reference belongs to
         size = self.elem_size
         self.const = offset.const * size
         self.coeff = offset.coefficient(var) * size  # byte stride per iteration
@@ -78,7 +79,7 @@ class _LoopPlan:
                     if load.array.scope == "register":
                         continue
                     self.refs.append(
-                        _RefPlan(ref_id, load.array, False, load.array.linearize(load.indices), loop.var)
+                        _RefPlan(ref_id, load.array, False, load.array.linearize(load.indices), loop.var, leaf)
                     )
                     ref_id += 1
                 counts = counts + count_expr(leaf.value)
@@ -89,7 +90,7 @@ class _LoopPlan:
                     if load.array.scope == "register":
                         continue
                     self.refs.append(
-                        _RefPlan(ref_id, load.array, False, load.array.linearize(load.indices), loop.var)
+                        _RefPlan(ref_id, load.array, False, load.array.linearize(load.indices), loop.var, leaf)
                     )
                     ref_id += 1
                 counts = counts + count_expr(leaf.value)
@@ -100,12 +101,12 @@ class _LoopPlan:
                     continue
                 offset = leaf.array.linearize(leaf.indices)
                 if leaf.accumulate:
-                    self.refs.append(_RefPlan(ref_id, leaf.array, False, offset, loop.var))
+                    self.refs.append(_RefPlan(ref_id, leaf.array, False, offset, loop.var, leaf))
                     ref_id += 1
                     counts.loads += 1
                     counts.bytes_loaded += leaf.array.dtype.size
                     counts.flops += 1
-                self.refs.append(_RefPlan(ref_id, leaf.array, True, offset, loop.var))
+                self.refs.append(_RefPlan(ref_id, leaf.array, True, offset, loop.var, leaf))
                 ref_id += 1
                 counts.stores += 1
                 counts.bytes_stored += leaf.array.dtype.size
@@ -126,12 +127,13 @@ def _leaves(stmt: Stmt):
 class _PairRef:
     """One reference of a two-level (outer, inner) loop pair."""
 
-    __slots__ = ("ref_id", "array", "is_write", "elem_size", "const", "terms", "coeff_out", "coeff_in")
+    __slots__ = ("ref_id", "array", "is_write", "elem_size", "const", "terms", "coeff_out", "coeff_in", "stmt")
 
-    def __init__(self, ref_id: int, array, is_write: bool, offset: Affine, outer: str, inner: str):
+    def __init__(self, ref_id: int, array, is_write: bool, offset: Affine, outer: str, inner: str, stmt=None):
         self.ref_id = ref_id
         self.array = array
         self.is_write = is_write
+        self.stmt = stmt
         size = array.dtype.size
         self.elem_size = size
         self.const = offset.const * size
@@ -173,7 +175,7 @@ class _PairPlan:
             for array, offset, is_write in targets:
                 if array.scope == "register":
                     continue
-                self.refs.append(_PairRef(ref_id, array, is_write, offset, outer.var, inner.var))
+                self.refs.append(_PairRef(ref_id, array, is_write, offset, outer.var, inner.var, leaf))
                 ref_id += 1
 
     @staticmethod
@@ -256,6 +258,15 @@ class TraceGenerator:
         self._pair_plans: Dict[int, Optional[_PairPlan]] = {}
         self._innermost: Dict[int, bool] = {}
         self._next_ref = 0
+        # Attribution: leaf statements numbered in program (printer) order,
+        # loop-nest depths, and the ref id -> RefInfo table filled in as
+        # emission plans are built (the PMU's attribution join key).
+        self._stmt_ids: Dict[int, int] = {}
+        self._loop_depths: Dict[int, int] = {}
+        self._index_statements(program.body, 0)
+        self.ref_info: Dict[int, RefInfo] = {
+            -1: RefInfo(-1, "(setup)", False, 0, -1, "", 0)
+        }
         self._assignments: Dict[Tuple[int, Tuple[Tuple[str, int], ...]], List[List[int]]] = {}
         self.work: List[CoreWork] = [CoreWork() for _ in range(self.num_cores)]
         self._bases: List[Dict[str, int]] = [
@@ -266,6 +277,37 @@ class TraceGenerator:
             }
             for core in range(self.num_cores)
         ]
+
+    def _index_statements(self, stmt: Stmt, depth: int) -> None:
+        """Number leaf statements in program order (the same walk the
+        pretty printer performs) and record loop-nest depths."""
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                self._index_statements(child, depth)
+        elif isinstance(stmt, For):
+            self._loop_depths[id(stmt)] = depth
+            self._index_statements(stmt.body, depth + 1)
+        else:
+            self._stmt_ids[id(stmt)] = len(self._stmt_ids)
+
+    def _register_ref(self, ref, loop: Optional[For]) -> None:
+        self.ref_info[ref.ref_id] = RefInfo(
+            ref_id=ref.ref_id,
+            array=ref.array.name,
+            is_write=ref.is_write,
+            elem_size=ref.elem_size,
+            stmt_id=self._stmt_ids.get(id(ref.stmt), -1),
+            loop=loop.var if loop is not None else "",
+            depth=self._loop_depths.get(id(loop), -1) + 1 if loop is not None else 0,
+        )
+
+    def references(self) -> Dict[int, RefInfo]:
+        """The ref id -> :class:`RefInfo` attribution table.
+
+        Plans are built lazily during emission, so consume the streams
+        before reading this (``simulate`` does).
+        """
+        return dict(self.ref_info)
 
     # -- public API ----------------------------------------------------------
 
@@ -392,6 +434,7 @@ class TraceGenerator:
             for ref in plan.refs:
                 ref.ref_id = self._next_ref
                 self._next_ref += 1
+                self._register_ref(ref, loop)
             self._plans[key] = plan
         return plan
 
@@ -403,6 +446,7 @@ class TraceGenerator:
                 for ref in plan.refs:
                     ref.ref_id = self._next_ref
                     self._next_ref += 1
+                    self._register_ref(ref, plan.inner)
             self._pair_plans[key] = plan
         return self._pair_plans[key]
 

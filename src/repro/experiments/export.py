@@ -18,8 +18,10 @@ from dataclasses import asdict, is_dataclass
 from typing import List, Optional
 
 from repro.experiments import fig1, fig2, fig3, fig6, fig7
+from repro.experiments.runner import default_runner
 from repro.kernels import blur, transpose
 from repro.runtime import WorkPool
+from repro.runtime.journal import figure_of_key
 
 
 def _write(path: str, header: List[str], rows) -> str:
@@ -182,5 +184,28 @@ def export_figure_json(
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(_jsonable(result), fh, sort_keys=True, indent=1, separators=(",", ": "))
+        fh.write("\n")
+    return path
+
+
+def export_figure_perf_json(name: str, directory: str) -> str:
+    """Write one figure's PMU counter sets as canonical JSON.
+
+    The runner records the flat perf-counter set of every cell it
+    simulates with the PMU on; this collects the ones belonging to
+    ``name`` (by journal figure key) into ``<name>.perf.json``.  The same
+    canonical-JSON rules as :func:`export_figure_json` apply, and counter
+    merging is associative, so serial and ``--jobs N`` runs write
+    byte-identical files (CI diffs them).
+    """
+    cells = {
+        disk_key: counters
+        for disk_key, counters in default_runner().perf_counters().items()
+        if figure_of_key(disk_key) == name
+    }
+    path = os.path.join(directory, f"{name}.perf.json")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(cells, fh, sort_keys=True, indent=1, separators=(",", ": "))
         fh.write("\n")
     return path

@@ -18,7 +18,7 @@ is appended to the JSONL run journal surfaced by
 from __future__ import annotations
 
 import os
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.footprint import essential_traffic_bytes
@@ -38,8 +38,19 @@ from repro.runtime import (
 from repro.runtime import faults
 from repro.runtime.journal import SOURCE_DISK_CACHE
 from repro.profiling import tracer
+from repro.profiling.counters import counter_set
 from repro.simulate import SimulationResult, simulate
 from repro.transforms import AutoVectorize
+
+
+def pmu_enabled() -> bool:
+    """``REPRO_PMU`` gate for figure-cell simulations (default: on).
+
+    PMU observation costs roughly half again the memory-simulation time,
+    so ``REPRO_PMU=off`` (or ``0``/``no``) turns it off for quick local
+    figure runs; the per-figure ``perf.json`` is then empty.
+    """
+    return os.environ.get("REPRO_PMU", "").strip().lower() not in ("off", "0", "no")
 
 
 @dataclass(frozen=True)
@@ -53,6 +64,9 @@ class RunRecord:
     essential_bytes: int
     active_cores: int
     flops: int
+    # Flat perf-counter set of the run (counter registry names, summed
+    # over cores); empty when the run was simulated with the PMU off.
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 RECORD_FIELDS = frozenset(f.name for f in fields(RunRecord))
@@ -154,7 +168,10 @@ class Runner:
                 program = build()
                 if device.cpu.vector_bits:
                     program = AutoVectorize().run(program)
-            result: SimulationResult = simulate(program, device, **simulate_kwargs)
+            with_pmu = pmu_enabled()
+            result: SimulationResult = simulate(
+                program, device, pmu=with_pmu, **simulate_kwargs
+            )
             return RunRecord(
                 program_name=program.name,
                 device_key=device.key,
@@ -163,6 +180,7 @@ class Runner:
                 essential_bytes=essential_traffic_bytes(program),
                 active_cores=result.active_cores,
                 flops=result.total_ops.flops,
+                counters=dict(counter_set(result)) if with_pmu else {},
             )
 
         policy = self._policy or RetryPolicy.from_env()
@@ -187,6 +205,17 @@ class Runner:
             if locked:
                 lock.release()
         return outcome
+
+    def perf_counters(self) -> Dict[str, Dict[str, int]]:
+        """``disk key -> flat counter set`` for every known record that
+        carries one (runs simulated with the PMU on).  Feeds the per-figure
+        ``perf.json`` export and the OpenMetrics renderer."""
+        out: Dict[str, Dict[str, int]] = {}
+        for disk_key, entry in self.cache.records.items():
+            counters = entry["record"].get("counters") or {}
+            if counters:
+                out[disk_key] = dict(counters)
+        return out
 
     def adopt(self, key: Tuple, record: RunRecord) -> None:
         """Install a record a worker process computed (and already

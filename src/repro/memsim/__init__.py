@@ -7,7 +7,9 @@
 * :mod:`repro.memsim.tlb` — two-level Sv39-style TLBs;
 * :mod:`repro.memsim.dram` — DRAM traffic counters;
 * :mod:`repro.memsim.hierarchy` — the composed per-core hierarchy;
-* :mod:`repro.memsim.stats` — snapshot/delta statistics.
+* :mod:`repro.memsim.stats` — snapshot/delta statistics;
+* :mod:`repro.memsim.pmu` — the simulated PMU: 3C miss attribution,
+  per-set conflict histograms and prefetch-accuracy counters.
 """
 
 from repro.memsim.cache import Cache, CacheStats
@@ -29,7 +31,8 @@ from repro.memsim.replacement import (
     TreePlruPolicy,
     make_policy,
 )
-from repro.memsim.stats import HierarchySnapshot, LevelSnapshot, snapshot
+from repro.memsim.pmu import MISS_CLASSES, LevelPmu, Pmu
+from repro.memsim.stats import HierarchySnapshot, LevelSnapshot, add_counters, snapshot
 from repro.memsim.tlb import PAGE_SIZE, Tlb, TlbSpec
 
 __all__ = [
@@ -39,11 +42,14 @@ __all__ = [
     "CacheStats",
     "DramCounters",
     "HierarchySnapshot",
+    "LevelPmu",
     "LevelSnapshot",
     "LruPolicy",
+    "MISS_CLASSES",
     "MemoryHierarchy",
     "NO_PREFETCH",
     "PAGE_SIZE",
+    "Pmu",
     "PrefetcherSpec",
     "RandomPolicy",
     "ReplacementPolicy",
@@ -53,6 +59,7 @@ __all__ = [
     "TreePlruPolicy",
     "U74_PREFETCH",
     "XEON_PREFETCH",
+    "add_counters",
     "make_policy",
     "snapshot",
 ]

@@ -51,16 +51,30 @@ class MemoryHierarchy:
         self.tlb = tlb.build() if tlb is not None else None
         self.dram = DramCounters(line_size=line_size)
         self.line_size = line_size
+        self.pmu = None  # attach_pmu() installs a passive observer
+
+    def attach_pmu(self):
+        """Attach (and return) a simulated PMU observing this hierarchy.
+
+        Purely observational: hit/miss behaviour, replacement state and
+        DRAM traffic are identical with or without a PMU attached.
+        """
+        from repro.memsim.pmu import Pmu
+
+        self.pmu = Pmu(self)
+        return self.pmu
 
     # -- core access paths ---------------------------------------------------
 
-    def _access_line(self, line: int, is_write: bool, covered: bool) -> None:
+    def _access_line(self, line: int, is_write: bool, covered: bool, pmu=None) -> None:
         caches = self.caches
         last = len(caches) - 1
         level = 0
         while level <= last:
             cache = caches[level]
             hit, writeback = cache.access(line, is_write and level == 0)
+            if pmu is not None:
+                pmu.observe(level, line, hit, cache, covered)
             if writeback is not None:
                 self._install_writeback(writeback, level + 1)
             if hit:
@@ -70,11 +84,15 @@ class MemoryHierarchy:
             level += 1
         # Missed everywhere: fill from DRAM.
         self.dram.read_lines += 1
+        if pmu is not None:
+            pmu.dram_read()
 
     def _install_writeback(self, line: int, level: int) -> None:
         """A dirty line evicted from ``level - 1`` lands at ``level``."""
         if level >= len(self.caches):
             self.dram.written_lines += 1
+            if self.pmu is not None:
+                self.pmu.dram_write()
             return
         cache = self.caches[level]
         set_idx = cache.set_index(line)
@@ -100,6 +118,8 @@ class MemoryHierarchy:
         dirty[way] = True
         where[line] = way
         cache.policy.on_fill(set_idx, way)
+        if self.pmu is not None:
+            self.pmu.observe_install(level, line)
 
     # -- segment processing ------------------------------------------------------
 
@@ -132,16 +152,24 @@ class MemoryHierarchy:
             # Line-or-larger stride: one (or a few) lines per access.
             line_list = self._strided_lines(base, stride, count, seg.elem_size)
 
+        pmu = self.pmu
         if self.tlb is not None:
-            self._touch_pages(base, stride, count, seg.elem_size)
+            if pmu is not None:
+                walks_before = self.tlb.walks
+                self._touch_pages(base, stride, count, seg.elem_size)
+                pmu.note_tlb(seg.ref, self.tlb.walks - walks_before)
+            else:
+                self._touch_pages(base, stride, count, seg.elem_size)
 
         distinct = len(line_list)
         covered = self.prefetcher.segment_coverage(seg, distinct)
         uncovered_prefix = distinct - covered
+        if pmu is not None:
+            pmu.begin_segment(seg.ref, count * seg.elem_size, distinct)
 
         access = self._access_line
         for index, line in enumerate(line_list):
-            access(line, is_write, index >= uncovered_prefix)
+            access(line, is_write, index >= uncovered_prefix, pmu)
 
     def _strided_lines(self, base: int, stride: int, count: int, elem_size: int) -> List[int]:
         line_size = self.line_size
@@ -197,6 +225,8 @@ class MemoryHierarchy:
         if self.tlb is not None:
             self.tlb.reset()
         self.dram.reset()
+        if self.pmu is not None:
+            self.pmu.reset()
 
     def flush(self) -> None:
         """Charge every currently dirty line as a DRAM writeback.

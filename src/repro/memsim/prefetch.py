@@ -67,11 +67,18 @@ class StridePrefetcher:
         self._streams: Dict[int, _Stream] = {}
         self.covered_lines = 0
         self.uncovered_lines = 0
+        # Lines of a *trainable* stream (stride within reach) the prefetcher
+        # nevertheless failed to cover: the training window plus streams it
+        # had not locked onto yet.  On silicon these are prefetches issued
+        # too late to hide the miss; the PMU reports them as
+        # ``pmu.prefetch.late``.
+        self.late_lines = 0
 
     def reset(self) -> None:
         self._streams.clear()
         self.covered_lines = 0
         self.uncovered_lines = 0
+        self.late_lines = 0
 
     def segment_coverage(self, seg: Segment, distinct_lines: int) -> int:
         """How many of ``distinct_lines`` touches are prefetch-covered.
@@ -85,11 +92,13 @@ class StridePrefetcher:
 
         line_stride = abs(seg.stride) // self.line_size if seg.stride else 0
         within = 0
+        trainable = False
         if distinct_lines > 1:
             # Within-segment stream: consecutive distinct lines are
             # line_stride (or 1 for sub-line strides) apart.
             step = max(1, line_stride)
             if step <= spec.max_stride_lines:
+                trainable = True
                 within = max(0, distinct_lines - spec.train_lines)
 
         # Cross-segment stream (constant delta between segment bases of the
@@ -121,6 +130,8 @@ class StridePrefetcher:
         covered = min(distinct_lines, max(within, cross))
         self.covered_lines += covered
         self.uncovered_lines += distinct_lines - covered
+        if trainable:
+            self.late_lines += distinct_lines - covered
         return covered
 
 

@@ -3,14 +3,38 @@
 Steady-state measurements (STREAM repeats its kernels many times) need the
 counters of *one* repetition after warm-up: take a snapshot before and
 after the repetition and diff them.
+
+Snapshots also carry the flat PMU counter view when a PMU is attached
+(:mod:`repro.memsim.pmu`); PMU counters are monotonic, so the same
+subtraction trick yields per-repetition 3C and prefetch-accuracy deltas.
+Counter dictionaries merge with :func:`add_counters`, which is
+associative and commutative — per-worker counter sets from a parallel
+figure run sum to the serial run byte-for-byte, whatever the worker
+count or collection order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
 
 from repro.memsim.hierarchy import MemoryHierarchy
+
+
+def add_counters(*counter_dicts: Mapping[str, int]) -> Dict[str, int]:
+    """Key-wise sum of counter mappings, with **sorted** keys.
+
+    Associative and commutative by construction: missing keys count as 0
+    and the output ordering depends only on the key *set*, never on the
+    argument order.  This is the merge the parallel figure pipeline uses,
+    so ``--jobs N`` produces byte-identical ``perf.json`` exports for any
+    N (CI diffs them).
+    """
+    total: Dict[str, int] = {}
+    for counters in counter_dicts:
+        for name, value in counters.items():
+            total[name] = total.get(name, 0) + value
+    return {name: total[name] for name in sorted(total)}
 
 
 @dataclass
@@ -47,6 +71,10 @@ class HierarchySnapshot:
     counts into bytes, and a silently defaulted 64 would misreport
     ``dram_bytes`` for any device whose hierarchy uses a different line
     size.  :func:`snapshot` always threads the hierarchy's actual value.
+
+    ``pmu`` holds the flat PMU counter view (empty when no PMU was
+    attached); like every other field it subtracts, so steady-state
+    re-baselining works unchanged.
     """
 
     levels: List[LevelSnapshot]
@@ -54,18 +82,21 @@ class HierarchySnapshot:
     dram_written_lines: int
     tlb_walks: int
     line_size: int
+    pmu: Dict[str, int] = field(default_factory=dict)
 
     @property
     def dram_bytes(self) -> int:
         return (self.dram_read_lines + self.dram_written_lines) * self.line_size
 
     def __sub__(self, other: "HierarchySnapshot") -> "HierarchySnapshot":
+        pmu_keys = list(self.pmu) + [k for k in other.pmu if k not in self.pmu]
         return HierarchySnapshot(
             [a - b for a, b in zip(self.levels, other.levels)],
             self.dram_read_lines - other.dram_read_lines,
             self.dram_written_lines - other.dram_written_lines,
             self.tlb_walks - other.tlb_walks,
             self.line_size,
+            {k: self.pmu.get(k, 0) - other.pmu.get(k, 0) for k in pmu_keys},
         )
 
     def level(self, name: str) -> LevelSnapshot:
@@ -85,6 +116,7 @@ class HierarchySnapshot:
             out[f"{lvl.name}_misses"] = lvl.misses
             out[f"{lvl.name}_prefetch_hits"] = lvl.prefetch_hits
             out[f"{lvl.name}_writebacks"] = lvl.writebacks
+        out.update(self.pmu)
         return out
 
 
@@ -106,4 +138,5 @@ def snapshot(hierarchy: MemoryHierarchy) -> HierarchySnapshot:
         hierarchy.dram.written_lines,
         hierarchy.tlb.walks if hierarchy.tlb is not None else 0,
         hierarchy.line_size,
+        dict(hierarchy.pmu.counters()) if hierarchy.pmu is not None else {},
     )

@@ -18,6 +18,8 @@ from repro.metrics.bandwidth import (
 from repro.metrics.roofline import (
     RooflinePoint,
     arithmetic_intensity,
+    measured_roofline_point,
+    measured_traffic_bytes,
     peak_gflops,
     roofline_point,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "level_footprint_bytes",
     "measure",
     "measure_all",
+    "measured_roofline_point",
+    "measured_traffic_bytes",
     "peak_gflops",
     "relative_bandwidth_utilization",
     "roofline_point",

@@ -9,12 +9,15 @@ the claim quantitative and `examples/device_comparison.py` renders it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.analysis.footprint import essential_traffic_bytes
 from repro.analysis.opcount import count_program
 from repro.devices.spec import DeviceSpec
 from repro.ir.program import Program
+
+if TYPE_CHECKING:  # simulate imports metrics consumers indirectly; stay lazy
+    from repro.simulate import SimulationResult
 
 
 @dataclass
@@ -71,6 +74,56 @@ def roofline_point(
     attainable = min(peak, bandwidth_gbs * intensity)
     return RooflinePoint(
         program_name=program.name,
+        device_key=device.key,
+        arithmetic_intensity=intensity,
+        peak_gflops=peak,
+        bandwidth_gbs=bandwidth_gbs,
+        attainable_gflops=attainable,
+        memory_bound=bandwidth_gbs * intensity < peak,
+    )
+
+
+def measured_traffic_bytes(result: "SimulationResult") -> Dict[str, int]:
+    """Measured traffic per hierarchy level, summed over cores.
+
+    For each cache level the traffic *below* it is ``(misses + writebacks)
+    * line_size`` — the fills it requested plus the dirty lines it pushed
+    down; the DRAM entry is the hierarchy's real DRAM byte count.  Unlike
+    :func:`repro.analysis.footprint.essential_traffic_bytes` this reflects
+    what the simulated caches actually did (conflict misses and all), which
+    is what the measured roofline should charge for.
+    """
+    traffic: Dict[str, int] = {}
+    for snap in result.snapshots:
+        for level in snap.levels:
+            moved = (level.misses + level.writebacks) * snap.line_size
+            traffic[level.name] = traffic.get(level.name, 0) + moved
+    traffic["dram"] = result.dram_bytes
+    return traffic
+
+
+def measured_roofline_point(
+    result: "SimulationResult",
+    device: DeviceSpec,
+    bandwidth_gbs: float,
+    vectorized: bool = None,
+    elem_bytes: int = 8,
+) -> RooflinePoint:
+    """Place a *simulated run* on the roofline using measured traffic.
+
+    Arithmetic intensity is real flops executed per real DRAM byte moved
+    (fills and writebacks the cache simulation observed), so a kernel that
+    thrashes sits visibly left of its analytic point.
+    """
+    if vectorized is None:
+        vectorized = device.cpu.vector_bits > 0
+    flops = result.total_ops.flops
+    dram_bytes = result.dram_bytes
+    intensity = flops / dram_bytes if dram_bytes else float("inf")
+    peak = peak_gflops(device, vectorized, elem_bytes)
+    attainable = min(peak, bandwidth_gbs * intensity)
+    return RooflinePoint(
+        program_name=result.program_name,
         device_key=device.key,
         arithmetic_intensity=intensity,
         peak_gflops=peak,

@@ -1,0 +1,33 @@
+"""Observability front-end over the simulated PMU.
+
+* :mod:`repro.observe.perf` — ``repro perf``'s engine: run one (kernel,
+  variant, device) cell with the PMU attached and reduce it to a
+  picklable :class:`~repro.observe.perf.PerfCell`; perf-stat tables,
+  side-by-side diffs and the committed perf baselines;
+* :mod:`repro.observe.annotate` — per-IR-statement miss/byte breakdowns
+  rendered against the pretty printer's listing;
+* :mod:`repro.observe.openmetrics` — OpenMetrics/Prometheus text export
+  of the counters.
+"""
+
+from repro.observe.annotate import render_annotate
+from repro.observe.openmetrics import render_openmetrics
+from repro.observe.perf import (
+    PerfCell,
+    cache_evidence,
+    perf_cell_task,
+    render_diff,
+    render_stat,
+    run_perf,
+)
+
+__all__ = [
+    "PerfCell",
+    "cache_evidence",
+    "perf_cell_task",
+    "render_annotate",
+    "render_diff",
+    "render_openmetrics",
+    "render_stat",
+    "run_perf",
+]

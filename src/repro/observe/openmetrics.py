@@ -1,0 +1,97 @@
+"""OpenMetrics/Prometheus text export of PMU counters.
+
+Renders perf cells (or raw counter dicts) in the OpenMetrics text
+format — ``# TYPE`` metadata lines, ``name_total{label="..."} value``
+samples, a terminating ``# EOF`` — so the simulated counters can be
+scraped, pushed to a Pushgateway, or just diffed as CI artifacts.
+
+Counter families:
+
+* ``repro_cache_accesses_total{level,event}`` — hits / misses /
+  writebacks per cache level;
+* ``repro_cache_misses_3c_total{level,class}`` — the 3C split;
+* ``repro_prefetch_lines_total{outcome}`` — issued / useful / late /
+  polluting;
+* ``repro_tlb_walks_total``, ``repro_dram_bytes_total{direction}``;
+* ``repro_sim_seconds`` — simulated wall-clock (a gauge).
+
+Every sample carries ``kernel``, ``variant`` and ``device`` labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.memsim.pmu import MISS_CLASSES, PREFETCH_COUNTERS
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    body = ",".join(f'{key}="{_escape(str(value))}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def render_openmetrics(cells) -> str:
+    """Render perf cells as one OpenMetrics exposition."""
+    families: "Dict[str, Tuple[str, str]]" = {
+        "repro_cache_accesses_total": ("counter", "Cache events per level."),
+        "repro_cache_misses_3c_total": ("counter", "Misses split by 3C class."),
+        "repro_cache_conflict_sets": ("gauge", "Distinct sets with conflict misses."),
+        "repro_prefetch_lines_total": ("counter", "Prefetcher line outcomes."),
+        "repro_tlb_walks_total": ("counter", "TLB walks."),
+        "repro_dram_bytes_total": ("counter", "DRAM traffic in bytes."),
+        "repro_sim_seconds": ("gauge", "Simulated wall-clock seconds."),
+    }
+    samples: Dict[str, List[str]] = {name: [] for name in families}
+
+    for cell in cells:
+        base = [
+            ("kernel", cell.kernel),
+            ("variant", cell.variant),
+            ("device", cell.device_key),
+        ]
+        for lvl in cell.levels:
+            level = [("level", lvl["name"])]
+            for event in ("hits", "misses", "writebacks"):
+                samples["repro_cache_accesses_total"].append(
+                    f"repro_cache_accesses_total"
+                    f"{_labels(base + level + [('event', event)])} {lvl[event]}"
+                )
+            for cls in MISS_CLASSES:
+                samples["repro_cache_misses_3c_total"].append(
+                    f"repro_cache_misses_3c_total"
+                    f"{_labels(base + level + [('class', cls)])} {lvl[cls]}"
+                )
+            samples["repro_cache_conflict_sets"].append(
+                f"repro_cache_conflict_sets{_labels(base + level)} {lvl['conflict_sets']}"
+            )
+        for outcome in PREFETCH_COUNTERS:
+            value = cell.counters.get(f"pmu.prefetch.{outcome}", 0)
+            samples["repro_prefetch_lines_total"].append(
+                f"repro_prefetch_lines_total"
+                f"{_labels(base + [('outcome', outcome)])} {value}"
+            )
+        samples["repro_tlb_walks_total"].append(
+            f"repro_tlb_walks_total{_labels(base)} {cell.counters.get('tlb.walks', 0)}"
+        )
+        for direction, key in (("read", "dram.read_bytes"), ("write", "dram.written_bytes")):
+            samples["repro_dram_bytes_total"].append(
+                f"repro_dram_bytes_total"
+                f"{_labels(base + [('direction', direction)])} {cell.counters.get(key, 0)}"
+            )
+        samples["repro_sim_seconds"].append(
+            f"repro_sim_seconds{_labels(base)} {cell.seconds!r}"
+        )
+
+    out: List[str] = []
+    for name, (family_type, help_text) in families.items():
+        if not samples[name]:
+            continue
+        out.append(f"# TYPE {name} {family_type}")
+        out.append(f"# HELP {name} {help_text}")
+        out.extend(samples[name])
+    out.append("# EOF")
+    return "\n".join(out) + "\n"

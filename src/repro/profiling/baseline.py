@@ -23,19 +23,29 @@ from repro.profiling.profile import ProfileReport
 
 BASELINE_SCHEMA = 1
 
-#: Default committed baseline location (repo root / benchmarks).
-DEFAULT_BASELINE_PATH = os.path.abspath(
-    os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "profile_baseline.json")
+_BENCH_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks")
 )
+
+#: Default committed baseline location (repo root / benchmarks).
+DEFAULT_BASELINE_PATH = os.path.join(_BENCH_DIR, "profile_baseline.json")
+
+#: The committed ``repro perf`` baseline (same schema, PMU counter sets).
+DEFAULT_PERF_BASELINE_PATH = os.path.join(_BENCH_DIR, "perf_baseline.json")
 
 #: Relative tolerance for the wall-clock seconds comparison.
 SECONDS_RTOL = 1e-6
 
 
+def entry_key(kernel: str, variant: str, device_key: str, params: Dict[str, Any]) -> str:
+    """Stable identity of one profiled/perf'd configuration."""
+    joined = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+    return f"{kernel}/{variant}/{device_key}?{joined}"
+
+
 def baseline_key(report: ProfileReport) -> str:
     """Stable identity of one profiled configuration."""
-    params = ",".join(f"{k}={v}" for k, v in sorted(report.params.items()))
-    return f"{report.kernel}/{report.variant}/{report.device_key}?{params}"
+    return entry_key(report.kernel, report.variant, report.device_key, report.params)
 
 
 def load_baselines(path: str) -> Dict[str, Any]:
@@ -53,15 +63,20 @@ def load_baselines(path: str) -> Dict[str, Any]:
     return data
 
 
-def save_baseline(path: str, report: ProfileReport) -> str:
-    """Merge this report's counters into the baseline file; returns the
-    entry key.  Existing entries for other configurations are kept."""
+def save_entry(
+    path: str,
+    key: str,
+    counters: Dict[str, int],
+    seconds: float,
+    active_cores: int,
+) -> str:
+    """Merge one configuration's counters into the baseline file; returns
+    the entry key.  Existing entries for other configurations are kept."""
     data = load_baselines(path)
-    key = baseline_key(report)
     data["entries"][key] = {
-        "counters": {name: value for name, value in report.counters.items()},
-        "seconds": report.seconds,
-        "active_cores": report.active_cores,
+        "counters": dict(counters),
+        "seconds": seconds,
+        "active_cores": active_cores,
     }
     directory = os.path.dirname(os.path.abspath(path))
     if directory:
@@ -72,13 +87,23 @@ def save_baseline(path: str, report: ProfileReport) -> str:
     return key
 
 
-def check_report(
-    report: ProfileReport,
+def save_baseline(path: str, report: ProfileReport) -> str:
+    """Merge this report's counters into the baseline file; returns the
+    entry key."""
+    return save_entry(
+        path, baseline_key(report), report.counters, report.seconds, report.active_cores
+    )
+
+
+def check_entry(
     path: str,
+    key: str,
+    counters: Dict[str, int],
+    seconds: float,
     counter_rtol: float = 0.0,
     seconds_rtol: float = SECONDS_RTOL,
 ) -> List[str]:
-    """Compare a report against its baseline entry.
+    """Compare one configuration against its baseline entry.
 
     Returns human-readable violation lines (empty list = clean).  A
     missing entry is itself a violation: the check must never silently
@@ -88,7 +113,6 @@ def check_report(
         data = load_baselines(path)
     except (OSError, ValueError) as exc:
         return [f"baseline file unusable: {exc}"]
-    key = baseline_key(report)
     entry = data["entries"].get(key)
     if entry is None:
         return [
@@ -98,7 +122,7 @@ def check_report(
     violations: List[str] = []
     base_counters: Dict[str, Any] = entry.get("counters", {})
     for name, expected in base_counters.items():
-        actual = report.counters.get(name)
+        actual = counters.get(name)
         if actual is None:
             violations.append(f"counter {name} missing from run (baseline {expected})")
             continue
@@ -107,21 +131,38 @@ def check_report(
                 f"counter {name}: baseline {expected}, run {actual} "
                 f"({_drift(expected, actual)})"
             )
-    for name in report.counters:
+    for name in counters:
         if name not in base_counters:
             violations.append(
-                f"counter {name} not in baseline (run {report.counters[name]}); "
+                f"counter {name} not in baseline (run {counters[name]}); "
                 "re-save the baseline to adopt new counters"
             )
     expected_seconds = entry.get("seconds")
     if expected_seconds is not None and not _within(
-        expected_seconds, report.seconds, seconds_rtol
+        expected_seconds, seconds, seconds_rtol
     ):
         violations.append(
-            f"seconds: baseline {expected_seconds!r}, run {report.seconds!r} "
-            f"({_drift(expected_seconds, report.seconds)})"
+            f"seconds: baseline {expected_seconds!r}, run {seconds!r} "
+            f"({_drift(expected_seconds, seconds)})"
         )
     return violations
+
+
+def check_report(
+    report: ProfileReport,
+    path: str,
+    counter_rtol: float = 0.0,
+    seconds_rtol: float = SECONDS_RTOL,
+) -> List[str]:
+    """Compare a profile report against its baseline entry."""
+    return check_entry(
+        path,
+        baseline_key(report),
+        report.counters,
+        report.seconds,
+        counter_rtol=counter_rtol,
+        seconds_rtol=seconds_rtol,
+    )
 
 
 def _within(expected: float, actual: float, rtol: float) -> bool:

@@ -57,6 +57,11 @@ def core_counters(work: "CoreWork", snap: "HierarchySnapshot") -> "OrderedDict[s
     for name in ("loads", "stores", "flops"):
         out[f"ops.vector.{name}"] = getattr(work.vector, name)
     out["trace.segments"] = work.segments
+    # Simulated-PMU counters (pmu.<level>.<3c-class>, pmu.prefetch.*) ride
+    # along whenever the run was simulated with ``pmu=True``; the snapshot
+    # keys are already registry-style dotted names.
+    for name, value in snap.pmu.items():
+        out[name] = value
     return out
 
 

@@ -32,7 +32,11 @@ from repro.experiments.config import (
     TRANSPOSE_SIZES,
 )
 from repro.ir.program import Program
-from repro.metrics.roofline import roofline_point
+from repro.metrics.roofline import (
+    measured_roofline_point,
+    measured_traffic_bytes,
+    roofline_point,
+)
 from repro.profiling import tracer
 from repro.profiling.counters import counter_set, per_core_counter_sets
 from repro.simulate import SimulationResult, simulate
@@ -82,14 +86,25 @@ class ProfileReport:
 
 
 def _resolve(name: str, options, what: str) -> str:
-    """Case-insensitive lookup with a helpful error."""
+    """Case-insensitive lookup, accepting any unambiguous prefix.
+
+    ``--device visionfive`` resolves to ``visionfive_jh7100``; an exact
+    match always wins over being a prefix of something longer.
+    """
     by_lower = {str(opt).lower(): str(opt) for opt in options}
-    try:
-        return by_lower[name.lower()]
-    except KeyError:
+    lowered = name.lower()
+    if lowered in by_lower:
+        return by_lower[lowered]
+    prefixed = [full for low, full in by_lower.items() if low.startswith(lowered)]
+    if len(prefixed) == 1:
+        return prefixed[0]
+    if len(prefixed) > 1:
         raise ProfileError(
-            f"unknown {what} {name!r}; known: {', '.join(str(o) for o in options)}"
+            f"ambiguous {what} {name!r}; matches: {', '.join(sorted(prefixed))}"
         )
+    raise ProfileError(
+        f"unknown {what} {name!r}; known: {', '.join(str(o) for o in options)}"
+    )
 
 
 def _variants(kernel: str) -> List[str]:
@@ -184,8 +199,11 @@ def profile_run(
         )
         if device.cpu.vector_bits:
             program = AutoVectorize().run(program)
-        result = simulate(program, device, active_cores=cores, **sim_kwargs)
+        result = simulate(program, device, active_cores=cores, pmu=True, **sim_kwargs)
         roofline = roofline_point(program, device, bandwidth_gbs=device.dram.bandwidth_gbs)
+        measured = measured_roofline_point(
+            result, device, bandwidth_gbs=device.dram.bandwidth_gbs
+        )
         achieved_gflops = (
             result.total_ops.flops / result.seconds / 1e9 if result.seconds > 0 else 0.0
         )
@@ -204,12 +222,15 @@ def profile_run(
             per_core_attribution=[a.as_dict() for a in result.timing.attribution],
             roofline={
                 "arithmetic_intensity": roofline.arithmetic_intensity,
+                "measured_intensity": measured.arithmetic_intensity,
                 "peak_gflops": roofline.peak_gflops,
                 "bandwidth_gbs": roofline.bandwidth_gbs,
                 "attainable_gflops": roofline.attainable_gflops,
+                "measured_attainable_gflops": measured.attainable_gflops,
                 "achieved_gflops": achieved_gflops,
                 "achieved_dram_gbs": result.achieved_dram_gbs,
                 "memory_bound": roofline.memory_bound,
+                "measured_traffic_bytes": measured_traffic_bytes(result),
             },
         )
     return report, result
@@ -255,4 +276,10 @@ def render_report(report: ProfileReport) -> str:
         f"achieved {roof['achieved_gflops']:.4g} GF/s ({pct:.0f}% of roof); "
         f"DRAM {roof['achieved_dram_gbs']:.3g}/{roof['bandwidth_gbs']:.3g} GB/s"
     )
+    if "measured_intensity" in roof:
+        roofline_line += (
+            f"\nmeasured: AI {roof['measured_intensity']:.4g} flop/B "
+            f"(per real DRAM byte moved), "
+            f"attainable {roof['measured_attainable_gflops']:.4g} GF/s"
+        )
     return "\n\n".join([header, wall, counter_table, attr_table, roofline_line])

@@ -51,6 +51,7 @@ class Span:
     seq: int                  # global start order, for stable sorting
     args: Dict[str, Any] = field(default_factory=dict)
     pid: int = TRACE_PID      # trace process id (worker spans differ)
+    ph: str = "X"             # trace-event phase: "X" span, "C" counter
 
 
 class Tracer:
@@ -122,6 +123,32 @@ class Tracer:
             )
         )
 
+    def counter(self, name: str, values: Dict[str, Any], tid: Optional[int] = None) -> None:
+        """A counter sample (Chrome trace 'C' phase).
+
+        ``values`` maps series name -> numeric value; Perfetto renders each
+        distinct ``name`` as its own stacked counter track sampled at this
+        timestamp.  Pass ``tid`` to pin the sample to a logical track (the
+        simulator uses per-core tracks); it defaults to the calling thread.
+        """
+        now = time.perf_counter()
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        self.spans.append(
+            Span(
+                name=name,
+                cat="counter",
+                start_us=(now - self._epoch) * 1e6,
+                dur_us=0.0,
+                tid=self._tid() if tid is None else tid,
+                depth=0,
+                seq=seq,
+                args=dict(values),
+                ph="C",
+            )
+        )
+
     # -- export ------------------------------------------------------------
 
     def chrome_events(self) -> List[Dict[str, Any]]:
@@ -135,12 +162,13 @@ class Tracer:
         for span in sorted(self.spans, key=lambda s: (s.start_us, s.seq)):
             event: Dict[str, Any] = {
                 "name": span.name,
-                "ph": "X",
+                "ph": span.ph,
                 "ts": round(span.start_us, 3),
-                "dur": round(span.dur_us, 3),
                 "pid": span.pid,
                 "tid": span.tid,
             }
+            if span.ph == "X":
+                event["dur"] = round(span.dur_us, 3)
             if span.cat:
                 event["cat"] = span.cat
             if span.args:
@@ -171,6 +199,7 @@ class Tracer:
                 "seq": s.seq,
                 "args": s.args,
                 "pid": s.pid,
+                "ph": s.ph,
             }
             for s in self.spans
         ]
@@ -197,6 +226,7 @@ class Tracer:
                         seq=seq,
                         args=dict(raw.get("args") or {}),
                         pid=int(pid),
+                        ph=str(raw.get("ph", "X")),
                     )
                 )
 
@@ -214,6 +244,8 @@ class Tracer:
             for span in ordered:
                 if (span.pid, span.tid) != (pid, tid) or span.dur_us < min_us:
                     continue
+                if span.ph != "X":
+                    continue  # counter samples belong in the Chrome trace
                 indent = "  " * span.depth
                 extra = ""
                 if span.args:
@@ -269,6 +301,13 @@ def instant(name: str, cat: str = "", **args: Any) -> None:
     tracer = _CURRENT
     if tracer is not None:
         tracer.instant(name, cat, **args)
+
+
+def counter(name: str, values: Dict[str, Any], tid: Optional[int] = None) -> None:
+    """Record a counter sample (no-op when tracing is off)."""
+    tracer = _CURRENT
+    if tracer is not None:
+        tracer.counter(name, values, tid=tid)
 
 
 @contextmanager

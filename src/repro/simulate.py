@@ -21,10 +21,11 @@ from typing import Dict, List, Optional
 from repro.analysis.opcount import OpCounts
 from repro.devices.spec import DeviceSpec
 from repro.errors import SimulationError
-from repro.exec.trace import CoreWork
+from repro.exec.trace import CoreWork, RefInfo
 from repro.exec.tracegen import TraceGenerator
 from repro.ir.program import Program
 from repro.ir.stmt import For, walk_stmts
+from repro.memsim.pmu import Pmu
 from repro.memsim.stats import HierarchySnapshot, snapshot
 from repro.profiling import tracer
 from repro.timing.model import TimingResult, time_run
@@ -47,6 +48,11 @@ class SimulationResult:
     timing: TimingResult
     works: List[CoreWork] = field(default_factory=list)
     snapshots: List[HierarchySnapshot] = field(default_factory=list)
+    # PMU attribution state (populated only when ``simulate(..., pmu=True)``):
+    # one live Pmu per core plus the reference-id -> RefInfo join table used
+    # by ``repro perf annotate`` to map counters back onto IR statements.
+    pmus: List[Pmu] = field(default_factory=list)
+    ref_table: Dict[int, RefInfo] = field(default_factory=dict)
 
     @property
     def dram_bytes(self) -> int:
@@ -85,6 +91,7 @@ def simulate(
     steady_state: bool = False,
     flush_writebacks: bool = False,
     check_capacity: bool = True,
+    pmu: bool = False,
 ) -> SimulationResult:
     """Simulate one run of ``program`` on ``device``.
 
@@ -107,6 +114,14 @@ def simulate(
     check_capacity:
         Raise :class:`~repro.errors.OutOfMemoryError` when the working set
         exceeds device DRAM (Fig. 2's missing Mango Pi bars at 16384^2).
+    pmu:
+        Attach a simulated PMU to every core's hierarchy: classify each
+        miss via the 3C model, keep per-set conflict histograms and
+        prefetch-accuracy counters, and attribute everything back to the
+        emitting IR statement.  PMU counters are monotonic across
+        repetitions (snapshot deltas subtract them like any other
+        counter), and the classification is purely observational — cache
+        contents and timing are byte-for-byte identical with it off.
     """
     if repetitions < 1:
         raise SimulationError("repetitions must be >= 1")
@@ -124,6 +139,9 @@ def simulate(
     ):
         with tracer.span("build_hierarchies", cat="sim"):
             hierarchies = device.build_hierarchies(active_cores)
+        pmus: List[Pmu] = []
+        if pmu:
+            pmus = [h.attach_pmu() for h in hierarchies]
         with tracer.span("tracegen.plan", cat="tracegen"):
             generator = TraceGenerator(program, num_cores=active_cores)
 
@@ -148,6 +166,12 @@ def simulate(
             # after the loop it holds exactly this repetition's counts;
             # accumulate so ``works`` always matches the snapshot deltas.
             works = [acc.merge(one) for acc, one in zip(works, generator.work)]
+            for core, core_pmu in enumerate(pmus):
+                # Chrome-trace counter track per core: cumulative PMU
+                # counters sampled at each repetition boundary.
+                tracer.counter(
+                    f"pmu.core{core}", dict(core_pmu.counters()), tid=core + 1
+                )
 
         if flush_writebacks:
             with tracer.span("flush_writebacks", cat="memsim"):
@@ -166,4 +190,6 @@ def simulate(
         timing=timing,
         works=works,
         snapshots=deltas,
+        pmus=pmus,
+        ref_table=generator.references() if pmu else {},
     )

@@ -293,4 +293,12 @@ def time_run(
         raise SimulationError("need one snapshot per core's work summary")
     with tracer.span("timing", cat="timing", device=device.key, cores=len(works)):
         per_core = [time_core(device, w, s) for w, s in zip(works, snapshots)]
-        return combine(device, per_core, active_cores)
+        result = combine(device, per_core, active_cores)
+        # Chrome counter track next to the spans: where each core's share
+        # of the wall-clock went, so trace viewers can plot attribution
+        # alongside the PMU counters simulate() emits.
+        for core_id, attr in enumerate(result.attribution):
+            tracer.counter(
+                f"timing.core{core_id}", attr.as_dict(), tid=core_id + 1
+            )
+        return result

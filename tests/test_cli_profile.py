@@ -35,9 +35,14 @@ def test_profile_trace_chrome_schema(tmp_path, capsys):
     events = json.loads(trace_path.read_text())
     assert isinstance(events, list) and events
     for event in events:
-        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
-        assert event["ph"] == "X"
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+        assert event["ph"] in ("X", "C")
+        # Chrome counter events carry values in args and must NOT have dur.
+        assert ("dur" in event) == (event["ph"] == "X")
     assert {"profile", "simulate", "timing"} <= {e["name"] for e in events}
+    counters = [e for e in events if e["ph"] == "C"]
+    assert any(e["name"].startswith("pmu.core") for e in counters)
+    assert any(e["name"].startswith("timing.core") for e in counters)
 
 
 def test_profile_tree_flag(capsys):

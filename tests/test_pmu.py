@@ -1,0 +1,211 @@
+"""The simulated PMU: 3C miss classification, passivity, counter merge.
+
+Closed-form cases pin each 3C class with a trace where the taxonomy has
+exactly one right answer; the hypothesis suite then checks the class
+decomposition and the passivity contract on arbitrary segment mixes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.trace import Segment
+from repro.memsim import (
+    Cache,
+    MemoryHierarchy,
+    NO_PREFETCH,
+    U74_PREFETCH,
+    snapshot,
+)
+from repro.memsim.pmu import CAPACITY, COMPULSORY, CONFLICT, MISS_CLASSES
+from repro.memsim.stats import add_counters
+
+LINE = 64
+
+
+def seg(base, stride, count, write=False, esize=8, ref=0):
+    return Segment(ref, base, stride, count, write, esize)
+
+
+def small_hierarchy(prefetch=NO_PREFETCH):
+    """One 4 KiB 4-way L1 (64 lines, 16 sets) — tiny enough to overflow."""
+    return MemoryHierarchy([Cache("L1", 4096, 4)], prefetch=prefetch)
+
+
+class TestClosedForm3C:
+    def test_streaming_is_all_compulsory(self):
+        h = small_hierarchy()
+        pmu = h.attach_pmu()
+        h.run([seg(0, 8, 512)])  # 4 KiB sequential: 64 distinct lines
+        lvl = pmu.level("L1")
+        assert lvl.compulsory == 64
+        assert lvl.capacity == 0
+        assert lvl.conflict == 0
+        assert lvl.misses == snapshot(h).levels[0].misses == 64
+
+    def test_oversized_rewalk_is_all_capacity(self):
+        # Walk twice the cache's 64-line capacity, twice.  Every second-pass
+        # reuse distance is 128 lines, so the fully-associative shadow has
+        # also evicted the line: the working set simply does not fit.
+        h = small_hierarchy()
+        pmu = h.attach_pmu()
+        walk = seg(0, 8, 1024)  # 8 KiB: 128 distinct lines
+        h.run([walk, walk])
+        lvl = pmu.level("L1")
+        assert lvl.compulsory == 128
+        assert lvl.capacity == 128
+        assert lvl.conflict == 0
+
+    def test_set_aliasing_is_all_conflict(self):
+        # Five lines, all landing in set 0 of a 4-way cache (stride = one
+        # full row of sets).  They fit the capacity 16x over, so on the
+        # second pass the shadow still holds every line: only the set
+        # mapping evicted them.
+        h = small_hierarchy()
+        pmu = h.attach_pmu()
+        aliasing = seg(0, 16 * LINE, 5)
+        h.run([aliasing, aliasing])
+        lvl = pmu.level("L1")
+        assert lvl.compulsory == 5
+        assert lvl.capacity == 0
+        assert lvl.conflict == 5
+        assert lvl.set_conflicts == {0: 5}
+
+    def test_counters_view_names(self):
+        h = small_hierarchy()
+        pmu = h.attach_pmu()
+        h.run([seg(0, 8, 64)])
+        counters = pmu.counters()
+        for cls in MISS_CLASSES:
+            assert f"pmu.L1.{cls}" in counters
+        assert counters["pmu.L1.compulsory"] == 8
+
+    def test_per_ref_attribution_partitions_misses(self):
+        h = small_hierarchy()
+        pmu = h.attach_pmu()
+        h.run([seg(0, 8, 512, ref=1), seg(8192, 8, 512, ref=2)])
+        lvl = pmu.level("L1")
+        assert set(lvl.per_ref) == {1, 2}
+        assert [sum(t) for t in (lvl.per_ref[1], lvl.per_ref[2])] == [64, 64]
+        by_class = [0, 0, 0]
+        for triple in lvl.per_ref.values():
+            for cls in (COMPULSORY, CAPACITY, CONFLICT):
+                by_class[cls] += triple[cls]
+        assert by_class == [lvl.compulsory, lvl.capacity, lvl.conflict]
+
+
+segments = st.lists(
+    st.builds(
+        seg,
+        base=st.integers(0, 4 * 4096),
+        stride=st.sampled_from([-64, -8, 0, 8, 16, 64, 512, 1024]),
+        count=st.integers(1, 200),
+        write=st.booleans(),
+        ref=st.integers(0, 3),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(segments=segments)
+    def test_three_cs_partition_misses(self, segments):
+        h = MemoryHierarchy(
+            [Cache("L1", 4096, 4), Cache("L2", 16 * 1024, 8)],
+            prefetch=U74_PREFETCH,
+        )
+        pmu = h.attach_pmu()
+        h.run(segments)
+        snap = snapshot(h)
+        for index, lvl in enumerate(pmu.levels):
+            assert lvl.compulsory + lvl.capacity + lvl.conflict == lvl.misses
+            assert lvl.misses == snap.levels[index].misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(segments=segments)
+    def test_pmu_is_passive(self, segments):
+        def build():
+            return MemoryHierarchy(
+                [Cache("L1", 4096, 4), Cache("L2", 16 * 1024, 8)],
+                prefetch=U74_PREFETCH,
+                tlb=None,
+            )
+
+        plain, observed = build(), build()
+        observed.attach_pmu()
+        plain.run(segments)
+        observed.run(segments)
+        bare, with_pmu = snapshot(plain), snapshot(observed)
+        assert with_pmu.pmu  # the PMU did record something
+        assert bare.as_dict() == {
+            k: v for k, v in with_pmu.as_dict().items() if not k.startswith("pmu.")
+        }
+
+    @settings(max_examples=40, deadline=None)
+    @given(segments=segments)
+    def test_prefetch_issued_partitions_into_useful_and_polluting(self, segments):
+        h = small_hierarchy(prefetch=U74_PREFETCH)
+        pmu = h.attach_pmu()
+        h.run(segments)
+        counters = pmu.counters()
+        assert (
+            counters["pmu.prefetch.issued"]
+            == counters["pmu.prefetch.useful"] + counters["pmu.prefetch.polluting"]
+        )
+
+
+counter_dicts = st.dictionaries(
+    st.sampled_from(["pmu.L1.conflict", "pmu.L1.capacity", "L1.misses", "dram.bytes"]),
+    st.integers(0, 10**6),
+    max_size=4,
+)
+
+
+class TestCounterMerge:
+    @settings(max_examples=60, deadline=None)
+    @given(a=counter_dicts, b=counter_dicts, c=counter_dicts)
+    def test_add_counters_associative_and_commutative(self, a, b, c):
+        assert add_counters(add_counters(a, b), c) == add_counters(a, add_counters(b, c))
+        assert add_counters(a, b) == add_counters(b, a)
+
+    def test_add_counters_identity(self):
+        assert add_counters({"x": 3}, {}) == {"x": 3}
+        assert add_counters() == {}
+
+
+class TestSimulatePlumbing:
+    def test_simulate_pmu_counters_merge_into_counter_set(self):
+        from repro.devices import get_device
+        from repro.kernels import transpose
+        from repro.profiling.counters import counter_set
+        from repro.simulate import simulate
+
+        device = get_device("mango_pi_d1")
+        result = simulate(transpose.naive(64), device, pmu=True)
+        counters = counter_set(result)
+        assert counters["pmu.L1.compulsory"] > 0
+        total_3c = sum(counters[f"pmu.L1.{cls}"] for cls in MISS_CLASSES)
+        assert total_3c == counters["L1.misses"]
+        assert result.pmus and result.ref_table
+
+    def test_simulate_pmu_off_by_default(self):
+        from repro.devices import get_device
+        from repro.kernels import transpose
+        from repro.simulate import simulate
+
+        result = simulate(transpose.naive(64), get_device("mango_pi_d1"))
+        assert result.pmus == []
+        assert all(not s.pmu for s in result.snapshots)
+
+    def test_simulate_pmu_passivity_end_to_end(self):
+        from repro.devices import get_device
+        from repro.kernels import transpose
+        from repro.simulate import simulate
+
+        device = get_device("visionfive_jh7100")
+        program = transpose.blocking(96, block=16)
+        bare = simulate(program, device)
+        observed = simulate(program, device, pmu=True)
+        assert observed.seconds == pytest.approx(bare.seconds, rel=0, abs=0)
+        assert observed.dram_bytes == bare.dram_bytes
