@@ -19,6 +19,7 @@ Usage::
     repro perf annotate transpose Naive --device visionfive --level L1
     repro perf diff transpose Naive Blocking --device visionfive
     repro perf stat transpose Naive --device mango --check --openmetrics perf.om
+    repro serve --port 8321 --jobs 2 --queue-max 8 --rate 5
 
 (The ``repro`` console script is an alias, so ``repro profile ...`` works
 as well.)
@@ -47,6 +48,9 @@ annotation (``annotate``), or a side-by-side variant comparison
 (``diff``); ``--openmetrics`` additionally writes the counters in
 OpenMetrics/Prometheus text format, and ``--save-baseline`` /
 ``--check`` maintain the committed ``benchmarks/perf_baseline.json``.
+``serve`` runs the fault-tolerant simulation-as-a-service tier
+(:mod:`repro.serve`): HTTP/JSON job submission with admission control,
+duplicate coalescing, a circuit breaker and graceful SIGTERM drain.
 
 Diagnostics (progress, warnings, failure summaries) go through
 ``logging`` — quiet them with ``--quiet`` or amplify with ``-v`` —
@@ -851,6 +855,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return perf_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.server import main as serve_main
+
+        return serve_main(argv[1:])
     return figures_main(argv)
 
 

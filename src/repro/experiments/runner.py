@@ -123,6 +123,7 @@ class Runner:
         key: Tuple,
         build: Callable[[], Program],
         device: DeviceSpec,
+        policy: Optional[RetryPolicy] = None,
         **simulate_kwargs,
     ) -> RunRecord:
         """Simulate ``build()`` on ``device`` unless already cached.
@@ -132,7 +133,7 @@ class Runner:
         — figure harnesses that want graceful degradation use
         :meth:`run_supervised` instead.
         """
-        outcome = self.run_supervised(key, build, device, **simulate_kwargs)
+        outcome = self.run_supervised(key, build, device, policy=policy, **simulate_kwargs)
         if outcome.ok:
             return outcome.value
         if outcome.error is not None:
@@ -144,11 +145,17 @@ class Runner:
         key: Tuple,
         build: Callable[[], Program],
         device: DeviceSpec,
+        policy: Optional[RetryPolicy] = None,
         **simulate_kwargs,
     ) -> Outcome:
         """Like :meth:`run` but never raises: returns a structured
         :class:`~repro.runtime.Outcome` whose ``value`` is the
-        :class:`RunRecord` on completion."""
+        :class:`RunRecord` on completion.
+
+        ``policy`` overrides the runner-level retry/deadline policy for
+        this one call — the serve tier maps per-job deadlines onto
+        supervision budgets this way.
+        """
         disk_key = canonical_key(key)
         if key in self._memory:
             return Outcome(
@@ -183,7 +190,7 @@ class Runner:
                 counters=dict(counter_set(result)) if with_pmu else {},
             )
 
-        policy = self._policy or RetryPolicy.from_env()
+        policy = policy or self._policy or RetryPolicy.from_env()
 
         # Cross-process dogpile protection: take the per-key lockfile so
         # a sibling worker computing the same key finishes first, then

@@ -16,6 +16,12 @@ Counter families:
 * ``repro_sim_seconds`` — simulated wall-clock (a gauge).
 
 Every sample carries ``kernel``, ``variant`` and ``device`` labels.
+
+The module also exposes the low-level building blocks —
+:func:`format_labels`, :func:`format_sample` and
+:func:`render_exposition` — so other exporters (the ``repro serve``
+``/metrics`` endpoint) produce the same dialect without duplicating the
+escaping and family-ordering rules.
 """
 
 from __future__ import annotations
@@ -29,9 +35,42 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def _labels(pairs: Iterable[Tuple[str, str]]) -> str:
+def format_labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    """``{key="value",...}`` with OpenMetrics escaping applied."""
     body = ",".join(f'{key}="{_escape(str(value))}"' for key, value in pairs)
     return "{" + body + "}"
+
+
+def format_sample(name: str, labels: Iterable[Tuple[str, str]], value) -> str:
+    """One exposition line: ``name{labels} value``."""
+    pairs = list(labels)
+    rendered = format_labels(pairs) if pairs else ""
+    return f"{name}{rendered} {value}"
+
+
+def render_exposition(
+    families: "Dict[str, Tuple[str, str]]",
+    samples: "Dict[str, List[str]]",
+    terminate: bool = True,
+) -> str:
+    """Assemble ``# TYPE``/``# HELP`` headers plus samples per family.
+
+    Families with no samples are omitted; ``terminate`` appends the
+    ``# EOF`` marker (leave it off when concatenating expositions).
+    """
+    out: List[str] = []
+    for name, (family_type, help_text) in families.items():
+        if not samples.get(name):
+            continue
+        out.append(f"# TYPE {name} {family_type}")
+        out.append(f"# HELP {name} {help_text}")
+        out.extend(samples[name])
+    if terminate:
+        out.append("# EOF")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+_labels = format_labels  # historical internal spelling
 
 
 def render_openmetrics(cells) -> str:
@@ -86,12 +125,4 @@ def render_openmetrics(cells) -> str:
             f"repro_sim_seconds{_labels(base)} {cell.seconds!r}"
         )
 
-    out: List[str] = []
-    for name, (family_type, help_text) in families.items():
-        if not samples[name]:
-            continue
-        out.append(f"# TYPE {name} {family_type}")
-        out.append(f"# HELP {name} {help_text}")
-        out.extend(samples[name])
-    out.append("# EOF")
-    return "\n".join(out) + "\n"
+    return render_exposition(families, samples)

@@ -38,6 +38,7 @@ from repro.runtime.journal import (
     Journal,
     JournalEntry,
     default_journal_path,
+    journal_segments,
     read_journal,
     summarize,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "default_journal_path",
     "install_faults",
     "jobs_from_env",
+    "journal_segments",
     "read_journal",
     "record_digest",
     "summarize",

@@ -24,6 +24,17 @@ every append holds a cross-process lockfile
 (:class:`repro.runtime.locks.FileLock`) around the write — lines can
 never tear into each other even on filesystems without atomic
 ``O_APPEND`` semantics for the line size.
+
+Long-running processes (the ``repro serve`` tier) would grow an
+append-only file without bound, so the journal supports size-based
+**rotation**: when the active file exceeds ``max_bytes`` after an
+append, it is rotated to ``<path>.1`` (shifting ``.1 → .2`` and so on)
+under the same cross-process lock, keeping at most ``max_segments``
+rotated segments.  ``REPRO_JOURNAL_MAX_BYTES`` (0 disables rotation,
+the default for batch runs) and ``REPRO_JOURNAL_SEGMENTS`` configure
+it from the environment.  :func:`read_journal` reads across all
+segments oldest-first, so ``repro status`` and the serve progress
+endpoints see one continuous history.
 """
 
 from __future__ import annotations
@@ -47,6 +58,22 @@ JOURNAL_BASENAME = ".repro_journal.jsonl"
 SOURCE_SIMULATED = "simulated"
 SOURCE_DISK_CACHE = "disk-cache"
 
+#: Rotation env knobs; 0 max bytes means "never rotate".
+ENV_MAX_BYTES = "REPRO_JOURNAL_MAX_BYTES"
+ENV_SEGMENTS = "REPRO_JOURNAL_SEGMENTS"
+DEFAULT_MAX_SEGMENTS = 4
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        LOG.warning("ignoring non-integer %s=%r", name, raw)
+        return default
+
 
 @dataclass
 class JournalEntry:
@@ -63,10 +90,28 @@ class JournalEntry:
 
 
 class Journal:
-    """Appends entries to a JSONL file; a ``None`` path disables it."""
+    """Appends entries to a JSONL file; a ``None`` path disables it.
 
-    def __init__(self, path: Optional[str]):
+    ``max_bytes``/``max_segments`` bound the on-disk footprint via
+    size-based rotation; ``None`` defers to the environment knobs
+    (``REPRO_JOURNAL_MAX_BYTES`` / ``REPRO_JOURNAL_SEGMENTS``), whose
+    defaults keep rotation off for short-lived batch runs.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str],
+        max_bytes: Optional[int] = None,
+        max_segments: Optional[int] = None,
+    ):
         self.path = path
+        self.max_bytes = (
+            _env_int(ENV_MAX_BYTES, 0) if max_bytes is None else max(0, int(max_bytes))
+        )
+        self.max_segments = max(1, (
+            _env_int(ENV_SEGMENTS, DEFAULT_MAX_SEGMENTS)
+            if max_segments is None else int(max_segments)
+        ))
 
     def record(self, key: str, outcome: Outcome, source: str = SOURCE_SIMULATED) -> None:
         from repro.runtime.workpool import current_worker_id
@@ -96,11 +141,43 @@ class Journal:
                 try:
                     with open(self.path, "a") as fh:
                         fh.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
+                        fh.flush()
+                        size = fh.tell()
+                    if self.max_bytes and size > self.max_bytes and locked:
+                        # Rotation shifts whole files, so it must happen
+                        # under the same lock that serializes appends —
+                        # a lockless appender could otherwise write into
+                        # a file that is mid-rename.  If we could not
+                        # take the lock we simply skip rotating this
+                        # time; a later locked append will catch up.
+                        self._rotate()
                 finally:
                     if locked:
                         lock.release()
         except OSError as exc:
             LOG.warning("journal %s not appended: %s", self.path, exc)
+
+    def _rotate(self) -> None:
+        """Shift ``path → path.1 → … → path.N``; called under the lock."""
+        try:
+            os.unlink(f"{self.path}.{self.max_segments}")
+        except OSError:
+            pass
+        for index in range(self.max_segments - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                try:
+                    os.replace(source, f"{self.path}.{index + 1}")
+                except OSError as exc:
+                    LOG.warning("journal segment %s not rotated: %s", source, exc)
+        try:
+            os.replace(self.path, f"{self.path}.1")
+            LOG.info(
+                "journal %s rotated (> %d bytes, keeping %d segments)",
+                self.path, self.max_bytes, self.max_segments,
+            )
+        except OSError as exc:
+            LOG.warning("journal %s not rotated: %s", self.path, exc)
 
 
 def default_journal_path(cache_path: str) -> str:
@@ -108,17 +185,33 @@ def default_journal_path(cache_path: str) -> str:
     return os.path.join(os.path.dirname(os.path.abspath(cache_path)), JOURNAL_BASENAME)
 
 
+def journal_segments(path: str) -> List[str]:
+    """Existing journal files oldest-first: rotated segments (highest
+    index is oldest) followed by the active file."""
+    if not path:
+        return []
+    segments: List[str] = []
+    index = 1
+    while os.path.exists(f"{path}.{index}"):
+        segments.append(f"{path}.{index}")
+        index += 1
+    segments.reverse()
+    if os.path.exists(path):
+        segments.append(path)
+    return segments
+
+
 def read_journal(path: str) -> List[JournalEntry]:
-    """Parse a journal file, skipping unparseable lines (torn writes)."""
+    """Parse a journal (all rotated segments plus the active file,
+    oldest-first), skipping unparseable lines (torn writes)."""
     entries: List[JournalEntry] = []
-    if not path or not os.path.exists(path):
-        return entries
-    try:
-        with open(path) as fh:
-            lines = fh.readlines()
-    except OSError as exc:
-        LOG.warning("journal %s unreadable: %s", path, exc)
-        return entries
+    lines: List[str] = []
+    for segment in journal_segments(path):
+        try:
+            with open(segment) as fh:
+                lines.extend(fh.readlines())
+        except OSError as exc:
+            LOG.warning("journal %s unreadable: %s", segment, exc)
     for line in lines:
         line = line.strip()
         if not line:

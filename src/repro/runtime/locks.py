@@ -9,9 +9,15 @@ third-party dependency.  The primitive here is the classic lockfile:
   atomic operation on every platform Python supports — and writes the
   holder's pid and timestamp into it for diagnostics;
 * a holder that crashed leaves its lockfile behind; a waiter reclaims a
-  lock whose file is older than ``stale_after_s`` by deleting it and
-  retrying (the deletion itself may race with another waiter, which is
-  fine: only one ``O_EXCL`` create wins afterwards);
+  lock whose file is older than ``stale_after_s``.  Reclaim must not
+  race: between observing the stale file and deleting it, another waiter
+  may already have reclaimed and re-created a *fresh* lock, and a blind
+  ``unlink`` would then destroy that fresh lock and let two processes
+  hold it.  Reclaim therefore renames the lockfile to a private
+  graveyard name first (``rename`` is atomic, exactly one waiter wins),
+  verifies the renamed file is the same inode/mtime observed at stat
+  time, and only then deletes it; a fresh lock grabbed by mistake is
+  put back via ``link`` (which refuses to clobber a newer lock);
 * acquisition is bounded by ``timeout_s``.  Callers for whom the lock is
   an optimisation rather than a correctness requirement (e.g. the cache's
   merge-save, which is still atomic via ``os.replace`` without it) may
@@ -20,12 +26,23 @@ third-party dependency.  The primitive here is the classic lockfile:
 
 from __future__ import annotations
 
+import itertools
 import logging
 import os
 import time
 from typing import Optional
 
 LOG = logging.getLogger("repro.runtime.locks")
+
+#: Distinguishes concurrent graveyard names within one process.
+_RECLAIM_SEQ = itertools.count()
+
+
+def _reclaim_race_window() -> None:
+    """Test seam: the instant between observing a stale lock and claiming
+    it, where another waiter may reclaim and re-create the lock.  The
+    two-waiter regression test monkeypatches this to force the interleave
+    deterministically; production code never overrides it."""
 
 #: A lock older than this is presumed to belong to a dead process.
 DEFAULT_STALE_AFTER_S = 60.0
@@ -74,22 +91,63 @@ class FileLock:
         return True
 
     def _reclaim_if_stale(self) -> bool:
-        """Delete a lockfile whose holder looks dead; True if deleted."""
+        """Remove a lockfile whose holder looks dead; True if the path is
+        (or already was) free to re-create.
+
+        The naive stat-then-unlink sequence has a TOCTOU hole: another
+        waiter can reclaim and re-create the lock between our ``stat``
+        and our ``unlink``, and we would then delete its *fresh* lock.
+        Instead the stale file is claimed by an atomic rename to a
+        process-unique graveyard name — exactly one waiter can win —
+        and deleted only if the renamed file still has the identity
+        (inode + mtime) captured at stat time.
+        """
         try:
-            age = time.time() - os.stat(self.path).st_mtime
+            observed = os.stat(self.path)
         except OSError:
             return True  # gone already: someone else released/reclaimed it
+        age = time.time() - observed.st_mtime
         if age <= self.stale_after_s:
             return False
+        _reclaim_race_window()
+        grave = f"{self.path}.reclaim-{os.getpid()}-{next(_RECLAIM_SEQ)}"
         try:
-            os.unlink(self.path)
+            os.rename(self.path, grave)
+        except OSError:
+            return True  # lost the claim race; retry the create anyway
+        try:
+            claimed = os.stat(grave)
+        except OSError:
+            return True  # grave vanished under us; nothing left to judge
+        if (claimed.st_ino, claimed.st_mtime_ns) == (
+            observed.st_ino, observed.st_mtime_ns,
+        ):
+            # Confirmed: the file we grabbed is the stale lock we judged.
+            try:
+                os.unlink(grave)
+            except OSError:
+                pass
             LOG.warning(
                 "reclaimed stale lock %s (%.1fs old > %.1fs)",
                 self.path, age, self.stale_after_s,
             )
             return True
-        except OSError:
-            return True  # lost the reclaim race; retry the create anyway
+        # We grabbed a *fresh* lock re-created after our stat.  Put it
+        # back with link(), which fails rather than clobber yet another
+        # lock created in the meantime.
+        try:
+            os.link(grave, self.path)
+            os.unlink(grave)
+        except OSError as exc:
+            LOG.warning(
+                "could not restore fresh lock %s grabbed during reclaim: %s",
+                self.path, exc,
+            )
+            try:
+                os.unlink(grave)
+            except OSError:
+                pass
+        return False
 
     def acquire(self, timeout_s: Optional[float] = None) -> bool:
         """Take the lock; ``False`` when ``timeout_s`` elapses first."""

@@ -17,7 +17,13 @@ treats a single failed simulate call as fatal.  Every call runs through
 Transient errors (:class:`~repro.errors.TransientSimulationError`) are
 retried with exponential backoff plus deterministic jitter.  Environment
 knobs: ``REPRO_RETRIES`` (max attempts), ``REPRO_RETRY_BASE`` (base
-backoff seconds) and ``REPRO_DEADLINE`` (per-call deadline seconds).
+backoff seconds) and ``REPRO_DEADLINE`` (deadline seconds).
+
+The deadline is a **whole-call budget**: elapsed time — attempts plus
+backoff sleeps — is deducted as the call goes, each retry only gets what
+is left, and retrying stops early once the remaining budget cannot even
+cover the base backoff delay.  A flapping job therefore costs at most
+``deadline_s``, never ``max_attempts × deadline_s`` plus backoff.
 """
 
 from __future__ import annotations
@@ -77,7 +83,13 @@ class RetryPolicy:
     @classmethod
     def from_env(cls) -> "RetryPolicy":
         """Policy with ``REPRO_RETRIES`` / ``REPRO_RETRY_BASE`` /
-        ``REPRO_DEADLINE`` overrides applied (bad values are ignored)."""
+        ``REPRO_DEADLINE`` overrides applied.
+
+        Bad values are ignored and numeric values are clamped to
+        non-negative — a hostile ``REPRO_RETRY_BASE=-1`` must not reach
+        ``time.sleep`` and raise out of the supervisor.  A non-positive
+        deadline means "no deadline".
+        """
 
         def _get(name: str, cast, default):
             raw = os.environ.get(name)
@@ -88,10 +100,13 @@ class RetryPolicy:
             except ValueError:
                 return default
 
+        deadline = _get("REPRO_DEADLINE", float, cls.deadline_s)
+        if deadline is not None and deadline <= 0:
+            deadline = None
         return cls(
             max_attempts=max(1, _get("REPRO_RETRIES", int, cls.max_attempts)),
-            base_delay_s=_get("REPRO_RETRY_BASE", float, cls.base_delay_s),
-            deadline_s=_get("REPRO_DEADLINE", float, cls.deadline_s),
+            base_delay_s=max(0.0, _get("REPRO_RETRY_BASE", float, cls.base_delay_s)),
+            deadline_s=deadline,
         )
 
     def backoff(self, attempt: int, rng: random.Random) -> float:
@@ -148,6 +163,7 @@ def supervise(
     rng = rng or random.Random(0)
     start = time.monotonic()
     attempts = 0
+    budgeted = policy.deadline_s is not None and policy.deadline_s > 0
 
     def _finish(status: OutcomeStatus, **kw) -> Outcome:
         return Outcome(
@@ -158,10 +174,30 @@ def supervise(
             **kw,
         )
 
+    def _remaining() -> Optional[float]:
+        """Whole-call budget left; the deadline covers every attempt plus
+        the backoff between them, not each attempt afresh."""
+        if not budgeted:
+            return None
+        return policy.deadline_s - (time.monotonic() - start)
+
     while True:
+        remaining = _remaining()
+        if remaining is not None and remaining <= 0:
+            return _finish(
+                OutcomeStatus.TIMED_OUT,
+                error=BudgetExceededError(
+                    f"whole-call deadline of {policy.deadline_s:g}s exhausted "
+                    f"after {attempts} attempt{'s' if attempts != 1 else ''}"
+                ),
+                reason=(
+                    f"whole-call deadline of {policy.deadline_s:g}s exhausted "
+                    f"after {attempts} attempt{'s' if attempts != 1 else ''}"
+                ),
+            )
         attempts += 1
         try:
-            value = _call_with_deadline(fn, policy.deadline_s)
+            value = _call_with_deadline(fn, remaining)
             return _finish(OutcomeStatus.COMPLETED, value=value)
         except OutOfMemoryError as exc:
             return _finish(
@@ -176,7 +212,36 @@ def supervise(
                     error=exc,
                     reason=f"transient failure persisted after {attempts} attempts: {exc}",
                 )
-            sleep(policy.backoff(attempts, rng))
+            remaining = _remaining()
+            if remaining is not None and remaining < max(policy.base_delay_s, 1e-9):
+                # The leftover budget cannot cover even the base backoff:
+                # another attempt could only time out, so stop here.
+                return _finish(
+                    OutcomeStatus.FAILED,
+                    error=exc,
+                    reason=(
+                        f"transient failure after {attempts} attempts and the "
+                        f"remaining {max(0.0, remaining):.3g}s of the "
+                        f"{policy.deadline_s:g}s deadline cannot cover a retry: {exc}"
+                    ),
+                )
+            try:
+                delay = policy.backoff(attempts, rng)
+                if remaining is not None:
+                    delay = min(delay, remaining)
+                sleep(max(0.0, delay))
+            except Exception as sleep_exc:
+                # supervise() must never raise: a broken sleep/backoff
+                # (bad injected policy values, interrupted sleep) is a
+                # failure of this call, not of the caller.
+                return _finish(
+                    OutcomeStatus.FAILED,
+                    error=sleep_exc,
+                    reason=(
+                        f"retry backoff failed "
+                        f"({type(sleep_exc).__name__}: {sleep_exc}) after: {exc}"
+                    ),
+                )
         except Exception as exc:
             return _finish(
                 OutcomeStatus.FAILED,

@@ -144,6 +144,23 @@ class WorkPool:
             results.append(result)
         return results
 
+    def apply(self, fn: Callable[[Any], Any], task: Any) -> Any:
+        """Run one task (on a worker when parallel) and return its result.
+
+        The blocking single-task counterpart of :meth:`map`, used by the
+        serve tier to dispatch individual jobs from executor threads.
+        ``multiprocessing.Pool`` is thread-safe, so concurrent ``apply``
+        calls from different threads each occupy one worker.
+        """
+        if self.jobs <= 1:
+            return fn(task)
+        traced = tracer.current() is not None
+        result, spans, pid = self._get_pool().apply(_run_task, ((fn, task, traced),))
+        current = tracer.current()
+        if spans and current is not None:
+            current.absorb(spans, pid=pid)
+        return result
+
     # -- lifecycle -----------------------------------------------------------
 
     def _get_pool(self):

@@ -1,0 +1,45 @@
+"""``repro serve`` — fault-tolerant simulation-as-a-service.
+
+The batch pipeline's robustness pieces — checksummed :class:`RunCache`
+with canonical ``v2:`` keys, :func:`supervise` retry/deadline outcomes,
+``REPRO_FAULTS`` chaos injection, :class:`WorkPool` fan-out and the
+OpenMetrics exporter — become a long-running HTTP/JSON tier here:
+
+* :mod:`repro.serve.jobs` — job specs, validation, and the structured
+  ``completed | skipped | timed_out | failed | rejected`` job states;
+* :mod:`repro.serve.admission` — per-tenant token-bucket rate limits
+  and ``Retry-After`` estimation for the bounded queue;
+* :mod:`repro.serve.breaker` — the circuit breaker around the executor
+  (trips on repeated ``failed`` outcomes, half-opens on probe jobs);
+* :mod:`repro.serve.executor` — dispatches jobs onto the
+  :class:`~repro.runtime.WorkPool` (worker processes when ``--jobs``
+  > 1) through the supervised, cached, journalled runner;
+* :mod:`repro.serve.metrics` — serve counters (queue depth, admissions,
+  rejections, breaker state, latency quantiles) rendered through the
+  shared OpenMetrics exposition helpers;
+* :mod:`repro.serve.server` — the asyncio HTTP server: admission
+  control, duplicate coalescing on cache keys, ``/healthz`` /
+  ``/readyz`` / ``/metrics``, and graceful SIGTERM drain;
+* :mod:`repro.serve.client` — a small blocking client used by the
+  test-suite and the CI smoke job.
+"""
+
+from repro.serve.admission import RateLimiter, TokenBucket
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.jobs import Job, JobSpec, JobValidationError, TERMINAL_OUTCOMES
+from repro.serve.metrics import ServeMetrics
+from repro.serve.server import ReproServer, ServeConfig, ServerHandle
+
+__all__ = [
+    "CircuitBreaker",
+    "Job",
+    "JobSpec",
+    "JobValidationError",
+    "RateLimiter",
+    "ReproServer",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServerHandle",
+    "TERMINAL_OUTCOMES",
+    "TokenBucket",
+]

@@ -1,0 +1,90 @@
+"""Admission control: per-tenant token buckets and Retry-After hints.
+
+The serve tier protects the simulation executor with two gates before a
+job ever touches the bounded queue:
+
+* a per-tenant **token bucket** — each tenant refills at ``rate``
+  tokens/second up to ``burst``; a submission spends one token, and a
+  tenant with an empty bucket is rejected with ``429`` and a
+  ``Retry-After`` computed from the refill rate (how long until one
+  token exists again);
+* a **queue-wait estimate** — when the bounded queue is full the 429
+  carries a ``Retry-After`` derived from observed job durations, so
+  well-behaved clients back off for roughly one queue-drain interval
+  instead of hammering the server.
+
+Buckets use :func:`time.monotonic` and are refilled lazily on access, so
+an idle tenant costs nothing.  All state is touched only from the server
+event loop — no locks.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """Classic lazy-refill token bucket (``rate`` tokens/s, cap ``burst``)."""
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self._stamp = time.monotonic()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def take(self, now: Optional[float] = None) -> Tuple[bool, float]:
+        """Spend one token.  Returns ``(admitted, retry_after_s)``."""
+        now = time.monotonic() if now is None else now
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        if self.rate <= 0:
+            return False, 60.0  # bucket can never refill; arbitrary backoff
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-tenant token buckets; ``rate <= 0`` disables limiting."""
+
+    def __init__(self, rate: float, burst: Optional[float] = None):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, 2.0 * self.rate)
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def admit(self, tenant: str) -> Tuple[bool, float]:
+        """``(admitted, retry_after_s)`` for one submission by ``tenant``."""
+        if not self.enabled:
+            return True, 0.0
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(self.rate, self.burst)
+        return bucket.take()
+
+
+def retry_after_for_queue(
+    depth: int, workers: int, avg_duration_s: float, floor_s: float = 1.0
+) -> int:
+    """Whole-second ``Retry-After`` for a full queue.
+
+    Roughly "time until the queue has drained one slot": queue depth
+    times the average observed job duration, divided across the worker
+    slots.  Always at least ``floor_s`` and always an integer (the
+    header is delta-seconds).
+    """
+    workers = max(1, workers)
+    if avg_duration_s <= 0:
+        return int(math.ceil(floor_s))
+    estimate = depth * avg_duration_s / workers
+    return int(math.ceil(max(floor_s, estimate)))

@@ -1,0 +1,111 @@
+"""Circuit breaker around the simulation executor.
+
+Repeated ``failed`` outcomes usually mean something environmental — a
+corrupted cache tree, a fault plan with ``sim_flaky`` cranked up, a sick
+worker pool — and retrying every queued job through it just burns the
+queue.  The breaker watches terminal outcomes and:
+
+* **closed** — normal operation; ``failure_threshold`` *consecutive*
+  failed jobs trip it open;
+* **open** — submissions are rejected up front (503 with ``Retry-After``
+  = remaining cooldown) so clients back off instead of queueing doomed
+  work; after ``cooldown_s`` the breaker half-opens;
+* **half-open** — exactly one probe job is admitted; its outcome decides
+  whether the breaker closes (recovered) or re-opens for another
+  cooldown.
+
+Only ``failed`` counts as a breaker failure.  ``completed``,
+``skipped`` and ``timed_out`` are *correct degraded answers* — the
+supervisor did its job — and reset the consecutive-failure count.
+State is only touched from the server event loop; no locks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Outcome that counts against the breaker (everything else resets it).
+BREAKER_FAILURE_OUTCOME = "failed"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe."""
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 30.0):
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.cooldown_s = max(0.0, float(cooldown_s))
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_ts: Optional[float] = None
+        self.probe_inflight = False
+        self.transitions = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def allow(self, now: Optional[float] = None) -> Tuple[bool, float]:
+        """May a new job pass the breaker?  ``(allowed, retry_after_s)``.
+
+        In the open state this is also where the cooldown expiry is
+        noticed: the first call after ``cooldown_s`` flips to half-open
+        and admits the probe.
+        """
+        now = time.monotonic() if now is None else now
+        if self.state == CLOSED:
+            return True, 0.0
+        if self.state == OPEN:
+            opened = self.opened_ts if self.opened_ts is not None else now
+            elapsed = now - opened
+            if elapsed < self.cooldown_s:
+                return False, max(1.0, self.cooldown_s - elapsed)
+            self._transition(HALF_OPEN)
+        # Half-open: one probe at a time.
+        if self.probe_inflight:
+            return False, max(1.0, self.cooldown_s)
+        self.probe_inflight = True
+        return True, 0.0
+
+    # -- outcome feedback ----------------------------------------------------
+
+    def record(self, outcome: str, now: Optional[float] = None) -> None:
+        """Feed one terminal job outcome back into the breaker."""
+        now = time.monotonic() if now is None else now
+        failed = outcome == BREAKER_FAILURE_OUTCOME
+        if self.state == HALF_OPEN:
+            self.probe_inflight = False
+            if failed:
+                self._trip(now)
+            else:
+                self._transition(CLOSED)
+                self.consecutive_failures = 0
+            return
+        if failed:
+            self.consecutive_failures += 1
+            if self.state == CLOSED and self.consecutive_failures >= self.failure_threshold:
+                self._trip(now)
+        else:
+            self.consecutive_failures = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _trip(self, now: float) -> None:
+        self._transition(OPEN)
+        self.opened_ts = now
+        self.consecutive_failures = 0
+        self.probe_inflight = False
+
+    def _transition(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.transitions += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "transitions": self.transitions,
+        }

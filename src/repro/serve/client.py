@@ -1,0 +1,132 @@
+"""A small blocking client for ``repro serve``.
+
+Thin ``http.client`` wrapper used by the test-suite and the CI smoke
+job; one fresh connection per request, so instances are safe to share
+across threads (the chaos soak hammers one client from many threads).
+
+Typical round trip::
+
+    client = ServeClient(port=8321)
+    status, body = client.submit({"kernel": "transpose",
+                                  "variant": "Naive",
+                                  "device": "mango_pi_d1"})
+    if status == 202:
+        job = client.wait(body["job_id"], timeout_s=30)
+        assert job["outcome"] in TERMINAL_OUTCOMES
+
+:meth:`ServeClient.wait` long-polls ``GET /jobs/<id>?wait=...`` until
+the job reaches a terminal outcome or the client-side timeout expires
+(raising :class:`ServeTimeout`, which carries the last observed job
+state).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServeError(RuntimeError):
+    """Transport-level failure talking to the server."""
+
+
+class ServeTimeout(ServeError):
+    """A job did not reach a terminal outcome within the wait budget."""
+
+    def __init__(self, message: str, last: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.last = last
+
+
+class ServeClient:
+    """Blocking JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000,
+                 timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- raw request ---------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None) -> Tuple[int, Any, Dict]:
+        """``(status, parsed body, headers)`` for one request."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            header_map = {k.lower(): v for k, v in response.getheaders()}
+            if raw and header_map.get("content-type", "").startswith("application/json"):
+                parsed: Any = json.loads(raw.decode("utf-8"))
+            else:
+                parsed = raw.decode("utf-8", "replace")
+            return response.status, parsed, header_map
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(f"request {method} {path} failed: {exc!r}") from exc
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """POST one job spec; returns ``(status, body)`` without raising
+        on admission rejections (the status code is the signal)."""
+        status, body, _ = self.request("POST", "/jobs", spec)
+        return status, body
+
+    def job(self, job_id: str, wait_s: float = 0.0) -> Dict[str, Any]:
+        path = f"/jobs/{job_id}"
+        if wait_s > 0:
+            path += f"?wait={wait_s:g}"
+        status, body, _ = self.request("GET", path)
+        if status != 200:
+            raise ServeError(f"job {job_id}: HTTP {status}: {body!r}")
+        return body
+
+    def wait(self, job_id: str, timeout_s: float = 60.0,
+             poll_wait_s: float = 5.0) -> Dict[str, Any]:
+        """Block until ``job_id`` is terminal; raises :class:`ServeTimeout`."""
+        deadline = time.monotonic() + timeout_s
+        last: Optional[Dict[str, Any]] = None
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeTimeout(f"job {job_id} still {last.get('state') if last else '?'} "
+                                   f"after {timeout_s:g}s", last=last)
+            last = self.job(job_id, wait_s=min(poll_wait_s, max(0.1, remaining)))
+            if last.get("state") == "done":
+                return last
+
+    def submit_and_wait(self, spec: Dict[str, Any],
+                        timeout_s: float = 60.0) -> Dict[str, Any]:
+        """Submit; on 202/200 wait for the terminal job, else return the
+        structured rejection body as-is."""
+        status, body = self.submit(spec)
+        if status in (200, 202) and "job_id" in body:
+            if body.get("state") == "done":
+                return body
+            return self.wait(body["job_id"], timeout_s=timeout_s)
+        return body
+
+    def healthz(self) -> Dict[str, Any]:
+        status, body, _ = self.request("GET", "/healthz")
+        if status != 200:
+            raise ServeError(f"/healthz: HTTP {status}")
+        return body
+
+    def readyz(self) -> Tuple[bool, Dict[str, Any]]:
+        status, body, _ = self.request("GET", "/readyz")
+        return status == 200, body
+
+    def metrics(self) -> str:
+        status, body, _ = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"/metrics: HTTP {status}")
+        return body if isinstance(body, str) else str(body)

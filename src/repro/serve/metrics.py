@@ -1,0 +1,135 @@
+"""Serve-tier counters rendered in the shared OpenMetrics dialect.
+
+The serve counters ride the same exposition helpers as the PMU exporter
+(:mod:`repro.observe.openmetrics`), so a scraper sees one consistent
+text format across ``repro perf --openmetrics`` artifacts and the live
+``/metrics`` endpoint.
+
+Families:
+
+* ``repro_serve_submissions_total`` — every POST that reached admission;
+* ``repro_serve_admitted_total`` / ``repro_serve_coalesced_total`` —
+  enqueued as new work vs. attached to an in-flight duplicate;
+* ``repro_serve_rejected_total{reason}`` — per rejection reason
+  (``bad_request``, ``queue_full``, ``rate_limited``, ``breaker_open``,
+  ``draining``);
+* ``repro_serve_jobs_total{outcome}`` — terminal outcomes;
+* ``repro_serve_job_seconds_total`` / ``repro_serve_jobs_timed_total``
+  — executor wall-clock sum and count (average = sum / count);
+* gauges: ``repro_serve_queue_depth``, ``repro_serve_inflight``,
+  ``repro_serve_draining``, ``repro_serve_breaker_state`` (0 closed,
+  1 half-open, 2 open) and ``repro_serve_breaker_transitions_total``.
+
+All mutation happens on the server event loop, so there is no locking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.observe.openmetrics import format_sample, render_exposition
+
+_BREAKER_STATES = {"closed": 0, "half-open": 1, "open": 2}
+
+
+class ServeMetrics:
+    """Mutable counter/gauge state for one server instance."""
+
+    def __init__(self) -> None:
+        self.submissions = 0
+        self.admitted = 0
+        self.coalesced = 0
+        self.rejected: Dict[str, int] = {}
+        self.outcomes: Dict[str, int] = {}
+        self.job_seconds = 0.0
+        self.jobs_timed = 0
+        self.queue_depth = 0
+        self.inflight = 0
+        self.draining = 0
+        self.breaker_state = "closed"
+        self.breaker_transitions = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_rejection(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def record_outcome(self, outcome: str, duration_s: float = 0.0) -> None:
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        if duration_s > 0:
+            self.job_seconds += duration_s
+            self.jobs_timed += 1
+
+    def avg_job_seconds(self) -> float:
+        return self.job_seconds / self.jobs_timed if self.jobs_timed else 0.0
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        """One OpenMetrics exposition (terminated with ``# EOF``)."""
+        families: Dict[str, Tuple[str, str]] = {
+            "repro_serve_submissions_total": ("counter", "Submissions reaching admission."),
+            "repro_serve_admitted_total": ("counter", "Submissions enqueued as new jobs."),
+            "repro_serve_coalesced_total": (
+                "counter", "Duplicate submissions attached to in-flight jobs.",
+            ),
+            "repro_serve_rejected_total": ("counter", "Rejections per admission reason."),
+            "repro_serve_jobs_total": ("counter", "Terminal job outcomes."),
+            "repro_serve_job_seconds_total": ("counter", "Executor wall-clock seconds."),
+            "repro_serve_jobs_timed_total": ("counter", "Jobs contributing to job seconds."),
+            "repro_serve_queue_depth": ("gauge", "Jobs waiting in the bounded queue."),
+            "repro_serve_inflight": ("gauge", "Jobs currently executing."),
+            "repro_serve_draining": ("gauge", "1 while a SIGTERM drain is in progress."),
+            "repro_serve_breaker_state": (
+                "gauge", "Circuit breaker state: 0 closed, 1 half-open, 2 open.",
+            ),
+            "repro_serve_breaker_transitions_total": (
+                "counter", "Circuit breaker state transitions.",
+            ),
+        }
+        samples: Dict[str, List[str]] = {
+            "repro_serve_submissions_total": [
+                format_sample("repro_serve_submissions_total", [], self.submissions)
+            ],
+            "repro_serve_admitted_total": [
+                format_sample("repro_serve_admitted_total", [], self.admitted)
+            ],
+            "repro_serve_coalesced_total": [
+                format_sample("repro_serve_coalesced_total", [], self.coalesced)
+            ],
+            "repro_serve_rejected_total": [
+                format_sample("repro_serve_rejected_total", [("reason", reason)], count)
+                for reason, count in sorted(self.rejected.items())
+            ],
+            "repro_serve_jobs_total": [
+                format_sample("repro_serve_jobs_total", [("outcome", outcome)], count)
+                for outcome, count in sorted(self.outcomes.items())
+            ],
+            "repro_serve_job_seconds_total": [
+                format_sample("repro_serve_job_seconds_total", [], repr(self.job_seconds))
+            ],
+            "repro_serve_jobs_timed_total": [
+                format_sample("repro_serve_jobs_timed_total", [], self.jobs_timed)
+            ],
+            "repro_serve_queue_depth": [
+                format_sample("repro_serve_queue_depth", [], self.queue_depth)
+            ],
+            "repro_serve_inflight": [
+                format_sample("repro_serve_inflight", [], self.inflight)
+            ],
+            "repro_serve_draining": [
+                format_sample("repro_serve_draining", [], self.draining)
+            ],
+            "repro_serve_breaker_state": [
+                format_sample(
+                    "repro_serve_breaker_state", [],
+                    _BREAKER_STATES.get(self.breaker_state, 2),
+                )
+            ],
+            "repro_serve_breaker_transitions_total": [
+                format_sample(
+                    "repro_serve_breaker_transitions_total", [], self.breaker_transitions
+                )
+            ],
+        }
+        return render_exposition(families, samples)

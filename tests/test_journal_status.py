@@ -140,6 +140,87 @@ class TestReadJournal:
         assert entries[0].source == SOURCE_DISK_CACHE
 
 
+# -- rotation ------------------------------------------------------------------
+
+
+class TestRotation:
+    def test_rotation_bounds_segments_and_reads_across(self, tmp_path):
+        import os
+
+        from repro.runtime.journal import journal_segments
+
+        path = str(tmp_path / "journal.jsonl")
+        # Each line is ~130 bytes, so every append overflows max_bytes=1
+        # and rotates; max_segments=3 bounds the on-disk history.
+        journal = Journal(path, max_bytes=1, max_segments=3)
+        for index in range(10):
+            journal.append(_entry(key=f'v2:["fig2","k{index}"]'))
+        segments = journal_segments(path)
+        assert len(segments) <= 4  # 3 rotated + (possibly empty) active
+        assert all(os.path.exists(segment) for segment in segments)
+        assert not os.path.exists(f"{path}.4")
+        entries = read_journal(path)
+        # Bounded: only the newest segments survive, oldest-first order.
+        keys = [entry.key for entry in entries]
+        assert keys == sorted(keys, key=lambda k: int(k.split("k")[1].rstrip('"]')))
+        assert keys[-1] == 'v2:["fig2","k9"]'
+        assert 1 <= len(entries) <= 4
+
+    def test_no_rotation_by_default(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        assert journal.max_bytes == 0
+        for _ in range(5):
+            journal.append(_entry())
+        assert len(read_journal(path)) == 5
+        from repro.runtime.journal import journal_segments
+
+        assert journal_segments(path) == [path]
+
+    def test_rotation_env_knobs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL_MAX_BYTES", "2048")
+        monkeypatch.setenv("REPRO_JOURNAL_SEGMENTS", "7")
+        journal = Journal(str(tmp_path / "journal.jsonl"))
+        assert journal.max_bytes == 2048
+        assert journal.max_segments == 7
+
+    def test_rotation_under_concurrent_append(self, tmp_path):
+        """Many threads appending through rotating journals must never
+        tear a line or lose an entry to anything but segment expiry."""
+        import threading
+
+        path = str(tmp_path / "journal.jsonl")
+        workers, per_worker = 4, 25
+        # Large enough segment budget that nothing ages out: every line
+        # ever written must be readable afterwards.
+        journals = [
+            Journal(path, max_bytes=400, max_segments=60) for _ in range(workers)
+        ]
+
+        def appender(worker):
+            for index in range(per_worker):
+                journals[worker].append(
+                    _entry(key=f'v2:["rot","w{worker}","i{index}"]')
+                )
+
+        threads = [
+            threading.Thread(target=appender, args=(w,)) for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        entries = read_journal(path)
+        keys = {entry.key for entry in entries}
+        expected = {
+            f'v2:["rot","w{w}","i{i}"]'
+            for w in range(workers) for i in range(per_worker)
+        }
+        assert keys == expected
+        assert len(entries) == workers * per_worker
+
+
 # -- status CLI ----------------------------------------------------------------
 
 

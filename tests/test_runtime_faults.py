@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import pytest
 
@@ -246,6 +247,62 @@ class TestSupervision:
         assert policy.max_attempts == 7
         assert policy.deadline_s == 12.5
         assert policy.base_delay_s == RetryPolicy.base_delay_s
+
+    def test_negative_retry_base_is_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_BASE", "-1")
+        monkeypatch.setenv("REPRO_DEADLINE", "-5")
+        policy = RetryPolicy.from_env()
+        assert policy.base_delay_s == 0.0
+        assert policy.deadline_s is None
+
+    def test_supervise_never_raises_on_broken_sleep(self):
+        """Even a sleep that raises (the old negative-REPRO_RETRY_BASE
+        path) must classify as a failed outcome, not escape."""
+        def flappy():
+            raise TransientSimulationError("flap")
+
+        def bad_sleep(_delay):
+            raise ValueError("sleep length must be non-negative")
+
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.001)
+        outcome = supervise(flappy, policy, sleep=bad_sleep)
+        assert outcome.status is OutcomeStatus.FAILED
+        assert "retry backoff failed" in outcome.reason
+
+    def test_deadline_is_whole_call_budget(self):
+        """A transient-flapping call must not burn max_attempts × deadline:
+        elapsed time is deducted and retries stop once the leftover budget
+        cannot cover the base backoff."""
+        calls = []
+
+        def flappy():
+            calls.append(time.monotonic())
+            time.sleep(0.04)
+            raise TransientSimulationError("flap")
+
+        policy = RetryPolicy(
+            max_attempts=50, base_delay_s=0.005, max_delay_s=0.005, deadline_s=0.1
+        )
+        start = time.monotonic()
+        outcome = supervise(flappy, policy)
+        elapsed = time.monotonic() - start
+        assert outcome.status in (OutcomeStatus.FAILED, OutcomeStatus.TIMED_OUT)
+        # Bounded by ~one deadline, not 50 × 0.1 s of per-attempt budgets.
+        assert elapsed < 1.0
+        assert len(calls) < 10
+
+    def test_budget_leftover_too_small_for_retry_fails_fast(self):
+        def flappy():
+            time.sleep(0.03)
+            raise TransientSimulationError("flap")
+
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=10.0, deadline_s=0.5
+        )
+        outcome = supervise(flappy, policy)
+        assert outcome.status is OutcomeStatus.FAILED
+        assert "cannot cover a retry" in outcome.reason
+        assert outcome.attempts == 1
 
     def test_fault_plan_parsing(self):
         plan = FaultPlan.parse("cache_corrupt,sim_flaky:0.3,sim_hang,seed:3")

@@ -66,6 +66,45 @@ class TestFileLock:
         assert not waiter.acquire()
         assert os.path.exists(path)
 
+    def test_two_waiter_stale_reclaim_race(self, tmp_path, monkeypatch):
+        """Regression: waiter A must not delete the fresh lock waiter B
+        re-created between A's stat and A's delete (the stale-reclaim
+        TOCTOU).  On the old stat-then-unlink code, A unlinks B's fresh
+        lock and then acquires — two holders at once."""
+        from repro.runtime import locks
+
+        path = str(tmp_path / "x.lock")
+        with open(path, "w") as fh:
+            fh.write("999999 0.0\n")
+        old = time.time() - 120.0
+        os.utime(path, (old, old))
+
+        waiter_b = FileLock(path, stale_after_s=60.0, timeout_s=1.0, poll_s=0.005)
+        state = {"fired": False}
+
+        def interleave():
+            # Fires inside waiter A's reclaim, between its stat and its
+            # delete: waiter B reclaims the stale lock and creates a
+            # fresh one (B now legitimately holds the lock).
+            if state["fired"]:
+                return
+            state["fired"] = True
+            assert waiter_b.acquire()
+
+        monkeypatch.setattr(locks, "_reclaim_race_window", interleave)
+        waiter_a = FileLock(path, stale_after_s=60.0, timeout_s=0.1, poll_s=0.005)
+        acquired_a = waiter_a.acquire()
+
+        # B holds a fresh lock, so A must not have acquired on top of it.
+        assert state["fired"]
+        assert waiter_b.held
+        assert not acquired_a, "two waiters hold the same lock (TOCTOU reclaim)"
+        # B's fresh lockfile survived A's reclaim attempt.
+        assert os.path.exists(path)
+        waiter_b.release()
+        assert waiter_a.acquire()
+        waiter_a.release()
+
     def test_context_manager_raises_on_timeout(self, tmp_path):
         path = str(tmp_path / "x.lock")
         holder = FileLock(path)
