@@ -20,6 +20,11 @@ Usage::
     repro perf diff transpose Naive Blocking --device visionfive
     repro perf stat transpose Naive --device mango --check --openmetrics perf.om
     repro serve --port 8321 --jobs 2 --queue-max 8 --rate 5
+    repro trace j000001 --port 8321 --chrome job.trace.json
+    repro trace j000002 --port 8321 --follow
+    repro top --port 8321
+    repro status
+    repro status --trace 69097a69
 
 (The ``repro`` console script is an alias, so ``repro profile ...`` works
 as well.)
@@ -51,6 +56,12 @@ OpenMetrics/Prometheus text format, and ``--save-baseline`` /
 ``serve`` runs the fault-tolerant simulation-as-a-service tier
 (:mod:`repro.serve`): HTTP/JSON job submission with admission control,
 duplicate coalescing, a circuit breaker and graceful SIGTERM drain.
+``trace`` fetches a serve job's distributed span tree (``--follow``
+streams its SSE progress first, ``--chrome`` exports a merged Chrome
+trace); ``top`` renders a live one-screen serve status from
+``/metrics`` and the SSE event streams; ``status`` summarizes the run
+journal and with ``--trace <id>`` filters one trace's records across
+rotated segments.
 
 Diagnostics (progress, warnings, failure summaries) go through
 ``logging`` — quiet them with ``--quiet`` or amplify with ``-v`` —
@@ -63,6 +74,7 @@ import argparse
 import json
 import logging
 import sys
+import threading
 import time
 from typing import List, Optional, Tuple
 
@@ -251,8 +263,402 @@ def _render_status() -> str:
     if stats["failures"]:
         lines.append("most recent non-completed attempts:")
         for entry in stats["failures"]:
-            lines.append(f"  [{entry.outcome}] {entry.key}: {entry.error}")
+            trace_tag = f"  trace={entry.trace[:16]}" if entry.trace else ""
+            lines.append(f"  [{entry.outcome}] {entry.key}{trace_tag}: {entry.error}")
     return "\n".join(lines)
+
+
+def _render_trace_status(trace_id: str) -> str:
+    """One trace's journal records for ``repro status --trace``.
+
+    Matches by trace-id prefix (operators paste the short form shown in
+    exemplars and status lines) and reads across rotated journal
+    segments, so a trace that straddles a rotation still shows whole.
+    """
+    from repro.runtime import default_journal_path, read_events, read_journal
+
+    cache_path = default_cache_path()
+    if not cache_path:
+        return "run journal disabled (REPRO_CACHE=off)"
+    journal_path = default_journal_path(cache_path)
+    entries = [
+        e for e in read_journal(journal_path)
+        if e.trace and e.trace.startswith(trace_id)
+    ]
+    events = [
+        ev for ev in read_events(journal_path)
+        if str(ev.get("trace", "")).startswith(trace_id)
+    ]
+    if not entries and not events:
+        return f"no journal records for trace {trace_id!r} at {journal_path}"
+    lines: List[str] = []
+    if entries:
+        rows = [
+            [
+                time.strftime("%H:%M:%S", time.localtime(e.ts)),
+                e.trace[:16],
+                e.outcome,
+                e.attempts,
+                f"{e.duration_s:.3f}",
+                e.worker or "serial",
+                e.key if len(e.key) <= 48 else e.key[:45] + "...",
+            ]
+            for e in entries
+        ]
+        lines.append(
+            render_table(
+                ["ts", "trace", "outcome", "attempts", "duration (s)", "worker", "key"],
+                rows,
+                title=f"Attempts for trace {trace_id} — {journal_path}",
+            )
+        )
+    if events:
+        lines.append(f"wide events ({len(events)}):")
+        for ev in events:
+            stamp = time.strftime("%H:%M:%S", time.localtime(float(ev.get("ts", 0.0))))
+            name = ev.get("event", "?")
+            detail = "  ".join(
+                f"{k}={v}"
+                for k, v in sorted(ev.items())
+                if k not in ("type", "ts", "event", "trace")
+            )
+            lines.append(f"  {stamp} [{name}] {detail}".rstrip())
+    return "\n".join(lines)
+
+
+def status_main(argv: List[str]) -> int:
+    """``repro status`` — run-journal summary, or one trace's records."""
+    parser = argparse.ArgumentParser(
+        prog="repro status",
+        description="Summarize the run journal, or drill into one trace.",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="ID",
+        default=None,
+        help="only records of this trace id (prefix match), searched "
+             "across rotated journal segments",
+    )
+    _add_logging_flags(parser)
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+    print(_render_trace_status(args.trace) if args.trace else _render_status())
+    return 0
+
+
+def trace_main(argv: List[str]) -> int:
+    """``repro trace`` — fetch and render serve jobs' span trees."""
+    from repro.profiling.tracer import render_span_tree, spans_to_chrome_events
+    from repro.serve.client import ServeClient, ServeError
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Fetch a serve job's distributed span tree and render it.",
+    )
+    parser.add_argument("job_ids", nargs="+", metavar="JOB_ID")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the job's SSE events until it settles, then fetch the tree",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="FILE",
+        default=None,
+        help="also write the merged Chrome trace-event JSON "
+             "(chrome://tracing / Perfetto)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw trace response JSON instead of the rendered tree",
+    )
+    _add_logging_flags(parser)
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+
+    client = ServeClient(host=args.host, port=args.port)
+    merged: List[dict] = []
+    status = 0
+    for job_id in args.job_ids:
+        if args.follow:
+            try:
+                for event in client.stream_events(job_id):
+                    if "comment" in event:
+                        continue
+                    detail = "  ".join(
+                        f"{k}={v}"
+                        for k, v in sorted(event.items())
+                        if k not in ("event", "id", "ts", "job_id")
+                    )
+                    LOG.info("[%s] %s  %s", job_id, event.get("event", "?"), detail)
+            except ServeError as exc:
+                LOG.warning("event stream for %s: %s", job_id, exc)
+        try:
+            trace = client.trace(job_id)
+        except ServeError as exc:
+            LOG.error("%s", exc)
+            status = 1
+            continue
+        if args.as_json:
+            print(json.dumps(trace, indent=1, sort_keys=True))
+        else:
+            spans = trace.get("spans", [])
+            roots = int(trace.get("roots", 0))
+            state = "complete" if trace.get("complete") else "in flight"
+            print(
+                f"job {job_id}  trace {trace.get('trace_id', '?')}  "
+                f"({len(spans)} spans, {roots} root{'s' if roots != 1 else ''}, {state})"
+            )
+            print(render_span_tree(trace.get("tree", [])))
+            if roots != 1:
+                LOG.warning(
+                    "trace for %s has %d roots (expected one connected tree)",
+                    job_id, roots,
+                )
+        merged.extend(trace.get("spans", []))
+    if args.chrome:
+        if merged:
+            merged.sort(key=lambda s: (float(s.get("start_us", 0.0)),
+                                       int(s.get("seq", 0))))
+            with open(args.chrome, "w") as fh:
+                json.dump(spans_to_chrome_events(merged), fh, indent=1)
+                fh.write("\n")
+            LOG.info("[chrome trace: %d events -> %s]", len(merged), args.chrome)
+        else:
+            LOG.warning("no spans fetched; %s not written", args.chrome)
+    return status
+
+
+class _EventFeed:
+    """Background SSE consumers feeding ``repro top``'s activity pane.
+
+    One daemon thread per watched job streams ``/jobs/<id>/events`` into
+    a bounded recent-lines buffer; the render loop just reads the tail.
+    """
+
+    def __init__(self, client, limit: int = 8):
+        self.client = client
+        self.limit = limit
+        self.lock = threading.Lock()
+        self.recent: List[str] = []
+        self.watched: set = set()
+
+    def watch(self, job_id: str) -> None:
+        with self.lock:
+            if job_id in self.watched:
+                return
+            self.watched.add(job_id)
+        threading.Thread(
+            target=self._pump, args=(job_id,), daemon=True,
+            name=f"repro-top-sse-{job_id}",
+        ).start()
+
+    def _pump(self, job_id: str) -> None:
+        try:
+            for event in self.client.stream_events(job_id, timeout_s=30.0):
+                if "comment" in event:
+                    continue
+                detail = "  ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(event.items())
+                    if k not in ("event", "id", "ts", "job_id", "trace")
+                )
+                line = (
+                    f"{time.strftime('%H:%M:%S')} {job_id} "
+                    f"{event.get('event', '?')}  {detail}"
+                ).rstrip()
+                with self.lock:
+                    self.recent.append(line)
+                    del self.recent[:-self.limit]
+        except Exception:
+            pass  # a dropped stream only stops this pane's updates
+        finally:
+            with self.lock:
+                self.watched.discard(job_id)
+
+    def tail(self) -> List[str]:
+        with self.lock:
+            return list(self.recent)
+
+
+def _metric_value(samples: List[dict], name: str, default: float = 0.0,
+                  **labels: str) -> float:
+    for sample in samples:
+        if sample["name"] != name:
+            continue
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            return sample["value"]
+    return default
+
+
+def _bucket_quantile(buckets: List[Tuple[float, float]], q: float) -> float:
+    """Upper-bound quantile estimate from cumulative ``(le, count)``."""
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    target = q * total
+    for le, cumulative in buckets:
+        if cumulative >= target:
+            return le
+    return buckets[-1][0]
+
+
+def _phase_buckets(samples: List[dict], phase: str) -> List[Tuple[float, float]]:
+    """Cumulative job-phase buckets summed across outcomes."""
+    by_le: dict = {}
+    for sample in samples:
+        if sample["name"] != "repro_serve_job_phase_seconds_bucket":
+            continue
+        if sample["labels"].get("phase") != phase:
+            continue
+        raw = sample["labels"].get("le", "")
+        le = float("inf") if raw == "+Inf" else float(raw)
+        by_le[le] = by_le.get(le, 0.0) + sample["value"]
+    return sorted(by_le.items())
+
+
+def _fmt_le(seconds: float) -> str:
+    return "inf" if seconds == float("inf") else f"<={seconds:g}"
+
+
+def _render_top(samples: List[dict], jobs: List[dict],
+                feed_lines: List[str], endpoint: str) -> str:
+    breaker = {0: "closed", 1: "half-open", 2: "open"}.get(
+        int(_metric_value(samples, "repro_serve_breaker_state")), "?"
+    )
+    draining = _metric_value(samples, "repro_serve_draining") > 0
+    rejected = sum(
+        s["value"] for s in samples if s["name"] == "repro_serve_rejected_total"
+    )
+    lines = [
+        f"repro top — {endpoint}  [{'draining' if draining else 'serving'}]  "
+        f"breaker: {breaker}  "
+        f"queue: {int(_metric_value(samples, 'repro_serve_queue_depth'))}  "
+        f"inflight: {int(_metric_value(samples, 'repro_serve_inflight'))}",
+        f"submitted: {int(_metric_value(samples, 'repro_serve_submissions_total'))}  "
+        f"admitted: {int(_metric_value(samples, 'repro_serve_admitted_total'))}  "
+        f"coalesced: {int(_metric_value(samples, 'repro_serve_coalesced_total'))}  "
+        f"rejected: {int(rejected)}",
+    ]
+    outcomes = "  ".join(
+        f"{s['labels'].get('outcome', '?')}: {int(s['value'])}"
+        for s in samples
+        if s["name"] == "repro_serve_jobs_total"
+    )
+    if outcomes:
+        lines.append(f"outcomes: {outcomes}")
+    phase_rows = []
+    for phase in ("queue", "exec", "total"):
+        count = sum(
+            s["value"] for s in samples
+            if s["name"] == "repro_serve_job_phase_seconds_count"
+            and s["labels"].get("phase") == phase
+        )
+        if not count:
+            continue
+        seconds = sum(
+            s["value"] for s in samples
+            if s["name"] == "repro_serve_job_phase_seconds_sum"
+            and s["labels"].get("phase") == phase
+        )
+        buckets = _phase_buckets(samples, phase)
+        phase_rows.append([
+            phase,
+            int(count),
+            f"{seconds / count:.3f}",
+            _fmt_le(_bucket_quantile(buckets, 0.50)),
+            _fmt_le(_bucket_quantile(buckets, 0.95)),
+        ])
+    if phase_rows:
+        lines.append(render_table(
+            ["phase", "jobs", "avg (s)", "p50 (s)", "p95 (s)"],
+            phase_rows,
+            title="Job latency (bucket upper bounds)",
+        ))
+    exemplars = []
+    for sample in samples:
+        exemplar = sample.get("exemplar")
+        if not exemplar:
+            continue
+        trace_id = exemplar.get("labels", {}).get("trace_id", "")
+        if trace_id and trace_id not in exemplars:
+            exemplars.append(trace_id)
+    if exemplars:
+        shown = "  ".join(t[:16] for t in exemplars[-4:])
+        lines.append(f"recent exemplar traces: {shown}   (repro status --trace <id>)")
+    active = [j for j in jobs if j.get("state") != "done"]
+    if active:
+        lines.append(f"active jobs ({len(active)}):")
+        for job in active[:8]:
+            trace_tag = (
+                f"  trace={job['trace_id'][:16]}" if job.get("trace_id") else ""
+            )
+            spec = job.get("spec") or {}
+            lines.append(
+                f"  {job.get('job_id', '?')} [{job.get('state', '?')}] "
+                f"{spec.get('kernel', '?')}/{spec.get('variant', '?')}{trace_tag}"
+            )
+    if feed_lines:
+        lines.append("recent events:")
+        lines.extend(f"  {line}" for line in feed_lines)
+    return "\n".join(lines)
+
+
+def top_main(argv: List[str]) -> int:
+    """``repro top`` — live one-screen serve status."""
+    from repro.observe.openmetrics import parse_exposition
+    from repro.serve.client import ServeClient, ServeError
+
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live one-screen serve status from /metrics and SSE.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="refresh period in seconds (default: 2)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no screen clearing)",
+    )
+    _add_logging_flags(parser)
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+
+    client = ServeClient(host=args.host, port=args.port, timeout_s=10.0)
+    feed = _EventFeed(client)
+    endpoint = f"{args.host}:{args.port}"
+    try:
+        while True:
+            try:
+                samples = parse_exposition(client.metrics())
+                _status, listing, _headers = client.request("GET", "/jobs")
+                jobs = listing.get("jobs", []) if isinstance(listing, dict) else []
+            except ServeError as exc:
+                LOG.error("%s", exc)
+                return 1
+            for job in jobs:
+                if job.get("state") != "done" and job.get("job_id"):
+                    feed.watch(str(job["job_id"]))
+            screen = _render_top(samples, jobs, feed.tail(), endpoint)
+            if args.once:
+                print(screen)
+                return 0
+            # ANSI clear + home keeps the refresh flicker-free without
+            # pulling in curses.
+            sys.stdout.write("\x1b[2J\x1b[H" + screen + "\n")
+            sys.stdout.flush()
+            time.sleep(max(0.2, args.interval))
+    except KeyboardInterrupt:
+        return 0
 
 
 def figures_main(argv: List[str]) -> int:
@@ -859,6 +1265,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.serve.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "top":
+        return top_main(argv[1:])
+    if argv and argv[0] == "status":
+        # ``repro status`` grows trace filtering; the positional
+        # ``repro-experiments status`` spelling keeps working below.
+        return status_main(argv[1:])
     return figures_main(argv)
 
 

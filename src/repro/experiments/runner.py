@@ -203,7 +203,10 @@ class Runner:
                 if fresh is not None:
                     return self._disk_hit(key, disk_key, fresh)
             with tracer.span("runner.supervise", cat="runner", key=disk_key):
-                outcome = supervise(execute, policy, label=disk_key)
+                outcome = supervise(
+                    execute, policy, label=disk_key,
+                    on_attempt=self._attempt_observer(disk_key),
+                )
             self.journal.record(disk_key, outcome)
             if outcome.ok:
                 self._memory[key] = outcome.value
@@ -212,6 +215,30 @@ class Runner:
             if locked:
                 lock.release()
         return outcome
+
+    def _attempt_observer(self, disk_key: str):
+        """Per-attempt progress callback for supervised runs.
+
+        Only traced runs (serve jobs, which activate a
+        :class:`~repro.profiling.tracer.TraceContext`) journal attempt
+        events — batch figure sweeps would otherwise double their journal
+        traffic for progress nobody is streaming.
+        """
+        ctx = tracer.active_context()
+        if ctx is None:
+            return None
+        from repro.runtime.workpool import current_worker_id
+
+        def observe(attempt: int) -> None:
+            self.journal.event({
+                "event": "attempt",
+                "trace": ctx.trace_id,
+                "key": disk_key,
+                "attempt": attempt,
+                "worker": current_worker_id(),
+            })
+
+        return observe
 
     def perf_counters(self) -> Dict[str, Dict[str, int]]:
         """``disk key -> flat counter set`` for every known record that

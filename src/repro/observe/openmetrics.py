@@ -26,7 +26,8 @@ escaping and family-ordering rules.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.memsim.pmu import MISS_CLASSES, PREFETCH_COUNTERS
 
@@ -41,33 +42,110 @@ def format_labels(pairs: Iterable[Tuple[str, str]]) -> str:
     return "{" + body + "}"
 
 
-def format_sample(name: str, labels: Iterable[Tuple[str, str]], value) -> str:
-    """One exposition line: ``name{labels} value``."""
+def format_sample(
+    name: str,
+    labels: Iterable[Tuple[str, str]],
+    value,
+    exemplar: Optional[Tuple[Iterable[Tuple[str, str]], float]] = None,
+) -> str:
+    """One exposition line: ``name{labels} value [# {exemplar} value]``.
+
+    ``exemplar`` is an optional ``(label pairs, value)`` in OpenMetrics
+    exemplar syntax — the serve histograms attach a ``trace_id`` label so
+    a hot latency bucket links straight to a concrete traced request.
+    """
     pairs = list(labels)
     rendered = format_labels(pairs) if pairs else ""
-    return f"{name}{rendered} {value}"
+    line = f"{name}{rendered} {value}"
+    if exemplar is not None:
+        ex_labels, ex_value = exemplar
+        line += f" # {format_labels(ex_labels)} {ex_value}"
+    return line
 
 
 def render_exposition(
-    families: "Dict[str, Tuple[str, str]]",
+    families: "Dict[str, Tuple[str, ...]]",
     samples: "Dict[str, List[str]]",
     terminate: bool = True,
 ) -> str:
-    """Assemble ``# TYPE``/``# HELP`` headers plus samples per family.
+    """Assemble ``# TYPE``/``# UNIT``/``# HELP`` headers plus samples.
 
-    Families with no samples are omitted; ``terminate`` appends the
-    ``# EOF`` marker (leave it off when concatenating expositions).
+    A family value is ``(type, help)`` or ``(type, help, unit)``; the
+    unit, when present, is emitted as a ``# UNIT`` line between TYPE and
+    HELP (the OpenMetrics metadata order).  Families with no samples are
+    omitted; ``terminate`` appends the ``# EOF`` marker (leave it off
+    when concatenating expositions).
     """
     out: List[str] = []
-    for name, (family_type, help_text) in families.items():
+    for name, meta in families.items():
         if not samples.get(name):
             continue
+        family_type, help_text = meta[0], meta[1]
         out.append(f"# TYPE {name} {family_type}")
+        if len(meta) > 2 and meta[2]:
+            out.append(f"# UNIT {name} {meta[2]}")
         out.append(f"# HELP {name} {help_text}")
         out.extend(samples[name])
     if terminate:
         out.append("# EOF")
     return "\n".join(out) + ("\n" if out else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s#]+)"
+    r"(?:\s+#\s+(?P<exemplar>.*))?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+
+
+def parse_exposition(text: str) -> List[Dict]:
+    """Parse an OpenMetrics text exposition into sample dicts.
+
+    Each dict has ``name``, ``labels`` (dict), ``value`` (float) and
+    optionally ``exemplar`` (``{"labels": ..., "value": ...}``).
+    Metadata (``# TYPE``/``# UNIT``/``# HELP``/``# EOF``) and malformed
+    lines are skipped — this is the consumer used by ``repro top``, not
+    a validator.
+    """
+    out: List[Dict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        labels = {
+            key: _unescape(raw)
+            for key, raw in _LABEL_RE.findall(match.group("labels") or "")
+        }
+        sample: Dict = {"name": match.group("name"), "labels": labels, "value": value}
+        exemplar = match.group("exemplar")
+        if exemplar:
+            ex_match = re.match(r"^\{(?P<labels>[^}]*)\}\s+(?P<value>\S+)", exemplar)
+            if ex_match:
+                try:
+                    sample["exemplar"] = {
+                        "labels": {
+                            key: _unescape(raw)
+                            for key, raw in _LABEL_RE.findall(ex_match.group("labels"))
+                        },
+                        "value": float(ex_match.group("value")),
+                    }
+                except ValueError:
+                    pass
+        out.append(sample)
+    return out
 
 
 _labels = format_labels  # historical internal spelling

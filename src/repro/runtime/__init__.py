@@ -39,6 +39,7 @@ from repro.runtime.journal import (
     JournalEntry,
     default_journal_path,
     journal_segments,
+    read_events,
     read_journal,
     summarize,
 )
@@ -49,7 +50,12 @@ from repro.runtime.supervisor import (
     RetryPolicy,
     supervise,
 )
-from repro.runtime.workpool import WorkPool, current_worker_id, jobs_from_env
+from repro.runtime.workpool import (
+    WorkPool,
+    current_worker_epoch,
+    current_worker_id,
+    jobs_from_env,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -65,11 +71,13 @@ __all__ = [
     "active_plan",
     "canonical_key",
     "clear_faults",
+    "current_worker_epoch",
     "current_worker_id",
     "default_journal_path",
     "install_faults",
     "jobs_from_env",
     "journal_segments",
+    "read_events",
     "read_journal",
     "record_digest",
     "summarize",

@@ -17,7 +17,16 @@ Line format::
 (memory-cache hits within one process are not journalled — they would
 flood the file with intra-process memoisation noise).  ``worker`` is the
 work-pool worker id (the worker's pid) when the attempt ran inside a
-parallel figure pipeline worker, and ``""`` for serial runs.
+parallel figure pipeline worker, and ``""`` for serial runs.  ``trace``
+is the distributed trace id when the attempt ran under an activated
+:class:`~repro.profiling.tracer.TraceContext` (serve jobs), else ``""``.
+
+Besides attempt entries the journal carries **wide events**: one JSON
+object per interesting state change (job admitted, attempt started,
+span closed), tagged ``"type": "event"`` so :func:`read_journal`
+skips them and :func:`read_events` collects them.  Wide events are how
+the serve tier reconstructs a job's life post-hoc across rotated
+segments — they ride the same lock and rotation as attempt entries.
 
 The parallel pipeline appends to one journal from many processes, so
 every append holds a cross-process lockfile
@@ -44,7 +53,7 @@ import logging
 import os
 import time
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.profiling import tracer
 from repro.runtime.locks import FileLock
@@ -87,6 +96,7 @@ class JournalEntry:
     error: str = ""
     source: str = SOURCE_SIMULATED
     worker: str = ""
+    trace: str = ""
 
 
 class Journal:
@@ -116,6 +126,7 @@ class Journal:
     def record(self, key: str, outcome: Outcome, source: str = SOURCE_SIMULATED) -> None:
         from repro.runtime.workpool import current_worker_id
 
+        ctx = tracer.active_context()
         self.append(
             JournalEntry(
                 ts=time.time(),
@@ -126,34 +137,59 @@ class Journal:
                 error=outcome.reason,
                 source=source,
                 worker=current_worker_id(),
+                trace=ctx.trace_id if ctx is not None else "",
             )
         )
 
     def append(self, entry: JournalEntry) -> None:
         if not self.path:
             return
+        with tracer.span("journal.append", cat="journal", key=entry.key):
+            self._write_line(json.dumps(asdict(entry), sort_keys=True))
+
+    def event(self, fields: Dict[str, Any]) -> None:
+        """Append one wide event: arbitrary JSON-able fields plus the
+        ``type: "event"`` discriminator and a timestamp.
+
+        Wide events share the attempt entries' lock and rotation, so a
+        reader walking the segments sees one interleaved, time-ordered
+        history of attempts and events.
+        """
+        if not self.path:
+            return
+        payload = dict(fields)
+        payload["type"] = "event"
+        payload.setdefault("ts", time.time())
         try:
-            with tracer.span("journal.append", cat="journal", key=entry.key):
-                lock = FileLock(f"{self.path}.lock", timeout_s=10.0)
-                locked = lock.acquire()
-                if not locked:
-                    LOG.warning("journal lock %s.lock busy; appending without it", self.path)
-                try:
-                    with open(self.path, "a") as fh:
-                        fh.write(json.dumps(asdict(entry), sort_keys=True) + "\n")
-                        fh.flush()
-                        size = fh.tell()
-                    if self.max_bytes and size > self.max_bytes and locked:
-                        # Rotation shifts whole files, so it must happen
-                        # under the same lock that serializes appends —
-                        # a lockless appender could otherwise write into
-                        # a file that is mid-rename.  If we could not
-                        # take the lock we simply skip rotating this
-                        # time; a later locked append will catch up.
-                        self._rotate()
-                finally:
-                    if locked:
-                        lock.release()
+            line = json.dumps(payload, sort_keys=True, default=str)
+        except (TypeError, ValueError) as exc:
+            LOG.warning("journal event not serializable: %s", exc)
+            return
+        self._write_line(line)
+
+    def _write_line(self, line: str) -> None:
+        """Locked append of one pre-serialized JSONL line (+ rotation)."""
+        try:
+            lock = FileLock(f"{self.path}.lock", timeout_s=10.0)
+            locked = lock.acquire()
+            if not locked:
+                LOG.warning("journal lock %s.lock busy; appending without it", self.path)
+            try:
+                with open(self.path, "a") as fh:
+                    fh.write(line + "\n")
+                    fh.flush()
+                    size = fh.tell()
+                if self.max_bytes and size > self.max_bytes and locked:
+                    # Rotation shifts whole files, so it must happen
+                    # under the same lock that serializes appends —
+                    # a lockless appender could otherwise write into
+                    # a file that is mid-rename.  If we could not
+                    # take the lock we simply skip rotating this
+                    # time; a later locked append will catch up.
+                    self._rotate()
+            finally:
+                if locked:
+                    lock.release()
         except OSError as exc:
             LOG.warning("journal %s not appended: %s", self.path, exc)
 
@@ -201,10 +237,8 @@ def journal_segments(path: str) -> List[str]:
     return segments
 
 
-def read_journal(path: str) -> List[JournalEntry]:
-    """Parse a journal (all rotated segments plus the active file,
-    oldest-first), skipping unparseable lines (torn writes)."""
-    entries: List[JournalEntry] = []
+def _journal_lines(path: str) -> List[str]:
+    """Raw lines across all segments plus the active file, oldest-first."""
     lines: List[str] = []
     for segment in journal_segments(path):
         try:
@@ -212,12 +246,22 @@ def read_journal(path: str) -> List[JournalEntry]:
                 lines.extend(fh.readlines())
         except OSError as exc:
             LOG.warning("journal %s unreadable: %s", segment, exc)
-    for line in lines:
+    return lines
+
+
+def read_journal(path: str) -> List[JournalEntry]:
+    """Parse a journal (all rotated segments plus the active file,
+    oldest-first), skipping unparseable lines (torn writes) and wide
+    events (``type: "event"`` — see :func:`read_events`)."""
+    entries: List[JournalEntry] = []
+    for line in _journal_lines(path):
         line = line.strip()
         if not line:
             continue
         try:
             raw = json.loads(line)
+            if isinstance(raw, dict) and raw.get("type") == "event":
+                continue
             entries.append(
                 JournalEntry(
                     ts=float(raw["ts"]),
@@ -228,11 +272,38 @@ def read_journal(path: str) -> List[JournalEntry]:
                     error=str(raw.get("error", "")),
                     source=str(raw.get("source", SOURCE_SIMULATED)),
                     worker=str(raw.get("worker", "")),
+                    trace=str(raw.get("trace", "")),
                 )
             )
         except (ValueError, KeyError, TypeError):
             continue
     return entries
+
+
+def read_events(
+    path: str,
+    trace: Optional[str] = None,
+    job_id: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Wide events across rotated segments, oldest-first, optionally
+    filtered by trace id and/or serve job id."""
+    events: List[Dict[str, Any]] = []
+    for line in _journal_lines(path):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(raw, dict) or raw.get("type") != "event":
+            continue
+        if trace is not None and raw.get("trace") != trace:
+            continue
+        if job_id is not None and raw.get("job_id") != job_id:
+            continue
+        events.append(raw)
+    return events
 
 
 def figure_of_key(key: str) -> str:

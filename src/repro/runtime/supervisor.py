@@ -153,11 +153,15 @@ def supervise(
     label: str = "",
     sleep: Callable[[float], None] = time.sleep,
     rng: Optional[random.Random] = None,
+    on_attempt: Optional[Callable[[int], None]] = None,
 ) -> Outcome:
     """Run ``fn`` under ``policy`` and return a structured :class:`Outcome`.
 
     Never raises: every exception is classified.  ``sleep`` and ``rng``
     are injectable for the test-suite (deterministic jitter by default).
+    ``on_attempt`` is called with the 1-based attempt number just before
+    each try — observers (the serve tier streams these as progress
+    events) must not perturb supervision, so its exceptions are swallowed.
     """
     policy = policy or RetryPolicy.from_env()
     rng = rng or random.Random(0)
@@ -196,6 +200,11 @@ def supervise(
                 ),
             )
         attempts += 1
+        if on_attempt is not None:
+            try:
+                on_attempt(attempts)
+            except Exception:  # noqa: S110 - observers must never break the call
+                pass
         try:
             value = _call_with_deadline(fn, remaining)
             return _finish(OutcomeStatus.COMPLETED, value=value)

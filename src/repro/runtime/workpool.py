@@ -33,6 +33,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import time
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.profiling import tracer
@@ -45,10 +46,20 @@ ENV_JOBS = "REPRO_JOBS"
 #: process until :func:`_worker_init` tags the worker.
 _WORKER_ID = ""
 
+#: Worker incarnation stamp.  The OS reuses pids, so a respawned worker
+#: that inherits a dead worker's pid would merge into the same Chrome
+#: trace track; the epoch (start time in ns) tells incarnations apart.
+_WORKER_EPOCH = 0
+
 
 def current_worker_id() -> str:
     """The pool worker id of this process ("" in the parent/serial case)."""
     return _WORKER_ID
+
+
+def current_worker_epoch() -> int:
+    """This worker's incarnation stamp (0 in the parent/serial case)."""
+    return _WORKER_EPOCH
 
 
 def jobs_from_env(default: int = 1) -> int:
@@ -78,24 +89,35 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 def _worker_init() -> None:
     """Runs once in every worker: tag the process for journal entries."""
-    global _WORKER_ID
+    global _WORKER_ID, _WORKER_EPOCH
     _WORKER_ID = str(os.getpid())
+    _WORKER_EPOCH = time.time_ns()
 
 
-def _run_task(payload: Tuple[Callable[[Any], Any], Any, bool]):
+def _run_task(payload: Tuple[Callable[[Any], Any], Any, bool, Optional[str]]):
     """Execute one task in a worker, optionally under a local tracer.
 
-    Returns ``(result, span_dicts, pid)`` so the parent can both collect
-    the result in task order and merge the worker's profiler spans into
-    its own Chrome trace.
+    Returns ``(result, span_dicts, pid, epoch)`` so the parent can both
+    collect the result in task order and merge the worker's profiler
+    spans into its own Chrome trace, keyed by worker incarnation.
+
+    ``traceparent`` (the caller's serialized
+    :class:`~repro.profiling.tracer.TraceContext`) re-roots the worker's
+    spans under the caller's current span: the parsed context is
+    activated for the duration of the task, so the worker's root spans
+    carry explicit parent links back into the calling process and the
+    request assembles into one connected cross-process tree.
     """
-    fn, task, traced = payload
+    fn, task, traced, traceparent = payload
+    ctx = tracer.TraceContext.parse(traceparent)
     if not traced:
-        return fn(task), None, os.getpid()
+        with tracer.activate(ctx):
+            return fn(task), None, os.getpid(), _WORKER_EPOCH
     local = tracer.Tracer()
     with tracer.install(local):
-        result = fn(task)
-    return result, local.span_dicts(), os.getpid()
+        with tracer.activate(ctx):
+            result = fn(task)
+    return result, local.span_dicts(), os.getpid(), _WORKER_EPOCH
 
 
 class WorkPool:
@@ -134,13 +156,14 @@ class WorkPool:
         if self.jobs <= 1:
             return [fn(task) for task in items]
         traced = tracer.current() is not None
-        payloads = [(fn, task, traced) for task in items]
+        traceparent = tracer.current_traceparent()
+        payloads = [(fn, task, traced, traceparent) for task in items]
         wrapped = self._get_pool().map(_run_task, payloads)
         results: List[Any] = []
         current = tracer.current()
-        for result, spans, pid in wrapped:
+        for result, spans, pid, epoch in wrapped:
             if spans and current is not None:
-                current.absorb(spans, pid=pid)
+                current.absorb(spans, pid=pid, epoch=epoch)
             results.append(result)
         return results
 
@@ -155,10 +178,13 @@ class WorkPool:
         if self.jobs <= 1:
             return fn(task)
         traced = tracer.current() is not None
-        result, spans, pid = self._get_pool().apply(_run_task, ((fn, task, traced),))
+        traceparent = tracer.current_traceparent()
+        result, spans, pid, epoch = self._get_pool().apply(
+            _run_task, ((fn, task, traced, traceparent),)
+        )
         current = tracer.current()
         if spans and current is not None:
-            current.absorb(spans, pid=pid)
+            current.absorb(spans, pid=pid, epoch=epoch)
         return result
 
     # -- lifecycle -----------------------------------------------------------

@@ -18,27 +18,36 @@ OpenMetrics exporter — become a long-running HTTP/JSON tier here:
   rejections, breaker state, latency quantiles) rendered through the
   shared OpenMetrics exposition helpers;
 * :mod:`repro.serve.server` — the asyncio HTTP server: admission
-  control, duplicate coalescing on cache keys, ``/healthz`` /
-  ``/readyz`` / ``/metrics``, and graceful SIGTERM drain;
-* :mod:`repro.serve.client` — a small blocking client used by the
-  test-suite and the CI smoke job.
+  control, duplicate coalescing on cache keys, distributed tracing
+  (W3C-``traceparent`` continuation, ``/jobs/<id>/trace`` span trees,
+  ``/jobs/<id>/events`` SSE progress), ``/healthz`` / ``/readyz`` /
+  ``/metrics`` (RED/SLO histograms with trace-id exemplars), and
+  graceful SIGTERM drain;
+* :mod:`repro.serve.client` — a small blocking client (plus SSE
+  consumer) used by the test-suite, the ``repro trace`` / ``repro top``
+  subcommands and the CI smoke job.
 """
 
 from repro.serve.admission import RateLimiter, TokenBucket
 from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import ServeClient, ServeError, ServeTimeout
 from repro.serve.jobs import Job, JobSpec, JobValidationError, TERMINAL_OUTCOMES
-from repro.serve.metrics import ServeMetrics
+from repro.serve.metrics import Histogram, ServeMetrics
 from repro.serve.server import ReproServer, ServeConfig, ServerHandle
 
 __all__ = [
     "CircuitBreaker",
+    "Histogram",
     "Job",
     "JobSpec",
     "JobValidationError",
     "RateLimiter",
     "ReproServer",
+    "ServeClient",
     "ServeConfig",
+    "ServeError",
     "ServeMetrics",
+    "ServeTimeout",
     "ServerHandle",
     "TERMINAL_OUTCOMES",
     "TokenBucket",

@@ -25,7 +25,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 
 class ServeError(RuntimeError):
@@ -130,3 +130,73 @@ class ServeClient:
         if status != 200:
             raise ServeError(f"/metrics: HTTP {status}")
         return body if isinstance(body, str) else str(body)
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>/trace`` — the job's assembled span tree."""
+        status, body, _ = self.request("GET", f"/jobs/{job_id}/trace")
+        if status != 200:
+            raise ServeError(f"trace {job_id}: HTTP {status}: {body!r}")
+        return body
+
+    def stream_events(self, job_id: str,
+                      last_event_id: Optional[int] = None,
+                      timeout_s: float = 60.0) -> Iterator[Dict[str, Any]]:
+        """Stream ``GET /jobs/<id>/events`` SSE frames as dicts.
+
+        Yields the ``data:`` JSON of each event (heartbeat comments
+        surface as ``{"comment": "heartbeat"}`` so callers can observe
+        liveness); returns when the server ends the stream after the
+        terminal ``outcome`` event.  Pass ``last_event_id`` to resume a
+        dropped stream without replaying already-seen events.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout_s)
+        headers = {"Accept": "text/event-stream"}
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events", headers=headers)
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                raise ServeError(
+                    f"events {job_id}: HTTP {response.status}: {raw[:200]!r}"
+                )
+            data_lines: list = []
+            event_name = ""
+            event_id: Optional[int] = None
+            while True:
+                line = response.readline()
+                if not line:
+                    return  # server closed the stream
+                text = line.decode("utf-8", "replace").rstrip("\r\n")
+                if not text:
+                    if data_lines:
+                        try:
+                            payload = json.loads("\n".join(data_lines))
+                        except ValueError:
+                            payload = {"data": "\n".join(data_lines)}
+                        if isinstance(payload, dict):
+                            payload.setdefault("event", event_name)
+                            if event_id is not None:
+                                payload.setdefault("id", event_id)
+                        yield payload
+                    data_lines, event_name, event_id = [], "", None
+                    continue
+                if text.startswith(":"):
+                    yield {"comment": text[1:].strip()}
+                    continue
+                field, _, value = text.partition(":")
+                value = value[1:] if value.startswith(" ") else value
+                if field == "data":
+                    data_lines.append(value)
+                elif field == "event":
+                    event_name = value
+                elif field == "id":
+                    try:
+                        event_id = int(value)
+                    except ValueError:
+                        event_id = None
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(f"events stream for {job_id} failed: {exc!r}") from exc
+        finally:
+            conn.close()

@@ -28,6 +28,7 @@ import concurrent.futures
 import dataclasses
 from typing import Any, Dict, Optional
 
+from repro.profiling import tracer
 from repro.runtime import RetryPolicy, WorkPool
 
 #: Per-process runner cache: workers stay warm across jobs.
@@ -122,9 +123,18 @@ class JobExecutor:
         )
 
     def run(self, task: Dict[str, Any]) -> Dict[str, Any]:
-        """Execute ``task`` (blocking).  Never raises."""
+        """Execute ``task`` (blocking).  Never raises.
+
+        ``task["traceparent"]`` (set by the server at dispatch) is
+        re-activated here so spans connect across the dispatch boundary:
+        inline (``jobs=1``) execution records its spans directly under
+        the job's execute span, and the parallel path forwards the same
+        context to the pool worker via :class:`WorkPool.apply`.
+        """
         try:
-            return self.pool.apply(execute_job, task)
+            ctx = tracer.TraceContext.parse(task.get("traceparent"))
+            with tracer.activate(ctx):
+                return self.pool.apply(execute_job, task)
         except BaseException as exc:  # noqa: B036 - pool infrastructure failure
             return {
                 "outcome": "failed",

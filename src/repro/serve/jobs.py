@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.runtime.cache import canonical_key
 
@@ -161,10 +161,37 @@ class Job:
     duration_s: float = 0.0
     submissions: int = 1                   # coalesced duplicate submissions
     done: "asyncio.Event" = field(default_factory=asyncio.Event, repr=False)
+    # -- distributed tracing (empty when the server runs with tracing off) --
+    trace_id: str = ""                     # whole-request trace id
+    parent_span: str = ""                  # remote caller's span (traceparent header)
+    root_span: str = ""                    # the serve.job span id
+    exec_span: str = ""                    # the serve.execute span id (worker parent)
+    # Tracer-clock (µs since tracer epoch) marks for settle-time spans.
+    submitted_us: float = 0.0
+    started_us: Optional[float] = None
+    finished_us: Optional[float] = None
+    # -- progress event log (the SSE stream's source of truth) --------------
+    events: List[Dict[str, Any]] = field(default_factory=list, repr=False)
+    attempts_seen: Set[int] = field(default_factory=set, repr=False)
 
     @property
     def terminal(self) -> bool:
         return self.state == "done"
+
+    def add_event(self, name: str, **fields: Any) -> Dict[str, Any]:
+        """Append one progress event with a monotonically increasing id
+        (the SSE ``id:`` field, so ``Last-Event-ID`` resume is exact)."""
+        event: Dict[str, Any] = {
+            "id": len(self.events) + 1,
+            "event": name,
+            "ts": time.time(),
+            "job_id": self.id,
+        }
+        if self.trace_id:
+            event["trace"] = self.trace_id
+        event.update(fields)
+        self.events.append(event)
+        return event
 
     def finish(self, outcome: str, reason: str = "", record: Optional[Dict] = None,
                attempts: int = 0, duration_s: float = 0.0, source: str = "") -> None:
@@ -176,6 +203,8 @@ class Job:
         self.duration_s = duration_s
         self.source = source
         self.finished_ts = time.time()
+        self.add_event("outcome", outcome=outcome, reason=reason, source=source,
+                       attempts=attempts, duration_s=duration_s)
         self.done.set()
 
     def as_dict(self) -> Dict[str, Any]:
@@ -187,6 +216,8 @@ class Job:
             "submitted_ts": self.submitted_ts,
             "submissions": self.submissions,
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
         if self.started_ts is not None:
             out["started_ts"] = self.started_ts
         if self.terminal:

@@ -20,7 +20,22 @@ request) in front of the admission pipeline:
 
 Endpoints: ``POST /jobs``, ``GET /jobs``, ``GET /jobs/<id>[?wait=s]``
 (long-poll; running jobs include journal-derived progress),
-``GET /healthz``, ``GET /readyz``, ``GET /metrics`` (OpenMetrics).
+``GET /jobs/<id>/events`` (SSE progress stream: queued → admitted →
+attempt N → outcome, with heartbeats and ``Last-Event-ID`` resume),
+``GET /jobs/<id>/trace`` (the job's assembled span tree),
+``GET /healthz``, ``GET /readyz``, ``GET /metrics`` (OpenMetrics with
+RED/SLO latency histograms whose bucket exemplars carry trace ids).
+
+**Distributed tracing** — every admitted job gets a
+:class:`~repro.profiling.tracer.TraceContext`: parsed from the client's
+``traceparent`` header when present (the server's job span then parents
+under the client's span), minted otherwise.  The context is threaded
+through the executor and the work pool to the worker process, whose
+spans ship back and re-root under the job's execute span — one
+connected span tree per request across server and worker processes.
+Tracing is **passive**: span recording happens at settle time from
+timestamps the job already carries, and disabling it (``--no-trace``)
+changes no outcome, record or journal-entry byte.
 
 Every response a client can observe carries a JSON body with a terminal
 ``outcome`` (or the job's current state); an exception anywhere in
@@ -35,6 +50,8 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import collections
+import contextlib
 import itertools
 import json
 import logging
@@ -45,7 +62,9 @@ import urllib.parse
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.runtime import default_journal_path, read_journal
+from repro.profiling import tracer
+from repro.profiling.tracer import TraceContext, assemble_tree, new_span_id
+from repro.runtime import Journal, default_journal_path, read_events, read_journal
 from repro.serve.admission import RateLimiter, retry_after_for_queue
 from repro.serve.breaker import OPEN, CircuitBreaker
 from repro.serve.executor import JobExecutor
@@ -96,6 +115,9 @@ class ServeConfig:
     cache_path: Optional[str] = None  # None → REPRO_CACHE / repo default
     default_scale: int = 1
     wait_cap_s: float = 60.0          # max honoured ?wait= long-poll
+    trace: bool = True                # distributed tracing (spans + /trace)
+    sse_heartbeat_s: float = 10.0     # SSE comment-heartbeat interval
+    trace_jobs_max: int = 256         # settled traces kept in memory
 
 
 def _json(status: int, payload: Dict[str, Any],
@@ -118,6 +140,11 @@ class ReproServer:
         self.journal_path = (
             default_journal_path(self.cache_path) if self.cache_path else None
         )
+        self.journal = Journal(self.journal_path)
+        self.tracer: Optional[tracer.Tracer] = (
+            tracer.Tracer() if self.config.trace else None
+        )
+        self._settled_traces: "collections.deque[str]" = collections.deque()
         self.metrics = ServeMetrics()
         self.limiter = RateLimiter(self.config.rate, self.config.burst)
         self.breaker = CircuitBreaker(
@@ -155,22 +182,28 @@ class ReproServer:
     async def run(self, install_signals: bool = True,
                   ready: Optional[Callable[[], Any]] = None) -> None:
         """Start, serve until a drain is triggered, drain, return."""
-        await self.start()
-        if install_signals:
-            loop = asyncio.get_running_loop()
-            for sig in (signal.SIGTERM, signal.SIGINT):
-                try:
-                    loop.add_signal_handler(sig, self.begin_drain)
-                except (NotImplementedError, RuntimeError, ValueError):
-                    pass  # non-main thread / unsupported platform
-        LOG.info("repro serve listening on http://%s:%d (jobs=%d queue=%d)",
-                 self.config.host, self.port, self.config.jobs,
-                 self.config.queue_max)
-        if ready is not None:
-            ready()
-        assert self._drain_started is not None
-        await self._drain_started.wait()
-        await self._drain()
+        # The server's tracer is the process-wide one for its lifetime:
+        # inline execution and the runner's instrumentation record onto
+        # it directly, and work-pool workers merge their spans into it.
+        with contextlib.ExitStack() as stack:
+            if self.tracer is not None:
+                stack.enter_context(tracer.install(self.tracer))
+            await self.start()
+            if install_signals:
+                loop = asyncio.get_running_loop()
+                for sig in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        loop.add_signal_handler(sig, self.begin_drain)
+                    except (NotImplementedError, RuntimeError, ValueError):
+                        pass  # non-main thread / unsupported platform
+            LOG.info("repro serve listening on http://%s:%d (jobs=%d queue=%d)",
+                     self.config.host, self.port, self.config.jobs,
+                     self.config.queue_max)
+            if ready is not None:
+                ready()
+            assert self._drain_started is not None
+            await self._drain_started.wait()
+            await self._drain()
 
     def begin_drain(self) -> None:
         """Stop admitting and let in-flight work finish (idempotent;
@@ -204,6 +237,7 @@ class ReproServer:
                 self._inflight.pop(job.key, None)
                 job.finish("rejected", "drained before execution")
                 self.metrics.record_outcome("rejected")
+                self._record_job_trace(job)
             self._queue.task_done()
         for worker in self._workers:
             worker.cancel()
@@ -215,6 +249,7 @@ class ReproServer:
                 self._inflight.pop(job.key, None)
                 job.finish("rejected", "drain timeout expired while running")
                 self.metrics.record_outcome("rejected")
+                self._record_job_trace(job)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -240,7 +275,8 @@ class ReproServer:
             payload["retry_after_s"] = max(1, int(round(retry_after_s)))
         return _json(status, payload, headers)
 
-    def _submit(self, body: bytes) -> Response:
+    def _submit(self, body: bytes,
+                headers: Optional[Dict[str, str]] = None) -> Response:
         assert self._queue is not None
         self.metrics.submissions += 1
         if self.draining:
@@ -280,6 +316,20 @@ class ReproServer:
                                 detail="circuit breaker is open")
 
         job = Job(id=f"j{next(self._ids):06d}", spec=spec, key=key)
+        if self.tracer is not None:
+            # Continue the caller's trace when it sent a valid
+            # traceparent header; mint a fresh root trace otherwise.
+            incoming = TraceContext.parse((headers or {}).get("traceparent"))
+            if incoming is not None:
+                job.trace_id = incoming.trace_id
+                job.parent_span = incoming.span_id
+            else:
+                job.trace_id = tracer.new_trace_id()
+            job.root_span = new_span_id()
+            job.exec_span = new_span_id()
+            job.submitted_us = self.tracer.now_us()
+        job.add_event("admitted", tenant=spec.tenant, key=key)
+        job.add_event("queued", position=self._queue.qsize())
         self._jobs[job.id] = job
         self._inflight[key] = job
         # full() was checked above and nothing awaited since: cannot raise.
@@ -314,13 +364,22 @@ class ReproServer:
     async def _run_job(self, loop: asyncio.AbstractEventLoop, job: Job) -> None:
         job.state = "running"
         job.started_ts = time.time()
+        if self.tracer is not None:
+            job.started_us = self.tracer.now_us()
+        job.add_event("started")
         self._running += 1
         self.metrics.inflight = self._running
         self.metrics.queue_depth = self._queue.qsize() if self._queue else 0
+        task = job.spec.task(self.cache_path)
+        if self.tracer is not None and job.trace_id:
+            # Everything the executor runs parents under the job's
+            # execute span, recorded at settle time with this exact id.
+            task["traceparent"] = TraceContext(
+                job.trace_id, job.exec_span, True
+            ).to_header()
         try:
             result = await loop.run_in_executor(
-                self.executor.threads, self.executor.run,
-                job.spec.task(self.cache_path),
+                self.executor.threads, self.executor.run, task,
             )
         finally:
             self._running -= 1
@@ -340,8 +399,66 @@ class ReproServer:
         self.breaker.record(job.outcome)
         self._sync_breaker_metrics()
         self.metrics.record_outcome(job.outcome, job.duration_s)
+        self._record_job_trace(job)
         if job.outcome != "completed":
             LOG.info("job %s %s: %s", job.id, job.outcome, job.reason)
+
+    def _record_job_trace(self, job: Job) -> None:
+        """Close the job's spans, observe phase histograms, journal the
+        wide event, and prune old traces.  Purely observational."""
+        if self.tracer is None or not job.trace_id:
+            return
+        finished_us = self.tracer.now_us()
+        started_us = job.started_us
+        queue_s = ((started_us if started_us is not None else finished_us)
+                   - job.submitted_us) / 1e6
+        exec_s = ((finished_us - started_us) / 1e6
+                  if started_us is not None else 0.0)
+        total_s = (finished_us - job.submitted_us) / 1e6
+        args = {
+            "job_id": job.id, "key": job.key, "outcome": job.outcome,
+            "tenant": job.spec.tenant, "source": job.source,
+        }
+        self.tracer.record_span(
+            "serve.job", job.submitted_us, finished_us - job.submitted_us,
+            cat="serve", args=args, trace_id=job.trace_id,
+            span_id=job.root_span, parent_id=job.parent_span,
+        )
+        self.tracer.record_span(
+            "serve.queue_wait", job.submitted_us, queue_s * 1e6,
+            cat="serve", trace_id=job.trace_id,
+            span_id=new_span_id(), parent_id=job.root_span,
+        )
+        if started_us is not None:
+            self.tracer.record_span(
+                "serve.execute", started_us, exec_s * 1e6,
+                cat="serve", args={"source": job.source},
+                trace_id=job.trace_id,
+                span_id=job.exec_span, parent_id=job.root_span,
+            )
+        self.metrics.record_job_phase("queue", job.outcome, queue_s, job.trace_id)
+        if started_us is not None:
+            self.metrics.record_job_phase("exec", job.outcome, exec_s, job.trace_id)
+        self.metrics.record_job_phase("total", job.outcome, total_s, job.trace_id)
+        # The span-close wide event: everything needed to reconstruct
+        # the job post-hoc from rotated journal segments alone.
+        wide = {
+            "event": "span", "span": "serve.job", "trace": job.trace_id,
+            "span_id": job.root_span, "parent_id": job.parent_span,
+            "job_id": job.id, "key": job.key, "tenant": job.spec.tenant,
+            "outcome": job.outcome, "source": job.source,
+            "attempts": job.attempts, "queue_s": round(queue_s, 6),
+            "exec_s": round(exec_s, 6), "total_s": round(total_s, 6),
+        }
+        try:
+            loop = asyncio.get_running_loop()
+            loop.run_in_executor(None, self.journal.event, wide)
+        except RuntimeError:
+            self.journal.event(wide)
+        # Bound tracer memory: drop the spans of long-settled traces.
+        self._settled_traces.append(job.trace_id)
+        while len(self._settled_traces) > max(1, self.config.trace_jobs_max):
+            self.tracer.drop_trace(self._settled_traces.popleft())
 
     def _sync_breaker_metrics(self) -> None:
         self.metrics.breaker_state = self.breaker.state
@@ -363,6 +480,54 @@ class ReproServer:
             "last_outcome": last.outcome,
             "last_source": last.source,
         }
+
+    async def _merge_attempt_events(self, job: Job) -> None:
+        """Fold the runner's journalled per-attempt wide events into the
+        job's event log (deduplicated by attempt number), so the SSE
+        stream shows ``attempt N`` progress even though attempts happen
+        in another process."""
+        if not self.journal_path or not job.trace_id:
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            events = await loop.run_in_executor(
+                None, read_events, self.journal_path, job.trace_id
+            )
+        except OSError:
+            return
+        for raw in events:
+            if raw.get("event") != "attempt":
+                continue
+            try:
+                attempt = int(raw.get("attempt", 0))
+            except (TypeError, ValueError):
+                continue
+            if attempt <= 0 or attempt in job.attempts_seen:
+                continue
+            job.attempts_seen.add(attempt)
+            job.add_event("attempt", attempt=attempt,
+                          worker=str(raw.get("worker", "")))
+
+    def _job_trace(self, job_id: str) -> Response:
+        """The job's assembled span tree (``GET /jobs/<id>/trace``)."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            return _json(404, {"outcome": "rejected", "reason": "unknown job id",
+                               "job_id": job_id})
+        if self.tracer is None or not job.trace_id:
+            return _json(404, {"outcome": "rejected",
+                               "reason": "tracing is disabled",
+                               "job_id": job_id})
+        spans = self.tracer.trace_spans(job.trace_id)
+        tree = assemble_tree(spans)
+        return _json(200, {
+            "job_id": job.id,
+            "trace_id": job.trace_id,
+            "complete": job.terminal,
+            "roots": len(tree),
+            "spans": spans,
+            "tree": tree,
+        })
 
     async def _job_status(self, job_id: str, query: Dict[str, List[str]]) -> Response:
         job = self._jobs.get(job_id)
@@ -410,15 +575,18 @@ class ReproServer:
 
     # -- HTTP plumbing -------------------------------------------------------
 
-    async def _route(self, method: str, target: str, body: bytes) -> Response:
+    async def _route(self, method: str, target: str, body: bytes,
+                     headers: Optional[Dict[str, str]] = None) -> Response:
         split = urllib.parse.urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = urllib.parse.parse_qs(split.query)
         if method == "POST" and path == "/jobs":
-            return self._submit(body)
+            return self._submit(body, headers)
         if method == "GET" and path == "/jobs":
             jobs = [job.as_dict() for job in self._jobs.values()]
             return _json(200, {"jobs": jobs, "count": len(jobs)})
+        if method == "GET" and path.startswith("/jobs/") and path.endswith("/trace"):
+            return self._job_trace(path[len("/jobs/"):-len("/trace")])
         if method == "GET" and path.startswith("/jobs/"):
             return await self._job_status(path[len("/jobs/"):], query)
         if method == "GET" and path == "/healthz":
@@ -430,8 +598,114 @@ class ReproServer:
         return _json(404, {"outcome": "rejected",
                            "reason": f"no such endpoint: {method} {path}"})
 
+    @staticmethod
+    def _endpoint_of(path: str) -> str:
+        """Normalize a path for the request-latency histogram labels
+        (job ids collapse so cardinality stays bounded)."""
+        if path in ("/jobs", "/healthz", "/readyz", "/metrics"):
+            return path
+        if path.startswith("/jobs/"):
+            if path.endswith("/events"):
+                return "/jobs/{id}/events"
+            if path.endswith("/trace"):
+                return "/jobs/{id}/trace"
+            return "/jobs/{id}"
+        return "other"
+
+    @staticmethod
+    def _sse_target(method: str, target: str) -> Optional[Tuple[str, Dict[str, List[str]]]]:
+        """``(job_id, query)`` when the request is the SSE endpoint."""
+        if method != "GET":
+            return None
+        split = urllib.parse.urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        if not (path.startswith("/jobs/") and path.endswith("/events")):
+            return None
+        job_id = path[len("/jobs/"):-len("/events")]
+        return job_id, urllib.parse.parse_qs(split.query)
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job_id: str,
+                             query: Dict[str, List[str]],
+                             headers: Dict[str, str]) -> None:
+        """``GET /jobs/<id>/events`` — SSE progress stream.
+
+        Frames are ``id:``/``event:``/``data: <json>``; idle periods
+        emit ``: heartbeat`` comment lines so proxies and clients can
+        tell a slow job from a dead connection.  ``Last-Event-ID`` (the
+        header a reconnecting EventSource sends, or the
+        ``last_event_id`` query parameter) resumes after the given
+        event id.  The stream ends after the terminal ``outcome`` event.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            status, extra, ctype, payload = _json(
+                404, {"outcome": "rejected", "reason": "unknown job id",
+                      "job_id": job_id})
+            self._write_response(writer, status, extra, ctype, payload)
+            await writer.drain()
+            return
+        last_sent = 0
+        raw_last = headers.get("last-event-id") or (
+            query.get("last_event_id", [None])[0]
+        )
+        if raw_last:
+            try:
+                last_sent = max(0, int(raw_last))
+            except ValueError:
+                pass
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        heartbeat_s = max(0.2, self.config.sse_heartbeat_s)
+        poll_s = 0.05
+        idle = 0.0
+        while True:
+            if not job.terminal:
+                await self._merge_attempt_events(job)
+            fresh = [e for e in job.events if e["id"] > last_sent]
+            if fresh:
+                idle = 0.0
+                for event in fresh:
+                    frame = (
+                        f"id: {event['id']}\n"
+                        f"event: {event['event']}\n"
+                        f"data: {json.dumps(event)}\n\n"
+                    )
+                    writer.write(frame.encode("utf-8"))
+                    last_sent = event["id"]
+                await writer.drain()
+            if job.terminal and last_sent >= len(job.events):
+                return
+            await asyncio.sleep(poll_s)
+            idle += poll_s
+            if idle >= heartbeat_s:
+                idle = 0.0
+                writer.write(b": heartbeat\n\n")
+                await writer.drain()
+
+    @staticmethod
+    def _write_response(writer: asyncio.StreamWriter, status: int,
+                        extra: List[Tuple[str, str]], ctype: str,
+                        payload: bytes) -> None:
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            f"Content-Type: {ctype}",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload)
+
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        started = time.monotonic()
+        method = ""
+        endpoint = "other"
         try:
             try:
                 request = await asyncio.wait_for(reader.readline(), timeout=10.0)
@@ -450,7 +724,19 @@ class ReproServer:
                     headers[name.strip().lower()] = value.strip()
                 length = int(headers.get("content-length") or 0)
                 body = await reader.readexactly(length) if length > 0 else b""
-                status, extra, ctype, payload = await self._route(method, target, body)
+                endpoint = self._endpoint_of(
+                    urllib.parse.urlsplit(target).path.rstrip("/") or "/"
+                )
+                sse = self._sse_target(method, target)
+                if sse is not None:
+                    # Streaming response: no Content-Length, incremental
+                    # writes; a mid-stream disconnect lands in the
+                    # ConnectionError arm below like any other reset.
+                    await self._stream_events(writer, sse[0], sse[1], headers)
+                    return
+                status, extra, ctype, payload = await self._route(
+                    method, target, body, headers
+                )
             except asyncio.CancelledError:
                 raise
             except Exception as exc:
@@ -460,22 +746,34 @@ class ReproServer:
                 status, extra, ctype, payload = _json(
                     500, {"outcome": "failed", "reason": f"server error: {exc!r}"}
                 )
-            head = [
-                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
-                f"Content-Type: {ctype}",
-                f"Content-Length: {len(payload)}",
-                "Connection: close",
-            ]
-            head.extend(f"{name}: {value}" for name, value in extra)
-            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload)
+            self._write_response(writer, status, extra, ctype, payload)
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            if method:
+                self.metrics.record_request(
+                    endpoint, method, time.monotonic() - started,
+                    trace_id=self._exemplar_trace(locals().get("payload")),
+                )
             try:
                 writer.close()
             except Exception:
                 pass
+
+    @staticmethod
+    def _exemplar_trace(payload: Optional[bytes]) -> str:
+        """Extract a trace id from a JSON response body for histogram
+        exemplars (best effort — absent ids just mean no exemplar)."""
+        if not payload or b'"trace_id"' not in payload:
+            return ""
+        try:
+            parsed = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return ""
+        if isinstance(parsed, dict):
+            return str(parsed.get("trace_id") or "")
+        return ""
 
 
 class ServerHandle:
@@ -572,6 +870,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run-cache path (default: REPRO_CACHE / repo cache)")
     parser.add_argument("--scale", type=int, default=1,
                         help="default device scale for jobs that omit one")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="disable distributed tracing (spans, /jobs/<id>/trace)")
+    parser.add_argument("--sse-heartbeat", type=float, default=10.0,
+                        help="seconds between SSE comment heartbeats on idle streams")
     args = parser.parse_args(argv)
 
     from repro.cli import configure_logging
@@ -589,6 +891,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         drain_timeout_s=args.drain_timeout,
         cache_path=args.cache,
         default_scale=max(1, args.scale),
+        trace=not args.no_trace,
+        sse_heartbeat_s=max(0.2, args.sse_heartbeat),
     )
     server = ReproServer(config)
 

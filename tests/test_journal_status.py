@@ -140,6 +140,62 @@ class TestReadJournal:
         assert entries[0].source == SOURCE_DISK_CACHE
 
 
+# -- wide events ---------------------------------------------------------------
+
+
+class TestWideEvents:
+    def test_events_and_entries_interleave_but_read_separately(self, tmp_path):
+        from repro.runtime.journal import read_events
+
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.append(_entry())
+        journal.event({"event": "attempt", "trace": "t1", "attempt": 1})
+        journal.append(_entry(outcome="failed", error="boom"))
+        journal.event({"event": "span", "trace": "t2", "job_id": "j000001"})
+        assert len(read_journal(path)) == 2  # events skipped
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["attempt", "span"]
+        assert all(e["type"] == "event" and "ts" in e for e in events)
+
+    def test_event_filters_by_trace_and_job(self, tmp_path):
+        from repro.runtime.journal import read_events
+
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.event({"event": "attempt", "trace": "t1", "job_id": "j1"})
+        journal.event({"event": "attempt", "trace": "t2", "job_id": "j2"})
+        journal.event({"event": "span", "trace": "t1", "job_id": "j1"})
+        assert len(read_events(path, trace="t1")) == 2
+        assert len(read_events(path, job_id="j2")) == 1
+        assert read_events(path, trace="t1", job_id="j2") == []
+
+    def test_unserializable_event_is_dropped_not_raised(self, tmp_path):
+        from repro.runtime.journal import read_events
+
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path)
+        journal.event({"event": "odd", "payload": object()})  # default=str copes
+        circular: dict = {}
+        circular["self"] = circular
+        journal.event({"event": "broken", "payload": circular})  # dropped
+        journal.event({"event": "ok"})
+        names = [e["event"] for e in read_events(path)]
+        assert names == ["odd", "ok"]
+
+    def test_events_survive_rotation(self, tmp_path):
+        from repro.runtime.journal import read_events
+
+        path = str(tmp_path / "journal.jsonl")
+        journal = Journal(path, max_bytes=1, max_segments=4)
+        for index in range(3):
+            journal.event({"event": "attempt", "trace": "tX", "attempt": index})
+        events = read_events(path, trace="tX")
+        assert events  # readable across rotated segments
+        attempts = [e["attempt"] for e in events]
+        assert attempts == sorted(attempts)  # oldest-first
+
+
 # -- rotation ------------------------------------------------------------------
 
 
@@ -263,3 +319,58 @@ class TestStatusCli:
         assert "disk-cache: 1" in out
         assert "simulated: 4" in out
         assert "boom" in out
+
+    def test_status_positional_spelling_still_works(self, tmp_path, monkeypatch,
+                                                    capsys):
+        """``repro-experiments status`` routes through figures_main."""
+        from repro import cli
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache.json"))
+        assert cli.figures_main(["status"]) == 0
+        assert "run journal empty" in capsys.readouterr().out
+
+    def test_failure_lines_carry_trace_ids(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+
+        trace = "fe" * 16
+        entry = _entry(outcome="failed", error="kaboom")
+        entry.trace = trace
+        cache_path = self._write_journal(tmp_path, [entry])
+        monkeypatch.setenv("REPRO_CACHE", cache_path)
+        assert cli.main(["status"]) == 0
+        out = capsys.readouterr().out
+        assert f"trace={trace[:16]}" in out
+        assert "kaboom" in out
+
+    def test_status_trace_filter_across_rotated_segments(self, tmp_path,
+                                                         monkeypatch, capsys):
+        from repro import cli
+        from repro.runtime import default_journal_path
+
+        trace = "ab" * 16
+        cache_path = str(tmp_path / "cache.json")
+        # max_bytes=1 rotates on every append: the trace's records end up
+        # spread over several segments, and the filter must see them all.
+        journal = Journal(default_journal_path(cache_path), max_bytes=1,
+                          max_segments=8)
+        wanted = _entry(key='v2:["fig2","hit"]')
+        wanted.trace = trace
+        other = _entry(key='v2:["fig2","miss"]')
+        other.trace = "cd" * 16
+        journal.append(wanted)
+        journal.event({"event": "attempt", "trace": trace, "attempt": 1})
+        journal.append(other)
+        monkeypatch.setenv("REPRO_CACHE", cache_path)
+        # Prefix match: operators paste the short id from exemplars.
+        assert cli.main(["status", "--trace", trace[:8]]) == 0
+        out = capsys.readouterr().out
+        assert '"hit"' in out and '"miss"' not in out
+        assert "[attempt]" in out and "attempt=1" in out
+
+    def test_status_trace_filter_no_matches(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+
+        cache_path = self._write_journal(tmp_path, [_entry()])
+        monkeypatch.setenv("REPRO_CACHE", cache_path)
+        assert cli.main(["status", "--trace", "beef"]) == 0
+        assert "no journal records for trace" in capsys.readouterr().out

@@ -10,16 +10,20 @@ trips) is deterministic.
 
 from __future__ import annotations
 
+import http.client
+import json
+import re
 import threading
 import time
 
 import pytest
 
+from repro.observe.openmetrics import parse_exposition
 from repro.runtime import clear_faults, default_journal_path, read_journal
 from repro.serve import ServeConfig, ServerHandle
 from repro.serve.admission import RateLimiter, TokenBucket, retry_after_for_queue
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
-from repro.serve.client import ServeClient, ServeTimeout
+from repro.serve.client import ServeClient, ServeError, ServeTimeout
 from repro.serve.executor import execute_job, reset_runners
 from repro.serve.jobs import TERMINAL_OUTCOMES, JobValidationError, resolve_spec
 
@@ -453,6 +457,274 @@ class TestChaosSoak:
             exposition = client.metrics()
             assert "repro_serve_submissions_total" in exposition
             assert client.healthz()["status"] == "ok"
+
+
+class TestTracingIntegration:
+    def test_job_trace_is_one_connected_tree(self, tmp_path):
+        with ServerHandle(_config(tmp_path)) as handle:
+            client = ServeClient(port=handle.port, timeout_s=15)
+            status, body = client.submit(SPEC)
+            assert status == 202
+            done = client.wait(body["job_id"], timeout_s=30)
+            assert done["outcome"] == "completed"
+            assert len(done["trace_id"]) == 32
+            trace = client.trace(body["job_id"])
+            assert trace["trace_id"] == done["trace_id"]
+            assert trace["complete"]
+            assert trace["roots"] == 1
+            names = {s["name"] for s in trace["spans"]}
+            assert {"serve.job", "serve.queue_wait", "serve.execute"} <= names
+            assert "simulate" in names  # the worker side joined the tree
+            assert len(trace["tree"]) == 1
+
+    def test_worker_process_spans_join_the_tree(self, tmp_path):
+        """--jobs 2: spans recorded inside the spawned pool worker re-root
+        under the server's execute span — one tree across two pids."""
+        with ServerHandle(_config(tmp_path, jobs=2)) as handle:
+            client = ServeClient(port=handle.port, timeout_s=30)
+            status, body = client.submit(SPEC)
+            assert status == 202
+            done = client.wait(body["job_id"], timeout_s=60)
+            assert done["outcome"] == "completed"
+            trace = client.trace(body["job_id"])
+            assert trace["roots"] == 1
+            pids = {s["pid"] for s in trace["spans"]}
+            assert len(pids) >= 2  # server track + worker track
+            # Every span except the root links to a parent in the set.
+            by_id = {s["span_id"] for s in trace["spans"]}
+            orphans = [
+                s for s in trace["spans"]
+                if s["parent_id"] and s["parent_id"] not in by_id
+            ]
+            assert orphans == []
+
+    def test_traceparent_header_continues_client_trace(self, tmp_path):
+        client_trace = "ab" * 16
+        client_span = "cd" * 8
+        header = f"00-{client_trace}-{client_span}-01"
+        with ServerHandle(_config(tmp_path)) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=15)
+            try:
+                conn.request(
+                    "POST", "/jobs", body=json.dumps(SPEC),
+                    headers={"Content-Type": "application/json",
+                             "traceparent": header},
+                )
+                body = json.loads(conn.getresponse().read())
+            finally:
+                conn.close()
+            client = ServeClient(port=handle.port, timeout_s=15)
+            done = client.wait(body["job_id"], timeout_s=30)
+            assert done["trace_id"] == client_trace
+            trace = client.trace(body["job_id"])
+            # The server's root span parents under the client's span; the
+            # tree still assembles to one root (the client span is remote).
+            assert trace["roots"] == 1
+            root = trace["tree"][0]
+            assert root["name"] == "serve.job"
+            assert root["parent_id"] == client_span
+
+    def test_malformed_traceparent_header_minted_fresh(self, tmp_path):
+        with ServerHandle(_config(tmp_path)) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=15)
+            try:
+                conn.request(
+                    "POST", "/jobs", body=json.dumps(SPEC),
+                    headers={"Content-Type": "application/json",
+                             "traceparent": "00-" + "0" * 32 + "-" + "1" * 16 + "-01"},
+                )
+                body = json.loads(conn.getresponse().read())
+            finally:
+                conn.close()
+            client = ServeClient(port=handle.port, timeout_s=15)
+            done = client.wait(body["job_id"], timeout_s=30)
+            # All-zero trace id is invalid; the server minted its own.
+            assert len(done["trace_id"]) == 32
+            assert done["trace_id"] != "0" * 32
+
+    def test_trace_endpoint_404s(self, tmp_path):
+        with ServerHandle(_config(tmp_path)) as handle:
+            client = ServeClient(port=handle.port, timeout_s=15)
+            status, body, _ = client.request("GET", "/jobs/j999999/trace")
+            assert status == 404 and body["outcome"] == "rejected"
+        with ServerHandle(_config(tmp_path, trace=False)) as handle:
+            client = ServeClient(port=handle.port, timeout_s=15)
+            status, body = client.submit(SPEC)
+            assert status == 202
+            client.wait(body["job_id"], timeout_s=30)
+            status, payload, _ = client.request(
+                "GET", f"/jobs/{body['job_id']}/trace"
+            )
+            assert status == 404
+            assert "disabled" in payload["reason"]
+
+
+class TestSSEStreaming:
+    def test_replays_full_event_sequence(self, tmp_path):
+        with ServerHandle(_config(tmp_path)) as handle:
+            client = ServeClient(port=handle.port, timeout_s=15)
+            status, body = client.submit(SPEC)
+            assert status == 202
+            client.wait(body["job_id"], timeout_s=30)
+            events = [e for e in client.stream_events(body["job_id"])
+                      if "comment" not in e]
+            names = [e["event"] for e in events]
+            assert names[0] == "admitted"
+            assert "queued" in names and "started" in names
+            assert names[-1] == "outcome"
+            ids = [e["id"] for e in events]
+            assert ids == sorted(ids) and len(set(ids)) == len(ids)
+            outcome = events[-1]
+            assert outcome["outcome"] == "completed"
+            assert outcome["trace"] == client.job(body["job_id"])["trace_id"]
+
+    def test_heartbeats_keep_slow_streams_alive(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "sim_hang:0.8")
+        config = _config(tmp_path, sse_heartbeat_s=0.2)
+        with ServerHandle(config) as handle:
+            client = ServeClient(port=handle.port, timeout_s=15)
+            status, body = client.submit(SPEC)
+            assert status == 202
+            frames = list(client.stream_events(body["job_id"], timeout_s=30))
+            heartbeats = [f for f in frames if f.get("comment") == "heartbeat"]
+            assert heartbeats  # idle gaps were filled
+            assert frames[-1].get("event") == "outcome"
+
+    def test_disconnect_then_resume_via_last_event_id(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "sim_hang:0.6")
+        with ServerHandle(_config(tmp_path)) as handle:
+            client = ServeClient(port=handle.port, timeout_s=15)
+            status, body = client.submit(SPEC)
+            assert status == 202
+            # Read the first event, then drop the connection mid-stream.
+            first = None
+            for frame in client.stream_events(body["job_id"], timeout_s=30):
+                if "comment" not in frame:
+                    first = frame
+                    break
+            assert first is not None and first["event"] == "admitted"
+            # Resume: already-seen ids are not replayed.
+            resumed = [
+                f for f in client.stream_events(
+                    body["job_id"], last_event_id=first["id"], timeout_s=30)
+                if "comment" not in f
+            ]
+            assert resumed, "resume replayed nothing"
+            assert all(f["id"] > first["id"] for f in resumed)
+            assert resumed[-1]["event"] == "outcome"
+
+    def test_resume_via_query_parameter(self, tmp_path):
+        with ServerHandle(_config(tmp_path)) as handle:
+            client = ServeClient(port=handle.port, timeout_s=15)
+            status, body = client.submit(SPEC)
+            assert status == 202
+            client.wait(body["job_id"], timeout_s=30)
+            all_events = [e for e in client.stream_events(body["job_id"])
+                          if "comment" not in e]
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=15)
+            try:
+                conn.request(
+                    "GET",
+                    f"/jobs/{body['job_id']}/events?last_event_id={all_events[0]['id']}",
+                    headers={"Accept": "text/event-stream"},
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.getheader("Content-Type").startswith(
+                    "text/event-stream")
+                raw = response.read().decode("utf-8")
+            finally:
+                conn.close()
+            ids = [int(m) for m in re.findall(r"^id: (\d+)$", raw, re.M)]
+            assert ids and all(i > all_events[0]["id"] for i in ids)
+            assert "event: outcome" in raw
+
+    def test_unknown_job_stream_is_404(self, tmp_path):
+        with ServerHandle(_config(tmp_path)) as handle:
+            client = ServeClient(port=handle.port, timeout_s=15)
+            with pytest.raises(ServeError, match="404"):
+                list(client.stream_events("j999999"))
+
+
+_OM_LABELS = r'\{[a-zA-Z_]\w*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_]\w*="(?:[^"\\]|\\.)*")*\}'
+_OM_NUMBER = r"[+-]?(?:[0-9]*\.?[0-9]+(?:e[+-]?[0-9]+)?|Inf|NaN)"
+_OM_META_RE = re.compile(
+    r"^# (?:TYPE [a-zA-Z_:][\w:]* (?:counter|gauge|histogram|info|unknown)"
+    r"|UNIT [a-zA-Z_:][\w:]* [a-z]+"
+    r"|HELP [a-zA-Z_:][\w:]* \S.*)$"
+)
+_OM_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][\w:]*(?:%s)? %s(?: # %s %s)?$"
+    % (_OM_LABELS, _OM_NUMBER, _OM_LABELS, _OM_NUMBER)
+)
+
+
+class TestOpenMetricsCompliance:
+    def _exposition(self, tmp_path) -> str:
+        with ServerHandle(_config(tmp_path)) as handle:
+            client = ServeClient(port=handle.port, timeout_s=15)
+            done = client.submit_and_wait(SPEC, timeout_s=30)
+            assert done["outcome"] == "completed"
+            return client.metrics()
+
+    def test_every_line_matches_the_grammar(self, tmp_path):
+        text = self._exposition(tmp_path)
+        assert text.endswith("# EOF\n")
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        assert lines.count("# EOF") == 1  # single terminator, at the end
+        for line in lines[:-1]:
+            assert line, "blank line inside exposition"
+            if line.startswith("#"):
+                assert _OM_META_RE.match(line), line
+            else:
+                assert _OM_SAMPLE_RE.match(line), line
+
+    def test_duration_families_declare_a_seconds_unit(self, tmp_path):
+        text = self._exposition(tmp_path)
+        assert "# UNIT repro_serve_job_seconds_total seconds" in text
+        assert "# UNIT repro_serve_request_seconds seconds" in text
+        assert "# UNIT repro_serve_job_phase_seconds seconds" in text
+        # Metadata order per family: TYPE, then UNIT, then HELP.
+        block = re.search(
+            r"^# TYPE repro_serve_request_seconds histogram\n"
+            r"# UNIT repro_serve_request_seconds seconds\n"
+            r"# HELP repro_serve_request_seconds .+$",
+            text, re.M,
+        )
+        assert block is not None
+
+    def test_histograms_are_cumulative_with_exemplars(self, tmp_path):
+        samples = parse_exposition(self._exposition(tmp_path))
+        buckets: dict = {}
+        counts: dict = {}
+        for sample in samples:
+            labels = dict(sample["labels"])
+            if sample["name"] == "repro_serve_job_phase_seconds_bucket":
+                le = labels.pop("le")
+                bound = float("inf") if le == "+Inf" else float(le)
+                key = tuple(sorted(labels.items()))
+                buckets.setdefault(key, []).append((bound, sample["value"]))
+            elif sample["name"] == "repro_serve_job_phase_seconds_count":
+                counts[tuple(sorted(labels.items()))] = sample["value"]
+        assert buckets and counts
+        for key, series in buckets.items():
+            series.sort()
+            values = [count for _bound, count in series]
+            assert values == sorted(values), f"non-cumulative buckets: {key}"
+            assert series[-1][0] == float("inf")
+            assert series[-1][1] == counts[key]  # +Inf bucket == _count
+        exemplar_traces = [
+            sample["exemplar"]["labels"]["trace_id"]
+            for sample in samples
+            if sample.get("exemplar")
+            and "trace_id" in sample["exemplar"]["labels"]
+        ]
+        assert exemplar_traces
+        assert all(re.fullmatch(r"[0-9a-f]{32}", t) for t in exemplar_traces)
 
 
 class TestLongPoll:

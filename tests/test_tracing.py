@@ -1,0 +1,267 @@
+"""Distributed tracing: context propagation, span trees, passivity.
+
+The trace-context layer (:mod:`repro.profiling.tracer`) is what turns
+the flat span log into one connected tree per serve request, so these
+tests pin the contracts the serve tier depends on: strict W3C
+``traceparent`` parsing, parent links under an activated context,
+cross-process tree assembly, pid-reuse-safe worker tracks, and — the
+paper-repro invariant — tracing never changes figure results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiling import tracer
+from repro.profiling.tracer import (
+    TRACE_PID,
+    TraceContext,
+    Tracer,
+    assemble_tree,
+    render_span_tree,
+)
+
+_TRACE = "ab" * 16
+_SPAN = "cd" * 8
+VALID = f"00-{_TRACE}-{_SPAN}-01"
+
+
+# -- traceparent parsing -------------------------------------------------------
+
+
+class TestTraceparentParsing:
+    def test_valid_header_roundtrip(self):
+        ctx = TraceContext.parse(VALID)
+        assert ctx is not None
+        assert ctx.trace_id == _TRACE
+        assert ctx.span_id == _SPAN
+        assert ctx.sampled
+        assert ctx.to_header() == VALID
+
+    def test_sampled_flag_is_bit_zero(self):
+        assert not TraceContext.parse(f"00-{_TRACE}-{_SPAN}-00").sampled
+        # Any flags byte with bit 0 set means sampled.
+        assert TraceContext.parse(f"00-{_TRACE}-{_SPAN}-03").sampled
+
+    def test_future_version_tolerated_in_exact_shape(self):
+        ctx = TraceContext.parse(f"01-{_TRACE}-{_SPAN}-01")
+        assert ctx is not None and ctx.trace_id == _TRACE
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            42,
+            "garbage",
+            f"00-{_TRACE}-{_SPAN}",            # three fields
+            f"00-{_TRACE}-{_SPAN}-01-extra",   # five fields
+            f"0-{_TRACE}-{_SPAN}-01",          # short version
+            f"zz-{_TRACE}-{_SPAN}-01",         # non-hex version
+            f"ff-{_TRACE}-{_SPAN}-01",         # reserved version
+            f"00-{_TRACE.upper()}-{_SPAN}-01",  # uppercase hex rejected
+            f"00-{_TRACE[:-2]}-{_SPAN}-01",    # short trace id
+            f"00-{'0' * 32}-{_SPAN}-01",       # all-zero trace id
+            f"00-{_TRACE}-{_SPAN[:-2]}-01",    # short span id
+            f"00-{_TRACE}-{'0' * 16}-01",      # all-zero span id
+            f"00-{_TRACE}-{_SPAN}-1",          # short flags
+            f"00-{_TRACE}-{_SPAN}-zz",         # non-hex flags
+        ],
+    )
+    def test_malformed_headers_rejected(self, header):
+        assert TraceContext.parse(header) is None
+
+    def test_mint_and_child_share_trace(self):
+        ctx = TraceContext.mint()
+        assert len(ctx.trace_id) == 32 and len(ctx.span_id) == 16
+        assert TraceContext.parse(ctx.to_header()) == ctx
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+
+
+# -- activation and parent links -----------------------------------------------
+
+
+class TestActivationAndParentLinks:
+    def test_no_context_records_no_ids(self):
+        with tracer.install() as t:
+            with t.span("a"):
+                pass
+        span = t.spans[0]
+        assert span.trace_id == span.span_id == span.parent_id == ""
+
+    def test_unsampled_context_propagates_but_records_no_ids(self):
+        ctx = TraceContext.mint(sampled=False)
+        with tracer.install() as t, tracer.activate(ctx):
+            header = tracer.current_traceparent()
+            assert header is not None and header.endswith("-00")
+            with t.span("a"):
+                pass
+        assert t.spans[0].span_id == ""
+
+    def test_nested_spans_link_to_enclosing_and_context(self):
+        ctx = TraceContext.mint()
+        with tracer.install() as t, tracer.activate(ctx):
+            with t.span("outer"):
+                with t.span("inner"):
+                    pass
+        inner, outer = t.spans  # spans append at close: inner first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert outer.trace_id == inner.trace_id == ctx.trace_id
+        assert outer.parent_id == ctx.span_id
+        assert inner.parent_id == outer.span_id
+
+    def test_current_context_tracks_innermost_open_span(self):
+        ctx = TraceContext.mint()
+        with tracer.install() as t, tracer.activate(ctx):
+            assert tracer.current_context().span_id == ctx.span_id
+            with t.span("outer"):
+                open_span = tracer.current_context().span_id
+                assert open_span != ctx.span_id
+        assert t.spans[0].span_id == open_span
+        assert tracer.current_traceparent() is None  # deactivated
+
+    def test_activation_nests_and_restores(self):
+        first, second = TraceContext.mint(), TraceContext.mint()
+        with tracer.activate(first):
+            with tracer.activate(second):
+                assert tracer.active_context() is second
+            assert tracer.active_context() is first
+        assert tracer.active_context() is None
+
+    def test_activate_none_is_a_noop(self):
+        with tracer.activate(None) as ctx:
+            assert ctx is None
+            assert tracer.active_context() is None
+
+
+# -- tree assembly -------------------------------------------------------------
+
+
+def _span(span_id, parent_id="", name="s", start=0.0, pid=TRACE_PID):
+    return {
+        "name": name, "cat": "", "start_us": start, "dur_us": 1.0,
+        "tid": 0, "depth": 0, "seq": int(start), "args": {}, "pid": pid,
+        "ph": "X", "trace_id": _TRACE, "span_id": span_id,
+        "parent_id": parent_id,
+    }
+
+
+class TestAssembleTree:
+    def test_single_connected_root(self):
+        roots = assemble_tree([
+            _span("aa" * 8, name="root", start=0),
+            _span("bb" * 8, parent_id="aa" * 8, name="late", start=20),
+            _span("cc" * 8, parent_id="aa" * 8, name="early", start=10),
+            _span("dd" * 8, parent_id="cc" * 8, name="leaf", start=11),
+        ])
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "root"
+        # Children come back in start order, not insertion order.
+        assert [c["name"] for c in root["children"]] == ["early", "late"]
+        assert root["children"][0]["children"][0]["name"] == "leaf"
+
+    def test_remote_parent_becomes_root(self):
+        # The serve root parents under the HTTP client's span, which is
+        # not in the server's span set — it must still surface as a root.
+        roots = assemble_tree([
+            _span("aa" * 8, parent_id="ee" * 8, name="serve.job"),
+            _span("bb" * 8, parent_id="aa" * 8, name="child"),
+        ])
+        assert len(roots) == 1
+        assert roots[0]["name"] == "serve.job"
+
+    def test_spans_without_ids_are_ignored(self):
+        naked = _span("", name="untraceable")
+        assert assemble_tree([naked]) == []
+
+    def test_render_marks_worker_pids(self):
+        roots = assemble_tree([
+            _span("aa" * 8, name="serve.job"),
+            _span("bb" * 8, parent_id="aa" * 8, name="simulate", pid=4242),
+        ])
+        text = render_span_tree(roots)
+        assert "serve.job" in text
+        assert "(pid 4242)" in text
+
+
+# -- worker-track bookkeeping (pid reuse across respawns) ----------------------
+
+
+class TestAbsorbEpochTracks:
+    def _raw(self):
+        return {"name": "w", "start_us": 0.0, "dur_us": 1.0, "tid": 0,
+                "depth": 0, "seq": 0, "ph": "X"}
+
+    def test_respawned_worker_pid_gets_fresh_track(self):
+        t = Tracer()
+        t.absorb([self._raw()], pid=4242, epoch=1)
+        t.absorb([self._raw()], pid=4242, epoch=2)  # OS reused the pid
+        t.absorb([self._raw()], pid=4242, epoch=1)  # first incarnation again
+        pids = [s.pid for s in t.spans]
+        assert pids[0] == 4242
+        assert pids[1] not in (TRACE_PID, 4242)  # its own synthetic track
+        assert pids[2] == 4242
+
+    def test_distinct_worker_pids_keep_real_pids(self):
+        t = Tracer()
+        t.absorb([self._raw()], pid=100, epoch=7)
+        t.absorb([self._raw()], pid=200, epoch=9)
+        assert [s.pid for s in t.spans] == [100, 200]
+
+    def test_absorb_preserves_trace_ids(self):
+        raw = dict(self._raw(), trace_id=_TRACE, span_id=_SPAN,
+                   parent_id="ee" * 8)
+        t = Tracer()
+        t.absorb([raw], pid=77, epoch=1)
+        span = t.spans[0]
+        assert (span.trace_id, span.span_id, span.parent_id) == \
+            (_TRACE, _SPAN, "ee" * 8)
+
+    def test_chrome_events_expose_ids_in_args(self):
+        ctx = TraceContext.mint()
+        with tracer.install() as t:
+            with tracer.activate(ctx):
+                with t.span("traced"):
+                    pass
+            with t.span("plain"):
+                pass
+        events = {e["name"]: e for e in t.chrome_events()}
+        assert events["traced"]["args"]["trace_id"] == ctx.trace_id
+        assert events["traced"]["args"]["parent_id"] == ctx.span_id
+        assert "args" not in events["plain"]
+
+
+# -- passivity: tracing must never change results ------------------------------
+
+
+class TestTracingPassivity:
+    def test_figure_json_byte_identical_with_tracing(self, tmp_path, monkeypatch):
+        from repro.experiments import CACHE_SCALE, fig1
+        from repro.experiments.export import export_figure_json
+
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        monkeypatch.setenv("REPRO_PMU", "off")
+        scale = CACHE_SCALE * 4  # small caches keep both runs fast
+
+        fig1._measure_level.cache_clear()
+        bare = fig1.run(scale=scale)
+        fig1._measure_level.cache_clear()  # force the traced run to re-measure
+        ctx = TraceContext.mint()
+        with tracer.install() as t, tracer.activate(ctx):
+            traced = fig1.run(scale=scale)
+        # The traced run really was observed end-to-end…
+        assert t.spans
+        assert any(s.trace_id == ctx.trace_id for s in t.spans)
+        # …and observation changed nothing: canonical JSON is byte-equal.
+        bare_path = export_figure_json("fig1", str(tmp_path / "bare"),
+                                       result=bare)
+        traced_path = export_figure_json("fig1", str(tmp_path / "traced"),
+                                         result=traced)
+        with open(bare_path, "rb") as fh:
+            bare_bytes = fh.read()
+        with open(traced_path, "rb") as fh:
+            traced_bytes = fh.read()
+        assert bare_bytes == traced_bytes
