@@ -1,0 +1,65 @@
+"""Symbolic cache-behavior analysis with machine-checkable certificates.
+
+Classifies every affine trace-segment run of a kernel, per cache level,
+as STREAMING / RESIDENT / CONFLICT / UNKNOWN, with exact predicted miss
+counts and 3C splits, proof chains (closed-form arithmetic plus
+Fourier–Motzkin infeasibility steps), and a differential validator that
+replays every claim through the exact simulator.
+"""
+
+from repro.analysis.cachemodel.classify import (
+    CONFLICT,
+    RESIDENT,
+    STREAMING,
+    UNKNOWN,
+    VERDICTS,
+    CacheAnalysis,
+    Classification,
+    GroupAnalysis,
+    GroupLevelResult,
+    LevelGeom,
+    analyze_program,
+    level_geometries,
+)
+from repro.analysis.cachemodel.proof import Proof, ProofStep
+from repro.analysis.cachemodel.segments import (
+    GAP_CAP,
+    RevisitClass,
+    SegmentGroup,
+    SegRecord,
+    extract_groups,
+)
+from repro.analysis.cachemodel.validate import (
+    LevelReplay,
+    check_run,
+    replay_group_level,
+    validate_analysis,
+    validate_group,
+)
+
+__all__ = [
+    "CONFLICT",
+    "GAP_CAP",
+    "RESIDENT",
+    "STREAMING",
+    "UNKNOWN",
+    "VERDICTS",
+    "CacheAnalysis",
+    "Classification",
+    "GroupAnalysis",
+    "GroupLevelResult",
+    "LevelGeom",
+    "LevelReplay",
+    "Proof",
+    "ProofStep",
+    "RevisitClass",
+    "SegRecord",
+    "SegmentGroup",
+    "analyze_program",
+    "check_run",
+    "extract_groups",
+    "level_geometries",
+    "replay_group_level",
+    "validate_analysis",
+    "validate_group",
+]

@@ -1,0 +1,744 @@
+"""Per-level verdicts and certificates over segment-group relations.
+
+Pass 2: map the level-independent relation records from ``segments.py``
+onto one cache level's geometry.  For every revisited line the engine
+holds the *exact* fully-associative reuse distance ``D`` plus exact
+per-set in-between occupancy bounds, so four sound rules decide it:
+
+* ``D == 0`` — the line was the most recent touch: **hit, any policy**;
+* global residency — the group's distinct lines never exceed ``ways``
+  in any set, so nothing is ever evicted: **hit, any policy**;
+* LRU window — at most ``ways - 1`` distinct lines map to the line's
+  set strictly between its touches: **hit** (W-way LRU keeps it);
+* LRU eviction — at least ``ways`` distinct lines map to the line's set
+  in between: **miss**; its 3C class is then exactly what the PMU's
+  shadow cache would say: ``D >= capacity`` means the fully-associative
+  shadow evicted it too (**capacity**), ``D < capacity`` means only the
+  set mapping did (**conflict** — the paper's Section 4.2 pathology).
+
+Anything the rules cannot decide (non-LRU replacement with possible
+evictions, distance bounds that straddle the thresholds) is UNKNOWN —
+never guessed.  Contiguous segments with one verdict merge into a
+:class:`Classification` run certificate carrying predicted counts, the
+set-occupancy evidence, and a :class:`~.proof.Proof` chain.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cachemodel import setmath
+from repro.analysis.cachemodel.proof import (
+    Proof,
+    prove_offset_unique,
+    prove_segments_disjoint,
+)
+from repro.analysis.cachemodel.segments import (
+    SegmentGroup,
+    SegRecord,
+    extract_groups,
+)
+from repro.analysis.cachemodel.setmath import LinesRep, rep_count
+from repro.devices.spec import LINE_SIZE, DeviceSpec
+from repro.exec.trace import LineRun
+from repro.ir.program import Program
+
+STREAMING = "STREAMING"
+RESIDENT = "RESIDENT"
+CONFLICT = "CONFLICT"
+UNKNOWN = "UNKNOWN"
+
+VERDICTS = (STREAMING, RESIDENT, CONFLICT, UNKNOWN)
+
+#: Tuple-represented (drifting) source segments larger than this fall
+#: back to UNKNOWN rather than pay a quadratic per-line scan.
+_TUPLE_SCAN_CAP = 2048
+
+
+@dataclass(frozen=True)
+class LevelGeom:
+    """One cache level's geometry as the classifier consumes it."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    sets: int
+    capacity_lines: int
+    policy: str
+
+    @property
+    def is_lru(self) -> bool:
+        return self.policy == "lru"
+
+
+def level_geometries(device: DeviceSpec, active_cores: int = 1) -> List[LevelGeom]:
+    """Per-core level geometries, matching ``DeviceSpec.build_hierarchies``."""
+    out = []
+    for spec in device.caches:
+        size = spec.per_core_size(active_cores)
+        out.append(
+            LevelGeom(
+                name=spec.name,
+                size_bytes=size,
+                ways=spec.ways,
+                sets=setmath.num_sets(size, spec.ways, LINE_SIZE),
+                capacity_lines=max(1, size // LINE_SIZE),
+                policy=spec.policy,
+            )
+        )
+    return out
+
+
+@dataclass
+class Classification:
+    """A certified verdict for a run of contiguous segments at one level."""
+
+    verdict: str
+    level: str
+    core: int
+    ref_id: int
+    array: str
+    is_write: bool
+    t_lo: int
+    t_hi: int                    # inclusive
+    segments: int
+    touches: int                 # distinct-line probes (predicted accesses)
+    misses: int
+    compulsory: int
+    capacity: int
+    conflict: int
+    hits: int
+    distance_lo: Optional[int] = None
+    distance_hi: Optional[int] = None
+    conflict_sets: Dict[int, int] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
+    proof: Proof = field(default_factory=Proof)
+
+    @property
+    def predicted_3c(self) -> Tuple[int, int, int]:
+        return (self.compulsory, self.capacity, self.conflict)
+
+
+@dataclass
+class GroupLevelResult:
+    """One group's classification at one cache level."""
+
+    level: str
+    runs: List[Classification] = field(default_factory=list)
+    touches: int = 0
+    classified_touches: int = 0
+
+    @property
+    def coverage(self) -> float:
+        return self.classified_touches / self.touches if self.touches else 1.0
+
+    def predicted(self) -> Dict[str, int]:
+        out = {"accesses": 0, "misses": 0, "compulsory": 0, "capacity": 0,
+               "conflict": 0, "hits": 0}
+        for run in self.runs:
+            if run.verdict == UNKNOWN:
+                continue
+            out["accesses"] += run.touches
+            out["misses"] += run.misses
+            out["compulsory"] += run.compulsory
+            out["capacity"] += run.capacity
+            out["conflict"] += run.conflict
+            out["hits"] += run.hits
+        return out
+
+
+@dataclass
+class GroupAnalysis:
+    """A segment group plus its per-level verdict runs."""
+
+    group: SegmentGroup
+    levels: Dict[str, GroupLevelResult] = field(default_factory=dict)
+
+
+@dataclass
+class CacheAnalysis:
+    """The full certified analysis of one program on one device."""
+
+    program: str
+    device: str
+    geoms: List[LevelGeom]
+    groups: List[GroupAnalysis] = field(default_factory=list)
+
+    def coverage(self, level: str) -> float:
+        total = classified = 0
+        for ga in self.groups:
+            res = ga.levels.get(level)
+            if res is None:
+                continue
+            total += res.touches
+            classified += res.classified_touches
+        return classified / total if total else 1.0
+
+    @property
+    def overall_coverage(self) -> float:
+        total = classified = 0
+        for ga in self.groups:
+            for res in ga.levels.values():
+                total += res.touches
+                classified += res.classified_touches
+        return classified / total if total else 1.0
+
+    def certificates(self) -> List[Classification]:
+        out: List[Classification] = []
+        for ga in self.groups:
+            for res in ga.levels.values():
+                out.extend(res.runs)
+        return out
+
+
+def analyze_program(
+    program: Program,
+    device: DeviceSpec,
+    active_cores: int = 1,
+    line_size: int = LINE_SIZE,
+    build_proofs: bool = True,
+) -> CacheAnalysis:
+    """Classify every segment group of ``program`` on ``device``'s levels."""
+    geoms = level_geometries(device, active_cores)
+    groups = extract_groups(program, num_cores=active_cores, line_size=line_size)
+    analysis = CacheAnalysis(program=program.name, device=device.key, geoms=geoms)
+    for group in groups:
+        ga = GroupAnalysis(group=group)
+        for geom in geoms:
+            ga.levels[geom.name] = _classify_group_level(
+                group, geom, build_proofs=build_proofs
+            )
+        analysis.groups.append(ga)
+    return analysis
+
+
+# -- per-level classification -------------------------------------------------
+
+
+class _RunAccum:
+    """Mutable accumulator for a run of same-verdict segments."""
+
+    __slots__ = (
+        "verdict", "t_lo", "t_hi", "segments", "touches", "misses",
+        "compulsory", "capacity", "conflict", "hits", "d_lo", "d_hi",
+        "conflict_sets", "lb_min", "ub_max", "miss_lb", "rep_t", "shape",
+    )
+
+    def __init__(self, verdict: str, t: int):
+        self.verdict = verdict
+        self.t_lo = self.t_hi = t
+        self.segments = 0
+        self.touches = self.misses = 0
+        self.compulsory = self.capacity = self.conflict = self.hits = 0
+        self.d_lo: Optional[int] = None
+        self.d_hi: Optional[int] = None
+        self.conflict_sets: Dict[int, int] = {}
+        self.lb_min: Optional[int] = None   # weakest per-set in-between bound
+        self.ub_max: Optional[int] = None   # strongest per-set window bound
+        self.miss_lb: Optional[int] = None  # weakest bound among evicted lines
+        self.rep_t: Optional[int] = None    # representative segment index
+        self.shape: Optional[Tuple[int, Optional[int]]] = None  # (s_delta, shift)
+
+
+class _SegOutcome:
+    """One segment's decided counts at one level."""
+
+    __slots__ = (
+        "verdict", "touches", "compulsory", "capacity", "conflict", "hits",
+        "d_lo", "d_hi", "conflict_sets", "lb_min", "ub_max", "miss_lb",
+        "shape",
+    )
+
+    def __init__(self) -> None:
+        self.verdict = UNKNOWN
+        self.touches = 0
+        self.compulsory = self.capacity = self.conflict = self.hits = 0
+        self.d_lo: Optional[int] = None
+        self.d_hi: Optional[int] = None
+        self.conflict_sets: Dict[int, int] = {}
+        self.lb_min: Optional[int] = None
+        self.ub_max: Optional[int] = None
+        self.miss_lb: Optional[int] = None
+        self.shape: Optional[Tuple[int, Optional[int]]] = None
+
+
+def _classify_group_level(
+    group: SegmentGroup, geom: LevelGeom, build_proofs: bool
+) -> GroupLevelResult:
+    result = GroupLevelResult(level=geom.name, touches=group.touches)
+    if not group.records:
+        return result
+
+    sets, ways = geom.sets, geom.ways
+    # Policy-free global residency: if no set ever holds more than `ways`
+    # distinct lines of this group, nothing is evicted under any policy.
+    per_set_total = setmath.distinct_set_counter(group.line_set, sets)
+    globally_resident = (
+        max(per_set_total.values()) <= ways if per_set_total else True
+    )
+
+    # Translation-invariant signatures: steady-state loop nests emit huge
+    # families of segments identical modulo the set mapping, so per-set
+    # counters, gap merges and whole class decisions are shared via sigs.
+    sigs = [setmath.rep_signature(rep, sets) for rep in group.reps]
+    counter_memo: Dict[Tuple[int, ...], Dict[int, int]] = {}
+    gap_memo: Dict[Tuple[Tuple[int, ...], ...], Dict[int, int]] = {}
+    cls_memo: Dict[Tuple, Optional[_ClassDelta]] = {}
+
+    def rep_counter(idx: int) -> Dict[int, int]:
+        sig = sigs[idx]
+        counter = counter_memo.get(sig)
+        if counter is None:
+            counter = counter_memo[sig] = setmath.lines_set_counter(
+                group.reps[idx], sets
+            )
+        return counter
+
+    runs: List[Classification] = []
+    accum: Optional[_RunAccum] = None
+
+    for record in group.records:
+        outcome = _classify_record(
+            record, group, geom, globally_resident,
+            rep_counter, gap_memo, sigs, cls_memo,
+        )
+        if accum is None or accum.verdict != outcome.verdict:
+            if accum is not None:
+                runs.append(_finish_run(accum, group, geom, build_proofs))
+            accum = _RunAccum(outcome.verdict, record.t)
+        _merge_outcome(accum, outcome, record.t)
+
+    if accum is not None:
+        runs.append(_finish_run(accum, group, geom, build_proofs))
+
+    result.runs = runs
+    result.classified_touches = sum(
+        run.touches for run in runs if run.verdict != UNKNOWN
+    )
+    return result
+
+
+def _merge_outcome(accum: _RunAccum, outcome: _SegOutcome, t: int) -> None:
+    accum.t_hi = t
+    accum.segments += 1
+    accum.touches += outcome.touches
+    accum.compulsory += outcome.compulsory
+    accum.capacity += outcome.capacity
+    accum.conflict += outcome.conflict
+    accum.hits += outcome.hits
+    accum.misses += outcome.compulsory + outcome.capacity + outcome.conflict
+    if outcome.d_lo is not None:
+        accum.d_lo = outcome.d_lo if accum.d_lo is None else min(accum.d_lo, outcome.d_lo)
+    if outcome.d_hi is not None:
+        accum.d_hi = outcome.d_hi if accum.d_hi is None else max(accum.d_hi, outcome.d_hi)
+    for idx, n in outcome.conflict_sets.items():
+        accum.conflict_sets[idx] = accum.conflict_sets.get(idx, 0) + n
+    if outcome.lb_min is not None:
+        accum.lb_min = outcome.lb_min if accum.lb_min is None else min(accum.lb_min, outcome.lb_min)
+    if outcome.ub_max is not None:
+        accum.ub_max = outcome.ub_max if accum.ub_max is None else max(accum.ub_max, outcome.ub_max)
+    if outcome.miss_lb is not None:
+        accum.miss_lb = outcome.miss_lb if accum.miss_lb is None else min(accum.miss_lb, outcome.miss_lb)
+    # Proof representative: the first record with revisit structure, or —
+    # for cold-only runs — the last record (it has predecessors to cite).
+    if outcome.shape is not None and accum.shape is None:
+        accum.rep_t = t
+        accum.shape = outcome.shape
+    elif accum.shape is None and outcome.touches:
+        accum.rep_t = t
+
+
+class _ClassDelta:
+    """One revisit class's decided contribution, cacheable by shape."""
+
+    __slots__ = (
+        "hits", "capacity", "conflict", "conflict_sets", "lb_min", "ub_max",
+        "miss_lb",
+    )
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.capacity = 0
+        self.conflict = 0
+        self.conflict_sets: Dict[int, int] = {}
+        self.lb_min: Optional[int] = None
+        self.ub_max: Optional[int] = None
+        self.miss_lb: Optional[int] = None
+
+
+def _apply_delta(out: _SegOutcome, delta: _ClassDelta) -> None:
+    out.hits += delta.hits
+    out.capacity += delta.capacity
+    out.conflict += delta.conflict
+    for idx, n in delta.conflict_sets.items():
+        out.conflict_sets[idx] = out.conflict_sets.get(idx, 0) + n
+    if delta.lb_min is not None:
+        out.lb_min = delta.lb_min if out.lb_min is None else min(out.lb_min, delta.lb_min)
+    if delta.ub_max is not None:
+        out.ub_max = delta.ub_max if out.ub_max is None else max(out.ub_max, delta.ub_max)
+    if delta.miss_lb is not None:
+        out.miss_lb = delta.miss_lb if out.miss_lb is None else min(out.miss_lb, delta.miss_lb)
+
+
+def _classify_record(
+    record: SegRecord,
+    group: SegmentGroup,
+    geom: LevelGeom,
+    globally_resident: bool,
+    rep_counter,
+    gap_memo: Dict[Tuple[Tuple[int, ...], ...], Dict[int, int]],
+    sigs: List[Tuple[int, ...]],
+    cls_memo: Dict[Tuple, Optional["_ClassDelta"]],
+) -> _SegOutcome:
+    sets, ways, cap = geom.sets, geom.ways, geom.capacity_lines
+    out = _SegOutcome()
+    out.touches = record.touches
+    out.compulsory = record.fresh
+
+    undecided = False
+    for cls in record.classes:
+        if cls.count == 0:
+            continue
+        if cls.exact:
+            if out.d_lo is None or cls.d_lo < out.d_lo:
+                out.d_lo = cls.d_lo
+            if out.d_hi is None or cls.d_hi > out.d_hi:
+                out.d_hi = cls.d_hi
+        if cls.exact and cls.d_hi == 0:
+            out.hits += cls.count          # just-touched: hit, any policy
+            out.shape = out.shape or (record.t - cls.s, cls.shift)
+            continue
+        if globally_resident:
+            out.hits += cls.count          # never evicted: hit, any policy
+            out.shape = out.shape or (record.t - cls.s, cls.shift)
+            continue
+        if not cls.exact or not geom.is_lru:
+            undecided = True
+            continue
+        delta = _decide_class_lru(
+            cls, record, group, sets, ways, cap, rep_counter, gap_memo,
+            sigs, cls_memo,
+        )
+        if delta is None:
+            undecided = True
+        else:
+            _apply_delta(out, delta)
+            out.shape = out.shape or (record.t - cls.s, cls.shift)
+
+    if undecided:
+        out.verdict = UNKNOWN
+        out.compulsory = out.capacity = out.conflict = out.hits = 0
+        out.conflict_sets = {}
+        return out
+
+    if out.conflict:
+        out.verdict = CONFLICT
+    elif out.capacity == 0 and (out.hits or record.revisits):
+        out.verdict = RESIDENT if record.revisits else STREAMING
+    else:
+        out.verdict = STREAMING
+    return out
+
+
+_MISSING = object()
+
+
+def _decide_class_lru(
+    cls, record: SegRecord, group: SegmentGroup,
+    sets: int, ways: int, cap: int,
+    rep_counter, gap_memo, sigs, cls_memo,
+) -> Optional[_ClassDelta]:
+    """Decide one exact revisit class under LRU; ``None`` if any line is
+    undecidable (bounds straddle the associativity threshold).
+
+    Decisions depend only on the class's shape modulo the set mapping
+    (signatures, positional offset, distance), so compressed steady-state
+    classes are decided once and replayed from ``cls_memo``.
+    """
+    t, s = record.t, cls.s
+    s_rep = group.reps[s]
+    cur_rep = group.reps[t]
+
+    memo_key = None
+    if (
+        cls.run_pair is not None
+        and cls.shift is not None      # key encodes source positions via shift
+        and isinstance(s_rep, LineRun)
+        and isinstance(cur_rep, LineRun)
+        and cur_rep.step != 0
+    ):
+        run, dist = cls.run_pair
+        pos0 = (run.start - cur_rep.start) // cur_rep.step
+        memo_key = (
+            sigs[s], sigs[t], tuple(sigs[s + 1:t]),
+            run.start % sets, run.step % sets, run.count,
+            dist, pos0, cls.shift,
+        )
+        cached = cls_memo.get(memo_key, _MISSING)
+        if cached is not _MISSING:
+            return cached  # type: ignore[return-value]
+
+    delta = _decide_class_lines(
+        cls, t, s, s_rep, cur_rep, sets, ways, cap, rep_counter, gap_memo, sigs
+    )
+    if memo_key is not None:
+        cls_memo[memo_key] = delta
+    return delta
+
+
+def _decide_class_lines(
+    cls, t: int, s: int, s_rep: LinesRep, cur_rep: LinesRep,
+    sets: int, ways: int, cap: int, rep_counter, gap_memo, sigs,
+) -> Optional[_ClassDelta]:
+    gap_range = range(s + 1, t)
+    gap_empty = len(gap_range) == 0
+    if gap_empty:
+        gap_counter: Dict[int, int] = {}
+    else:
+        key = tuple(sigs[s + 1:t])
+        gap_counter = gap_memo.get(key)
+        if gap_counter is None:
+            gap_counter = gap_memo[key] = setmath.merge_counters(
+                rep_counter(u) for u in gap_range
+            )
+
+    if isinstance(s_rep, tuple) and len(s_rep) > _TUPLE_SCAN_CAP:
+        return None
+    if isinstance(cur_rep, tuple) and len(cur_rep) > _TUPLE_SCAN_CAP:
+        return None
+
+    d_s = rep_count(s_rep)
+    p_s = _set_period(s_rep, sets)
+    p_cur = _set_period(cur_rep, sets)
+
+    delta = _ClassDelta()
+    qs_by_sigma: Dict[int, List[int]] = {}
+    for line, dist in cls.line_distance_pairs():
+        sigma = line % sets
+        rest = _count_after(s_rep, line, sigma, sets, d_s, p_s)
+        prefix = _count_before(cur_rep, line, sigma, sets, p_cur)
+        gap_sigma = gap_counter.get(sigma, 0)
+        # Reversal re-walks put earlier class members in both ``rest``
+        # and ``prefix``; count each distinct line once (cf. the same
+        # correction to the FA distance in ``segments._build_class``).
+        q = _position_in_rep(s_rep, line)
+        seen = qs_by_sigma.setdefault(sigma, [])
+        overlap = len(seen) - bisect_right(seen, q)
+        insort(seen, q)
+        lb = gap_sigma + rest + (prefix - overlap if gap_empty else 0)
+        ub = gap_sigma + rest + prefix - overlap
+        if delta.lb_min is None or lb < delta.lb_min:
+            delta.lb_min = lb
+        if delta.ub_max is None or ub > delta.ub_max:
+            delta.ub_max = ub
+        if ub <= ways - 1:
+            delta.hits += 1
+        elif lb >= ways:
+            if delta.miss_lb is None or lb < delta.miss_lb:
+                delta.miss_lb = lb
+            if dist >= cap:
+                delta.capacity += 1
+            else:
+                delta.conflict += 1
+                delta.conflict_sets[sigma] = delta.conflict_sets.get(sigma, 0) + 1
+        else:
+            return None
+    return delta
+
+
+def _set_period(rep: LinesRep, sets: int) -> int:
+    """Period of an AP rep's set residues (0 marks non-AP reps)."""
+    if not isinstance(rep, LineRun):
+        return 0
+    g = abs(rep.step) % sets
+    if g == 0:
+        return 1 if rep.count else 0
+    return sets // math.gcd(g, sets)
+
+
+def _position_in_rep(rep: LinesRep, line: int) -> int:
+    """``line``'s walk position within its source segment's rep."""
+    if isinstance(rep, LineRun):
+        if rep.step == 0:
+            return 0
+        return (line - rep.start) // rep.step
+    return rep.index(line)
+
+
+def _count_after(
+    rep: LinesRep, line: int, sigma: int, sets: int, d: int, period: int
+) -> int:
+    """Lines of ``rep`` after ``line``'s position that map to set sigma."""
+    if isinstance(rep, LineRun):
+        if rep.step == 0:
+            return 0
+        q = (line - rep.start) // rep.step
+        if period == 1:
+            return d - 1 - q          # whole run aliases one set
+        return (d - 1 - q) // period
+    pos = rep.index(line)
+    return sum(1 for other in rep[pos + 1:] if other % sets == sigma)
+
+
+def _count_before(
+    rep: LinesRep, line: int, sigma: int, sets: int, period: int
+) -> int:
+    """Lines of ``rep`` before ``line``'s position that map to set sigma."""
+    if isinstance(rep, LineRun):
+        if rep.step == 0:
+            return 0
+        pos = (line - rep.start) // rep.step
+        if period == 1:
+            return pos
+        return pos // period
+    pos = rep.index(line)
+    return sum(1 for other in rep[:pos] if other % sets == sigma)
+
+
+# -- run certificates ---------------------------------------------------------
+
+
+def _finish_run(
+    accum: _RunAccum, group: SegmentGroup, geom: LevelGeom, build_proofs: bool
+) -> Classification:
+    ref = group.ref
+    run = Classification(
+        verdict=accum.verdict,
+        level=geom.name,
+        core=group.core,
+        ref_id=ref.ref_id,
+        array=ref.array,
+        is_write=ref.is_write,
+        t_lo=accum.t_lo,
+        t_hi=accum.t_hi,
+        segments=accum.segments,
+        touches=accum.touches,
+        misses=accum.misses,
+        compulsory=accum.compulsory,
+        capacity=accum.capacity,
+        conflict=accum.conflict,
+        hits=accum.hits,
+        distance_lo=accum.d_lo,
+        distance_hi=accum.d_hi,
+        conflict_sets=dict(accum.conflict_sets),
+        details={
+            "loop": ref.loop,
+            "stmt": ref.stmt_id,
+            "ways": geom.ways,
+            "sets": geom.sets,
+            "capacity_lines": geom.capacity_lines,
+            "policy": geom.policy,
+        },
+    )
+    if accum.lb_min is not None:
+        run.details["inb_per_set_min"] = accum.lb_min
+    if accum.ub_max is not None:
+        run.details["inb_per_set_max"] = accum.ub_max
+    if build_proofs and accum.verdict != UNKNOWN:
+        run.proof = _build_run_proof(run, accum, group, geom)
+    return run
+
+
+def _build_run_proof(
+    run: Classification, accum: _RunAccum, group: SegmentGroup, geom: LevelGeom
+) -> Proof:
+    proof = Proof()
+    rep_t = accum.rep_t if accum.rep_t is not None else accum.t_lo
+    record = group.records[rep_t]
+    rep = group.reps[rep_t]
+
+    if record.fresh and not record.classes:
+        _prove_cold(proof, group, rep_t)
+    elif record.fresh:
+        proof.arith(
+            "fresh lines resolved against the full touch history by the "
+            "concrete relation walk",
+            record.fresh, ">=", 1,
+        )
+
+    if record.classes:
+        cls = record.classes[0]
+        prev = group.reps[cls.s]
+        if (
+            cls.shift is not None
+            and isinstance(rep, LineRun)
+            and isinstance(prev, LineRun)
+            and rep.step == prev.step
+            and rep.step != 0
+        ):
+            prove_offset_unique(proof, prev, rep, cls.shift)
+        if cls.exact:
+            if run.verdict == CONFLICT:
+                proof.arith(
+                    f"reuse distance stays below FA capacity of {geom.name} "
+                    "(the fully-associative shadow would hit)",
+                    cls.d_hi, "<", geom.capacity_lines,
+                )
+            elif run.capacity:
+                proof.arith(
+                    f"reuse distance reaches FA capacity of {geom.name} "
+                    "(even a fully-associative cache evicts)",
+                    cls.d_lo, ">=", geom.capacity_lines,
+                )
+    if accum.miss_lb is not None and run.misses > run.compulsory:
+        proof.arith(
+            f"distinct in-between lines per set >= ways={geom.ways} "
+            "(W-way LRU must evict the revisited line)",
+            accum.miss_lb, ">=", geom.ways,
+        )
+    if accum.ub_max is not None and run.hits and run.verdict == RESIDENT:
+        proof.arith(
+            f"distinct in-between lines per set <= ways-1={geom.ways - 1} "
+            "(W-way LRU keeps the revisited line)",
+            accum.ub_max, "<=", geom.ways - 1,
+        )
+    if run.verdict == CONFLICT and run.conflict_sets:
+        proof.arith(
+            "conflict misses alias K sets out of S="
+            f"{geom.sets} (set-index arithmetic, line mod S)",
+            len(run.conflict_sets), "<=", geom.sets,
+        )
+    return proof
+
+
+def _prove_cold(proof: Proof, group: SegmentGroup, t: int, fm_budget: int = 3) -> None:
+    """Certify the fresh lines of segment ``t``: FM-disjoint from the most
+    recent predecessors, exhaustively-checked against the rest."""
+    seg = group.segments[t]
+    used = 0
+    for back in range(1, min(t, 8) + 1):
+        if used >= fm_budget:
+            break
+        prev = group.segments[t - back]
+        rep_prev = group.reps[t - back]
+        rep_cur = group.reps[t]
+        # Hull-disjoint predecessors need no FM call.
+        if isinstance(rep_prev, LineRun) and isinstance(rep_cur, LineRun):
+            if rep_prev.hi < rep_cur.lo:
+                proof.arith(
+                    f"line hulls of segments t={t - back} and t={t} are disjoint",
+                    rep_prev.hi, "<", rep_cur.lo,
+                )
+                continue
+            if rep_cur.hi < rep_prev.lo:
+                proof.arith(
+                    f"line hulls of segments t={t} and t={t - back} are disjoint",
+                    rep_cur.hi, "<", rep_prev.lo,
+                )
+                continue
+        prove_segments_disjoint(
+            proof,
+            f"byte walks of segments t={t} and t={t - back} share no line",
+            seg.base, seg.stride if seg.count > 1 else 0, max(seg.count, 1),
+            prev.base, prev.stride if prev.count > 1 else 0, max(prev.count, 1),
+        )
+        used += 1
+    if t > 8:
+        proof.arith(
+            f"exhaustive line-set intersection with the {t - 8} older "
+            "segments is empty (checked concretely by the relation walk)",
+            0, "==", 0,
+        )

@@ -1,0 +1,152 @@
+"""Differential validation: replay classified segments through the
+exact simulator and check every certificate's predictions.
+
+The classifier's isolation semantics are replayed literally: each
+segment group runs alone, against one private single-level hierarchy
+per cache level (no prefetcher, no TLB, initially cold), with the
+simulated PMU attached.  The PMU's shadow-cache 3C attribution is the
+oracle the certificates claim to predict:
+
+* STREAMING / RESIDENT runs must match *exactly* — accesses, hits,
+  misses, and the compulsory/capacity/conflict split;
+* CONFLICT runs must match exactly too (the classifier only emits
+  CONFLICT when every line is decided), and additionally the observed
+  conflicted sets must be contained in the certificate's cited
+  conflict-set evidence;
+* UNKNOWN runs claim nothing and are skipped.
+
+Any discrepancy is a soundness bug in the analysis, not a modelling
+choice — ``tests/test_cachemodel.py`` turns each one into a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.cachemodel.classify import (
+    UNKNOWN,
+    CacheAnalysis,
+    Classification,
+    GroupAnalysis,
+    LevelGeom,
+)
+from repro.analysis.cachemodel.segments import SegmentGroup
+from repro.memsim.cache import Cache
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.prefetch import NO_PREFETCH
+
+_Counts = Tuple[int, int, int, int, int, int]
+
+
+@dataclass
+class LevelReplay:
+    """Cumulative oracle counters after each segment of one group."""
+
+    level: str
+    #: after segment t: (accesses, hits, misses, compulsory, capacity, conflict)
+    cum: List[_Counts]
+    #: after segment t: per-set conflict-miss counts (copies)
+    cum_sets: List[Dict[int, int]]
+
+    def window(self, t_lo: int, t_hi: int) -> _Counts:
+        """Counter deltas over segments ``t_lo .. t_hi`` inclusive."""
+        hi = self.cum[t_hi]
+        lo = self.cum[t_lo - 1] if t_lo > 0 else (0, 0, 0, 0, 0, 0)
+        return tuple(h - l for h, l in zip(hi, lo))  # type: ignore[return-value]
+
+    def window_sets(self, t_lo: int, t_hi: int) -> Dict[int, int]:
+        hi = self.cum_sets[t_hi]
+        lo = self.cum_sets[t_lo - 1] if t_lo > 0 else {}
+        out = {}
+        for idx, n in hi.items():
+            delta = n - lo.get(idx, 0)
+            if delta:
+                out[idx] = delta
+        return out
+
+
+def replay_group_level(
+    group: SegmentGroup, geom: LevelGeom, line_size: int = 64
+) -> LevelReplay:
+    """Replay one group through one isolated cache level, PMU attached."""
+    cache = Cache(geom.name, geom.size_bytes, geom.ways, line_size, geom.policy)
+    hier = MemoryHierarchy([cache], prefetch=NO_PREFETCH, tlb=None, line_size=line_size)
+    pmu = hier.attach_pmu()
+    level_pmu = pmu.levels[0]
+
+    cum: List[_Counts] = []
+    cum_sets: List[Dict[int, int]] = []
+    for seg in group.segments:
+        hier.process_segment(seg)
+        cum.append(
+            (
+                cache.stats.accesses,
+                cache.stats.hits,
+                cache.stats.misses,
+                level_pmu.compulsory,
+                level_pmu.capacity,
+                level_pmu.conflict,
+            )
+        )
+        cum_sets.append(dict(level_pmu.set_conflicts))
+    return LevelReplay(level=geom.name, cum=cum, cum_sets=cum_sets)
+
+
+def check_run(run: Classification, replay: LevelReplay) -> List[str]:
+    """Compare one certificate's predictions against the oracle window."""
+    if run.verdict == UNKNOWN:
+        return []
+    accesses, hits, misses, comp, cap, conf = replay.window(run.t_lo, run.t_hi)
+    where = f"{run.array}[ref {run.ref_id}] {run.level} t={run.t_lo}..{run.t_hi} {run.verdict}"
+    problems = []
+    if accesses != run.touches:
+        problems.append(f"{where}: accesses {accesses} != predicted {run.touches}")
+    if hits != run.hits:
+        problems.append(f"{where}: hits {hits} != predicted {run.hits}")
+    if misses != run.misses:
+        problems.append(f"{where}: misses {misses} != predicted {run.misses}")
+    if (comp, cap, conf) != run.predicted_3c:
+        problems.append(
+            f"{where}: 3C split ({comp},{cap},{conf}) != predicted {run.predicted_3c}"
+        )
+    if run.verdict == "CONFLICT":
+        observed = replay.window_sets(run.t_lo, run.t_hi)
+        extra = {
+            idx: n for idx, n in observed.items() if idx not in run.conflict_sets
+        }
+        if extra:
+            problems.append(
+                f"{where}: conflicts in uncited sets {sorted(extra)}"
+            )
+        for idx, n in observed.items():
+            cited = run.conflict_sets.get(idx, 0)
+            if n > cited:
+                problems.append(
+                    f"{where}: set {idx} saw {n} conflicts, certificate "
+                    f"claims {cited}"
+                )
+    return problems
+
+
+def validate_group(
+    ga: GroupAnalysis, geoms: List[LevelGeom], line_size: int = 64
+) -> List[str]:
+    """Replay one analyzed group at every level and check all its runs."""
+    problems = []
+    for geom in geoms:
+        result = ga.levels.get(geom.name)
+        if result is None or not result.runs:
+            continue
+        replay = replay_group_level(ga.group, geom, line_size)
+        for run in result.runs:
+            problems.extend(check_run(run, replay))
+    return problems
+
+
+def validate_analysis(analysis: CacheAnalysis, line_size: int = 64) -> List[str]:
+    """Check every certificate of an analysis; [] means fully sound."""
+    problems = []
+    for ga in analysis.groups:
+        problems.extend(validate_group(ga, analysis.geoms, line_size))
+    return problems

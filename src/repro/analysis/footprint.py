@@ -14,6 +14,7 @@ reads and writes.  Two uses:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -22,7 +23,26 @@ from repro.ir.expr import loads_in
 from repro.ir.program import Array, Program
 from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
 
+#: Dense boxes are (lo, hi); stride-aware boxes are (lo, hi, step) where
+#: every touched index lies on ``lo + k*step`` (step 0 marks a single
+#: point).  Both stay *over*-approximations of the touched set; the
+#: stride-aware one is tighter for non-unit walks (``A[2*i]`` touches
+#: n elements, not 2n-1).
 Interval = Tuple[int, int]
+StridedInterval = Tuple[int, int, int]
+
+
+def _interval_elements(iv) -> int:
+    if len(iv) == 2:
+        lo, hi = iv
+        step = 1
+    else:
+        lo, hi, step = iv
+    if hi < lo:
+        return 0
+    if step <= 0:
+        return 1
+    return (hi - lo) // step + 1
 
 
 @dataclass
@@ -38,8 +58,8 @@ class ArrayFootprint:
         if box is None:
             return 0
         count = 1
-        for lo, hi in box:
-            count *= max(0, hi - lo + 1)
+        for iv in box:
+            count *= _interval_elements(iv)
         return count
 
     @property
@@ -62,26 +82,51 @@ class ArrayFootprint:
 def _union(a: Optional[List[Interval]], b: List[Interval]) -> List[Interval]:
     if a is None:
         return list(b)
-    return [(min(alo, blo), max(ahi, bhi)) for (alo, ahi), (blo, bhi) in zip(a, b)]
+    out = []
+    for iva, ivb in zip(a, b):
+        lo = min(iva[0], ivb[0])
+        hi = max(iva[1], ivb[1])
+        if len(iva) == 3 or len(ivb) == 3:
+            # AP-union: both operands live on their own lattice; the union
+            # lives on the gcd lattice anchored at the lower start.
+            sa = iva[2] if len(iva) == 3 else 1
+            sb = ivb[2] if len(ivb) == 3 else 1
+            step = math.gcd(math.gcd(sa, sb), abs(iva[0] - ivb[0]))
+            out.append((lo, hi, step))
+        else:
+            out.append((lo, hi))
+    return out
 
 
-def _affine_interval(expr: Affine, ranges: Dict[str, Interval]) -> Interval:
+def _affine_interval(
+    expr: Affine, ranges: Dict[str, Interval], stride_aware: bool = False
+) -> Interval:
     lo = hi = expr.const
+    step = 0
     for var, coeff in expr.terms.items():
-        vlo, vhi = ranges[var]
+        vlo, vhi = ranges[var][0], ranges[var][1]
         if coeff >= 0:
             lo += coeff * vlo
             hi += coeff * vhi
         else:
             lo += coeff * vhi
             hi += coeff * vlo
+        if vhi > vlo:
+            step = math.gcd(step, abs(coeff))
+    if stride_aware:
+        return lo, hi, step
     return lo, hi
 
 
-def _walk(stmt: Stmt, ranges: Dict[str, Interval], out: Dict[str, ArrayFootprint]) -> None:
+def _walk(
+    stmt: Stmt,
+    ranges: Dict[str, Interval],
+    out: Dict[str, ArrayFootprint],
+    stride_aware: bool = False,
+) -> None:
     if isinstance(stmt, Block):
         for child in stmt.stmts:
-            _walk(child, ranges, out)
+            _walk(child, ranges, out, stride_aware)
         return
     if isinstance(stmt, For):
         lo_candidates = [_affine_interval(op, ranges)[0] for op in stmt.lo.operands]
@@ -91,16 +136,16 @@ def _walk(stmt: Stmt, ranges: Dict[str, Interval], out: Dict[str, ArrayFootprint
         var_hi = max(var_lo, hi_max - 1)
         inner = dict(ranges)
         inner[stmt.var] = (var_lo, var_hi)
-        _walk(stmt.body, inner, out)
+        _walk(stmt.body, inner, out, stride_aware)
         return
 
     def record(array: Array, indices, is_write: bool) -> None:
         fp = out.setdefault(array.name, ArrayFootprint(array))
-        box = [_affine_interval(ix, ranges) for ix in indices]
+        box = [_affine_interval(ix, ranges, stride_aware) for ix in indices]
         # Clamp to the declared shape: a zero-trip loop interval can spill.
         box = [
-            (max(0, lo), min(dim - 1, hi))
-            for (lo, hi), dim in zip(box, array.shape)
+            (max(0, iv[0]), min(dim - 1, iv[1])) + iv[2:]
+            for iv, dim in zip(box, array.shape)
         ]
         if is_write:
             fp.write_box = _union(fp.write_box, box)
@@ -118,14 +163,20 @@ def _walk(stmt: Stmt, ranges: Dict[str, Interval], out: Dict[str, ArrayFootprint
     raise TypeError(f"unknown statement {stmt!r}")
 
 
-def footprints(program: Program) -> Dict[str, ArrayFootprint]:
-    """Box footprints for every array touched by ``program``."""
+def footprints(program: Program, stride_aware: bool = False) -> Dict[str, ArrayFootprint]:
+    """Box footprints for every array touched by ``program``.
+
+    With ``stride_aware=True`` every box dimension carries the gcd step
+    of its subscript, so non-unit walks count only the lattice points
+    they touch (``A[2*i]``, ``i < n`` counts n elements, not 2n-1).  The
+    result is still an over-approximation of the touched set.
+    """
     out: Dict[str, ArrayFootprint] = {}
-    _walk(program.body, {}, out)
+    _walk(program.body, {}, out, stride_aware)
     return out
 
 
-def essential_traffic_bytes(program: Program) -> int:
+def essential_traffic_bytes(program: Program, stride_aware: bool = False) -> int:
     """Minimum DRAM traffic: every distinct global element read enters the
     CPU once; every distinct global element written leaves once.
 
@@ -133,7 +184,7 @@ def essential_traffic_bytes(program: Program) -> int:
     cache (the whole point of the Manual_blocking variant).
     """
     total = 0
-    for fp in footprints(program).values():
+    for fp in footprints(program, stride_aware).values():
         if fp.array.scope != "global":
             continue
         total += fp.read_bytes + fp.write_bytes

@@ -25,6 +25,7 @@ engine iterates.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis.footprint import ArrayFootprint, _walk
@@ -118,6 +119,73 @@ def _pinned_footprint_bytes(node: Stmt, pinned_vars: Tuple[str, ...]) -> int:
             elements *= max(0, hi - lo + 1)
         total += elements * fp.array.dtype.size
     return total
+
+
+def _const_trip(loop: For) -> Optional[int]:
+    """The loop's constant iteration count, or None for symbolic bounds."""
+    if not (loop.lo.is_plain and loop.hi.is_plain):
+        return None
+    lo, hi = loop.lo.operands[0], loop.hi.operands[0]
+    if not (lo.is_constant and hi.is_constant):
+        return None
+    return max(0, -(-(hi.const - lo.const) // loop.step))
+
+
+def _affine_extremes(expr, env):
+    # type: (object, Dict[str, Tuple[int, int]]) -> Optional[Tuple[int, int]]
+    """Min/max of an affine expression over the variable ranges in ``env``."""
+    lo = hi = expr.const
+    for var, coef in expr.terms.items():
+        rng = env.get(var)
+        if rng is None:
+            return None
+        a, b = coef * rng[0], coef * rng[1]
+        lo += min(a, b)
+        hi += max(a, b)
+    return lo, hi
+
+
+def _max_trip(loop: For, path: Tuple[For, ...]) -> Optional[int]:
+    """Peak iteration count of ``loop`` over all enclosing iterations.
+
+    Handles triangular nests (``for j in range(i + 1, n)``) by bounding
+    each loop variable through its enclosing loops' ranges, outermost
+    first.  Exact for rectangular nests; for triangular ones it is the
+    trip of the widest slice, which is what an existential thrashing
+    claim needs.
+    """
+    env: Dict[str, Tuple[int, int]] = {}
+    for enclosing in path + (loop,):
+        if not (enclosing.lo.is_plain and enclosing.hi.is_plain):
+            return None
+        lo_r = _affine_extremes(enclosing.lo.operands[0], env)
+        hi_r = _affine_extremes(enclosing.hi.operands[0], env)
+        if lo_r is None or hi_r is None:
+            return None
+        if enclosing is loop:
+            if loop.step > 0:
+                return max(0, -(-(hi_r[1] - lo_r[0]) // loop.step))
+            return max(0, -(-(lo_r[1] - hi_r[0]) // -loop.step))
+        if enclosing.step > 0:
+            env[enclosing.var] = (lo_r[0], hi_r[1] - 1)
+        else:
+            env[enclosing.var] = (hi_r[0] + 1, lo_r[1])
+    return None
+
+
+def _tile_resident(loop: For, path: Tuple[For, ...], l1: int) -> bool:
+    """True when ``loop`` walks inside a cache-resident blocking tile
+    (the RPR003 exemption; RPR008 honours the same one)."""
+    block_index = None
+    for k in range(len(path) - 1, -1, -1):
+        if path[k].step > 1:
+            block_index = k
+            break
+    if block_index is None:
+        return False
+    subtree: Stmt = path[block_index + 1] if block_index + 1 < len(path) else loop
+    pinned = tuple(p.var for p in path[: block_index + 1])
+    return _subtree_bytes(subtree, pinned) <= l1
 
 
 def _global_refs(stmt: Stmt) -> Iterator[Tuple[object, Tuple, bool]]:
@@ -271,16 +339,8 @@ def check_stride(
         # under the nearest enclosing stepped (block) loop.  If that walk
         # stays within the L1 a core owns, the stride is harmless — the
         # whole point of blocking.
-        block_index = None
-        for k in range(len(path) - 1, -1, -1):
-            if path[k].step > 1:
-                block_index = k
-                break
-        if block_index is not None:
-            subtree: Stmt = path[block_index + 1] if block_index + 1 < len(path) else loop
-            pinned = tuple(p.var for p in path[: block_index + 1])
-            if _subtree_bytes(subtree, pinned) <= l1:
-                continue
+        if _tile_resident(loop, path, l1):
+            continue
         loop_path = tuple(p.var for p in path) + (loop.var,)
         seen = set()
         for array, indices, is_write in _global_refs(loop):
@@ -461,12 +521,240 @@ def check_analysis_quality(
     return out
 
 
+def check_conflict_proof(
+    program: Program,
+    device: Optional[DeviceSpec] = None,
+    evidence: Optional[CacheEvidence] = None,
+) -> List[Diagnostic]:
+    """RPR008: *proved* conflict-thrashing set mapping.
+
+    Where RPR003 heuristically flags any non-unit stride, this checker
+    derives the actual set mapping — the same arithmetic
+    :class:`repro.memsim.cache.Cache` uses — and fires only when it can
+    cite a complete certificate: the walk's line step aliases
+    ``p = S / gcd(line_step mod S, S)`` sets with per-set occupancy
+    above the associativity, *and* an enclosing loop re-walks the same
+    lines (sub-line advance), so the revisits provably conflict-miss.
+    Engine-side, a proved RPR008 supersedes the heuristic RPR003 on the
+    same (loop, array).
+
+    Needs a device (ways and set count are the whole point) and a
+    line-multiple stride (drifting walks stay with RPR003).
+    """
+    if device is None or not device.caches:
+        return []
+    out: List[Diagnostic] = []
+    from repro.analysis.cachemodel.proof import Proof  # lazy: avoids an import cycle
+    from repro.analysis.cachemodel.setmath import num_sets
+
+    l1 = device.caches[0]
+    size = l1.per_core_size(1)
+    ways = l1.ways
+    sets = num_sets(size, ways, LINE_SIZE)
+    for loop, path in _loops_with_paths(program.body):
+        if _has_loop(loop.body):
+            continue  # not innermost
+        if _tile_resident(loop, path, size):
+            continue  # blocked walks that fit L1 are the fix, not the bug
+        trip = _max_trip(loop, path)
+        if trip is None or trip <= ways:
+            continue
+        loop_path = tuple(p.var for p in path) + (loop.var,)
+        seen = set()
+        for array, indices, is_write in _global_refs(loop):
+            offset = array.linearize(indices)
+            stride = offset.coefficient(loop.var) * loop.step * array.dtype.size
+            if abs(stride) < LINE_SIZE or stride % LINE_SIZE:
+                continue
+            key = (array.name, stride, is_write)
+            if key in seen:
+                continue
+            line_step = abs(stride) // LINE_SIZE
+            g = line_step % sets
+            period = 1 if g == 0 else sets // math.gcd(g, sets)
+            if trip <= period:
+                continue  # every line lands in its own set: no aliasing
+            occupancy = -(-trip // period)
+            if occupancy <= ways:
+                continue
+            # Reuse: an enclosing loop advancing the same walk by less
+            # than a line re-touches these lines on its next iteration.
+            rewalk = None
+            for outer in path:
+                advance = (
+                    offset.coefficient(outer.var) * outer.step * array.dtype.size
+                )
+                if advance != 0 and abs(advance) < LINE_SIZE:
+                    rewalk = (outer.var, advance)
+                    break
+            if rewalk is None:
+                continue
+            seen.add(key)
+            proof = Proof()
+            proof.arith(
+                f"stride {abs(stride)} B is a whole number of "
+                f"{LINE_SIZE}-byte lines",
+                abs(stride) % LINE_SIZE, "==", 0,
+            )
+            proof.arith(
+                f"line step {line_step} aliases the walk onto "
+                f"p = {sets}/gcd({g or sets}, {sets}) = {period} of "
+                f"{sets} {l1.name} sets",
+                period * math.gcd(g or sets, sets), "==", sets,
+            )
+            proof.arith(
+                f"per-set occupancy ceil({trip}/{period}) = {occupancy} "
+                f"exceeds the associativity",
+                occupancy, ">", ways,
+            )
+            proof.arith(
+                f"enclosing loop {rewalk[0]!r} re-walks the same lines "
+                f"({abs(rewalk[1])} B advance < {LINE_SIZE} B line)",
+                abs(rewalk[1]), "<", LINE_SIZE,
+            )
+            kind = "writes" if is_write else "reads"
+            message = (
+                f"proved conflict thrashing: innermost loop "
+                f"{loop.var!r} {kind} {array.name!r} with a "
+                f"{abs(stride)}-byte stride ({line_step} lines), so "
+                f"its {trip} lines alias only {period} of {sets} "
+                f"{l1.name} sets at occupancy {occupancy} > "
+                f"{ways} ways, and loop {rewalk[0]!r} re-walks them "
+                f"{abs(rewalk[1])} B apart — the revisits must "
+                f"conflict-miss under {l1.policy.upper()}"
+            )
+            measured: Dict[str, object] = {}
+            if evidence is not None:
+                citation = evidence.citation(array.name)
+                if citation:
+                    message += f" — {citation}"
+                    measured["measured_conflict_misses"] = (
+                        evidence.array_conflicts(array.name)
+                    )
+                    measured["measured_misses"] = evidence.array_misses(array.name)
+                    measured["measured_level"] = evidence.level
+            out.append(
+                Diagnostic(
+                    code="RPR008",
+                    severity=default_severity("RPR008"),
+                    program=program.name,
+                    loop_path=loop_path,
+                    array=array.name,
+                    device=device.key,
+                    message=message,
+                    hint=(
+                        "pad the leading dimension off the power of two, or "
+                        "block the nest so the walk stays set-resident"
+                    ),
+                    data={
+                        "stride_bytes": stride,
+                        "line_step": line_step,
+                        "sets": sets,
+                        "ways": ways,
+                        "aliased_sets": period,
+                        "occupancy": occupancy,
+                        "trip": trip,
+                        "rewalk_var": rewalk[0],
+                        "rewalk_advance_bytes": rewalk[1],
+                        "supersedes": "RPR003",
+                        "proof": proof.render(),
+                        "proof_verified": proof.verified,
+                        **measured,
+                    },
+                )
+            )
+    return out
+
+
+#: RPR009 fires below this fraction of statically classifiable traffic.
+COVERAGE_TARGET = 0.8
+
+
+def check_coverage(
+    program: Program,
+    device: Optional[DeviceSpec] = None,
+    evidence: Optional[CacheEvidence] = None,
+) -> List[Diagnostic]:
+    """RPR009: how much traffic the symbolic cache analysis can certify.
+
+    A static, trip-weighted estimate of the fraction of this program's
+    accesses ``repro analyze`` will classify non-UNKNOWN on this device:
+    references under a non-LRU first-level cache are only certifiable
+    when they never revisit lines (cold streaming), because eviction
+    proofs need an ordering the policy does not provide.  The estimate is
+    optimistic (it ignores distance-bound straddles); the measured
+    coverage is what the ``repro analyze`` gate enforces.
+    """
+    if device is None or not device.caches:
+        return []
+    lru = device.caches[0].policy == "lru"
+    if lru:
+        return []  # every affine walk is classifiable; nothing to report
+    total = 0
+    classifiable = 0
+    for loop, path in _loops_with_paths(program.body):
+        if _has_loop(loop.body):
+            continue
+        weight = 1
+        for enclosing in path + (loop,):
+            trip = _const_trip(enclosing)
+            if trip is not None:
+                weight *= max(trip, 1)
+        for array, indices, is_write in _global_refs(loop):
+            offset = array.linearize(indices)
+            total += weight
+            # Cold-streaming references never need an eviction proof; a
+            # sub-line re-walk by any enclosing loop means revisits whose
+            # hit/miss outcome depends on the (unprovable) policy state.
+            revisits = any(
+                offset.coefficient(outer.var) != 0
+                and abs(offset.coefficient(outer.var) * outer.step * array.dtype.size)
+                < LINE_SIZE
+                for outer in path
+            )
+            if not revisits:
+                classifiable += weight
+    if not total:
+        return []
+    coverage = classifiable / total
+    if coverage >= COVERAGE_TARGET:
+        return []
+    policy = device.caches[0].policy
+    return [
+        Diagnostic(
+            code="RPR009",
+            severity=default_severity("RPR009"),
+            program=program.name,
+            device=device.key,
+            message=(
+                f"symbolic cache analysis certifies ~{coverage:.0%} of this "
+                f"kernel's traffic on {device.key}: its {policy!r}-policy "
+                f"{device.caches[0].name} admits no eviction-order proofs, "
+                f"so revisiting references fall back to simulator replay"
+            ),
+            hint=(
+                "expected on random-replacement levels; rely on the "
+                "differential replay gate there instead of certificates"
+            ),
+            data={
+                "estimated_coverage": round(coverage, 4),
+                "classifiable_weight": classifiable,
+                "total_weight": total,
+                "policy": policy,
+                "target": COVERAGE_TARGET,
+            },
+        )
+    ]
+
+
 #: Registry: checker name -> function, in report order.
 CHECKERS: Dict[str, CheckerFn] = {
     "race": check_race,
     "false-sharing": check_false_sharing,
     "stride": check_stride,
+    "conflict-proof": check_conflict_proof,
     "tile-fit": check_tile_fit,
     "uncertified-transform": check_uncertified,
     "analysis-quality": check_analysis_quality,
+    "coverage": check_coverage,
 }

@@ -76,6 +76,18 @@ CODES: Dict[str, Tuple[str, Severity, str]] = {
         Severity.NOTE,
         "the symbolic solver answered conservatively (result may be a superset)",
     ),
+    "RPR008": (
+        "conflict-proof",
+        Severity.WARNING,
+        "proved conflict thrashing: the walk's set mapping aliases above "
+        "associativity and an enclosing loop re-walks the lines",
+    ),
+    "RPR009": (
+        "coverage",
+        Severity.NOTE,
+        "symbolic cache analysis certifies less than the target fraction "
+        "of this kernel's traffic on this device",
+    ),
 }
 
 

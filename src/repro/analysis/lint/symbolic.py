@@ -349,6 +349,29 @@ def _feasible(ineqs: List[Affine]) -> str:
     return status
 
 
+def feasibility(
+    ineqs: Sequence[Affine], equalities: Sequence[Affine] = ()
+) -> str:
+    """Tri-state feasibility of an affine system (public entry point).
+
+    ``ineqs`` are constraints of the form ``e <= 0``; ``equalities`` are
+    ``e == 0``.  Returns :data:`INFEASIBLE` only when the integer system
+    is *provably* empty (GCD rejection, integer-tightened
+    Fourier-Motzkin); :data:`FEASIBLE` means no contradiction surfaced
+    (the real relaxation is satisfiable — not a certificate of an
+    integer point); :data:`UNKNOWN` means the elimination blew past
+    :data:`FM_CONSTRAINT_LIMIT`.  The cache-behavior certificates in
+    :mod:`repro.analysis.cachemodel` lean only on the INFEASIBLE answer,
+    which is the sound direction.
+    """
+    status, reduced, _exact = _eliminate_equalities(
+        list(equalities), list(ineqs), frozenset()
+    )
+    if status == INFEASIBLE:
+        return INFEASIBLE
+    return _feasible(reduced)
+
+
 def _projected_interval(
     ineqs: List[Affine], var: str
 ) -> Tuple[str, Tuple[float, float]]:

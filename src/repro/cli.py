@@ -963,6 +963,117 @@ def lint_main(argv: List[str]) -> int:
     return 0
 
 
+def analyze_main(argv: List[str]) -> int:
+    from repro.experiments.config import CACHE_SCALE, paper_variants
+    from repro.observe.analyze import (
+        aggregate_coverage,
+        render_json,
+        render_report,
+        render_sarif,
+        run_analyze,
+        strict_failures,
+    )
+    from repro.profiling.profile import KERNELS, ProfileError
+
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "Symbolically classify a kernel's cache behavior: per-segment "
+            "STREAMING / RESIDENT / CONFLICT / UNKNOWN certificates with "
+            "machine-checked proofs, predicted miss counts and 3C splits, "
+            "replayed against the exact simulator under --strict."
+        ),
+    )
+    parser.add_argument("kernel", nargs="?", help=" | ".join(KERNELS))
+    parser.add_argument("variant", nargs="?",
+                        help="figure variant label (e.g. Naive, Blocking)")
+    parser.add_argument("--figures", action="store_true",
+                        help="analyze every paper figure variant (Fig. 2 "
+                             "transpose + Fig. 6 blur)")
+    parser.add_argument("--device", action="append", dest="devices", metavar="KEY",
+                        default=None,
+                        help="device to classify against (repeatable; "
+                             "default: all catalog devices)")
+    parser.add_argument("--scale", type=int, default=CACHE_SCALE,
+                        help="cache scale divisor (default %(default)s, the "
+                             "figure pipeline's tier-1 scale)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="problem size override (matrix n / image width)")
+    parser.add_argument("--block", type=int, default=None, help="transpose block size")
+    parser.add_argument("--filter", dest="filter_size", type=int, default=None,
+                        help="blur filter size")
+    parser.add_argument("--proofs", type=int, default=2, metavar="N",
+                        help="proof chains rendered per level in text mode")
+    fmt = parser.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit the full certificate set as JSON")
+    fmt.add_argument("--sarif", action="store_true",
+                     help="emit CONFLICT certificates and soundness findings "
+                          "as SARIF 2.1.0 (for code-scanning upload)")
+    parser.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="write the report to FILE instead of stdout")
+    parser.add_argument("--strict", action="store_true",
+                        help="replay every certificate through the exact "
+                             "simulator; exit 1 on any refuted certificate "
+                             "or a run-wide coverage shortfall")
+    parser.add_argument("--measure", action="store_true",
+                        help="also run the full-hierarchy PMU simulation and "
+                             "show measured counts next to predictions "
+                             "(diagnostic only: prefetch and interference "
+                             "are outside the certified model)")
+    _add_logging_flags(parser)
+    args = parser.parse_args(argv)
+    configure_logging(args.verbose, args.quiet)
+
+    if args.figures == bool(args.kernel and args.variant):
+        parser.error("give a kernel and a variant, or --figures (not both)")
+
+    from repro.devices.catalog import DEVICE_KEYS
+
+    device_keys = args.devices if args.devices else list(DEVICE_KEYS)
+    targets = paper_variants() if args.figures else [(args.kernel, args.variant)]
+
+    cells = []
+    try:
+        for kernel, variant in targets:
+            for key in device_keys:
+                LOG.info("[analyze %s/%s on %s]", kernel, variant, key)
+                cells.append(run_analyze(
+                    kernel, variant, key, scale=args.scale,
+                    n=args.n, block=args.block, filter_size=args.filter_size,
+                    validate=args.strict, measure=args.measure,
+                ))
+    except ProfileError as exc:
+        LOG.error("%s", exc)
+        return 2
+
+    if args.sarif:
+        output = render_sarif(cells)
+    elif args.json:
+        output = render_json(cells)
+    else:
+        output = render_report(cells, proofs=args.proofs)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(output + "\n")
+        LOG.info("[analyze report written to %s]", args.output)
+    else:
+        print(output)
+
+    if args.strict:
+        failed = strict_failures(cells)
+        if failed:
+            for failure in failed:
+                LOG.error("%s", failure)
+            LOG.error("strict analyze FAILED: %d problem%s",
+                      len(failed), "s" if len(failed) != 1 else "")
+            return 1
+        LOG.info("[strict analyze OK: %d cells, coverage %.1f%%]",
+                 len(cells), 100.0 * aggregate_coverage(cells))
+    return 0
+
+
 def profile_main(argv: List[str]) -> int:
     from repro.experiments.config import CACHE_SCALE
     from repro.profiling.baseline import (
@@ -1261,6 +1372,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return perf_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        return analyze_main(argv[1:])
     if argv and argv[0] == "serve":
         from repro.serve.server import main as serve_main
 

@@ -14,9 +14,46 @@ touches, not 512 events), while op counts are tracked exactly on the side.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import NamedTuple, Optional
 
 from repro.analysis.opcount import OpCounts
+
+
+class LineRun(NamedTuple):
+    """Closed-form description of a segment's distinct-line walk.
+
+    The ``count`` distinct line addresses are ``start + k * step`` for
+    ``k in range(count)``, *in access order* (``step`` may be negative).
+    Only segments whose line walk is exactly an arithmetic progression
+    get a ``LineRun``; irregular walks (drifting super-line strides,
+    line-straddling elements) return ``None`` from
+    :meth:`Segment.line_run` and fall back to enumeration.
+    """
+
+    start: int
+    step: int
+    count: int
+
+    @property
+    def last(self) -> int:
+        return self.start + (self.count - 1) * self.step
+
+    @property
+    def lo(self) -> int:
+        """Smallest line address in the run."""
+        return min(self.start, self.last)
+
+    @property
+    def hi(self) -> int:
+        """Largest line address in the run."""
+        return max(self.start, self.last)
+
+    def __contains__(self, line: int) -> bool:
+        if not self.lo <= line <= self.hi:
+            return False
+        if self.step == 0:
+            return line == self.start
+        return (line - self.start) % abs(self.step) == 0
 
 
 class Segment(NamedTuple):
@@ -44,6 +81,47 @@ class Segment(NamedTuple):
             if line != previous:
                 previous = line
                 yield line
+
+    def line_run(self, line_size: int = 64) -> Optional[LineRun]:
+        """The distinct-line walk as an arithmetic progression, or ``None``.
+
+        Mirrors the expansion :func:`repro.memsim.hierarchy.
+        MemoryHierarchy.process_segment` performs (and :meth:`lines`): the
+        returned run enumerates exactly the same line addresses in the
+        same order.  Three closed-form shapes are recognised:
+
+        * point / sub-line element (``stride == 0`` or ``count == 1``):
+          one line, or ``None`` if the element straddles a boundary;
+        * sub-line stride (``0 < |stride| < line_size``): the contiguous
+          line interval walked in access direction;
+        * line-multiple stride (``stride % line_size == 0``): one line
+          per access, ``stride // line_size`` apart, provided no element
+          straddles a line boundary.
+
+        Anything else (drifting super-line strides such as the transpose
+        column walk's ``stride = 8 * (n + 1)``) has an irregular walk and
+        returns ``None`` — callers fall back to :meth:`lines`.
+        """
+        if self.count <= 0:
+            return None
+        if self.stride == 0 or self.count == 1:
+            first = self.base // line_size
+            last = (self.base + self.elem_size - 1) // line_size
+            n = last - first + 1
+            return LineRun(first, 1 if n > 1 else 0, n)
+        if 0 < abs(self.stride) < line_size:
+            lo = self.base if self.stride > 0 else self.base + (self.count - 1) * self.stride
+            hi = lo + abs(self.stride) * (self.count - 1) + self.elem_size - 1
+            first, last = lo // line_size, hi // line_size
+            n = last - first + 1
+            if self.stride > 0:
+                return LineRun(first, 1 if n > 1 else 0, n)
+            return LineRun(last, -1 if n > 1 else 0, n)
+        if self.stride % line_size == 0:
+            if self.base % line_size + self.elem_size > line_size:
+                return None  # every access straddles a boundary
+            return LineRun(self.base // line_size, self.stride // line_size, self.count)
+        return None  # drifting walk: lines repeat/skip irregularly
 
 
 class Reference(NamedTuple):

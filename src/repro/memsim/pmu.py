@@ -127,8 +127,15 @@ class Pmu:
         lvl = self.levels[level]
         shadow = lvl.shadow
         in_shadow = line in shadow
+        # The shadow is a true FA LRU over the probe stream: every probe
+        # installs or bumps, hits included — membership before this probe
+        # (``in_shadow``) is exactly "LRU stack distance < capacity".
         if in_shadow:
             shadow.move_to_end(line)
+        else:
+            shadow[line] = None
+            if len(shadow) > lvl.capacity_lines:
+                shadow.popitem(last=False)
         if covered and level == 0:
             if hit:
                 self.prefetch_polluting += 1
@@ -136,7 +143,6 @@ class Pmu:
                 self.prefetch_useful += 1
         if hit:
             return
-        # Miss: classify, then install into the shadow.
         if line not in lvl.seen:
             lvl.seen.add(line)
             lvl.compulsory += 1
@@ -155,10 +161,6 @@ class Pmu:
         if counts is None:
             counts = lvl.per_ref[self.current_ref] = [0, 0, 0]
         counts[cls] += 1
-        if not in_shadow:
-            shadow[line] = None
-            if len(shadow) > lvl.capacity_lines:
-                shadow.popitem(last=False)
 
     def observe_install(self, level: int, line: int) -> None:
         """A writeback from above installed ``line`` at ``level`` without a

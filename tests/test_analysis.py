@@ -152,6 +152,68 @@ class TestFootprint:
         assert fp["dst"].read_elements == 0
 
 
+class TestStrideAwareFootprint:
+    def _strided_program(self, n, stride):
+        b = LoopBuilder("strided")
+        a = b.array("a", DType.F64, (stride * n,))
+        out = b.array("out", DType.F64, (n,))
+        with b.loop("i", 0, n) as i:
+            b.store(out, i, a[stride * i])
+        return b.build()
+
+    def test_dense_box_overcounts_strided_walk(self):
+        n = 64
+        program = self._strided_program(n, 2)
+        dense = footprints(program)["a"].read_elements
+        aware = footprints(program, stride_aware=True)["a"].read_elements
+        assert dense == 2 * n - 1  # the box closes the gaps
+        assert aware == n          # the lattice does not
+
+    def test_stride_aware_traffic_halves(self):
+        n = 32
+        program = self._strided_program(n, 4)
+        dense = essential_traffic_bytes(program)
+        aware = essential_traffic_bytes(program, stride_aware=True)
+        assert aware < dense
+        assert aware == 8 * (n + n)  # n strided reads + n unit writes
+
+    def test_transpose_subscripts_are_dense_either_way(self):
+        # Both mat[i][j] and mat[j][i] touch every element: the stride-aware
+        # count must agree with the dense box, not shrink it.
+        n = 32
+        program = transpose_program(n)
+        dense = footprints(program)["mat"]
+        aware = footprints(program, stride_aware=True)["mat"]
+        assert aware.read_elements == dense.read_elements
+        assert aware.write_elements == dense.write_elements
+        assert essential_traffic_bytes(program, stride_aware=True) == \
+            essential_traffic_bytes(program)
+
+    def test_blur_subscripts_are_dense_either_way(self):
+        from repro.kernels import blur
+
+        program = blur.naive(12, 10, 3)
+        for fp_name in ("src", "dst"):
+            dense = footprints(program)[fp_name]
+            aware = footprints(program, stride_aware=True)[fp_name]
+            assert aware.read_elements == dense.read_elements
+            assert aware.write_elements == dense.write_elements
+
+    def test_union_of_offset_lattices_falls_to_gcd(self):
+        # a[4*i] union a[4*i + 2]: both live on stride-4 lattices offset by
+        # 2, so the union must degrade to the stride-2 lattice.
+        n = 16
+        b = LoopBuilder("two_phase")
+        a = b.array("a", DType.F64, (4 * n + 3,))
+        out = b.array("out", DType.F64, (n,))
+        with b.loop("i", 0, n) as i:
+            b.store(out, i, a[4 * i] + a[4 * i + 2])
+        fp = footprints(b.build(), stride_aware=True)["a"]
+        lo, hi, step = fp.read_box[0]
+        assert (lo, step) == (0, 2)
+        assert fp.read_elements == (hi - lo) // 2 + 1
+
+
 class TestReuse:
     def test_stack_distances(self):
         stack = LruStack()
@@ -180,3 +242,37 @@ class TestReuse:
     def test_lines_collapse_repeats(self):
         segs = [Segment(0, 0, 4, 16, False, 4)]  # 64 bytes = 1 line
         assert list(lines_of_segments(segs)) == [0]
+
+    def test_empty_histogram(self):
+        hist = reuse_histogram([])
+        assert hist.total == 0 and hist.cold == 0
+        assert hist.miss_ratio(0) == 0.0
+        assert hist.miss_ratio(64) == 0.0
+        assert hist.mean_distance() == 0.0
+
+    def test_zero_capacity_always_misses(self):
+        # capacity_lines=0: even a distance-0 re-touch has nowhere to live.
+        hist = reuse_histogram([5, 5, 5, 9])
+        assert hist.miss_ratio(0) == 1.0
+
+    def test_all_cold_stream_misses_at_every_capacity(self):
+        hist = reuse_histogram(range(100))
+        assert hist.cold == hist.total == 100
+        for capacity in (0, 1, 50, 10**9):
+            assert hist.miss_ratio(capacity) == 1.0
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.integers(0, 12), min_size=1, max_size=80),
+        st.integers(0, 16),
+        st.integers(0, 16),
+    )
+    def test_miss_ratio_monotone_in_capacity(self, trace, cap_a, cap_b):
+        # A bigger fully-associative LRU cache never misses more: the
+        # stack-distance inclusion property, which the histogram must
+        # reproduce for every pair of capacities.
+        hist = reuse_histogram(trace)
+        lo, hi = sorted((cap_a, cap_b))
+        assert hist.miss_ratio(hi) <= hist.miss_ratio(lo)
+        assert hist.miss_ratio(0) == 1.0  # and it's pinned at the ends
+        assert hist.miss_ratio(len(set(trace))) == hist.cold / hist.total

@@ -235,7 +235,7 @@ class TestPassManagerStrict:
 
 class TestDiagnostics:
     def test_codes_table_is_complete(self):
-        assert set(CODES) == {f"RPR00{i}" for i in range(1, 8)}
+        assert set(CODES) == {f"RPR00{i}" for i in range(1, 10)}
 
     def test_unknown_code_rejected(self):
         with pytest.raises(ValueError):
