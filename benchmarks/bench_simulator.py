@@ -77,3 +77,156 @@ def test_end_to_end_simulation(benchmark):
 
     result = benchmark(lambda: simulate(program, device))
     assert result.seconds > 0
+
+
+# ---------------------------------------------------------------------------
+# Runnable mode: exact-vs-fast engine wall-clock over the Fig. 2 grid.
+#
+#     PYTHONPATH=src python benchmarks/bench_simulator.py
+#
+# Writes benchmarks/BENCH_simulator.json (committed).  Two metrics per
+# engine, both over every (panel x device x variant) cell of Fig. 2:
+#
+# * ``engine``     — replay wall-clock only: segments are materialised
+#                    once per cell and each engine's hierarchies consume
+#                    the identical stream.  This isolates the component
+#                    the two engines actually implement differently and
+#                    is the metric the CI speedup gate checks.
+# * ``end_to_end`` — full ``simulate()`` wall-clock (trace generation +
+#                    replay + timing model), i.e. what a figure cell
+#                    costs.  Trace generation is shared code, so Amdahl
+#                    caps this ratio well below the engine ratio.
+#
+# Every cell also cross-checks the two engines' snapshots, so a run that
+# produced different counters fails instead of reporting a speedup.
+# ---------------------------------------------------------------------------
+
+import argparse
+import json
+import os
+import platform
+import time
+
+OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_simulator.json")
+
+
+def _fig2_cells():
+    """(paper_n, sim_n, device_key, variant, block, scale) for every cell."""
+    from repro.experiments.config import (
+        CACHE_SCALE,
+        TRANSPOSE_BLOCK,
+        TRANSPOSE_SIZES,
+        all_device_keys,
+        device_fits_paper_workload,
+        transpose_workload,
+    )
+    from repro.kernels import transpose as tr
+
+    for paper_n, sim_n in TRANSPOSE_SIZES:
+        workload = transpose_workload(paper_n)
+        for key in all_device_keys():
+            if not device_fits_paper_workload(key, workload.paper_bytes):
+                continue
+            for variant in tr.VARIANT_ORDER:
+                yield paper_n, sim_n, key, variant, TRANSPOSE_BLOCK, CACHE_SCALE
+
+
+def _measure_cell(paper_n, sim_n, key, variant, block, scale):
+    """Both metrics for one cell; returns a result dict."""
+    from repro.exec.tracegen import TraceGenerator
+    from repro.experiments.config import scaled_device
+    from repro.kernels import transpose as tr
+    from repro.memsim.stats import snapshot
+    from repro.simulate import has_parallel_loop, simulate
+
+    device = scaled_device(key, scale)
+    out = {"panel": paper_n, "device": key, "variant": variant}
+
+    # End-to-end: one full simulate() per engine (PMU attached, as the
+    # figure pipeline runs it).
+    results = {}
+    for engine in ("exact", "fast"):
+        program = tr.build(variant, sim_n, block=block)
+        start = time.perf_counter()
+        results[engine] = simulate(program, device, pmu=True, engine=engine)
+        out[f"end_to_end_{engine}_s"] = time.perf_counter() - start
+    if results["exact"].seconds != results["fast"].seconds:
+        raise AssertionError(f"{key}/{variant}/{sim_n}: engines disagree on seconds")
+    for se, sf in zip(results["exact"].snapshots, results["fast"].snapshots):
+        if se.as_dict() != sf.as_dict():
+            raise AssertionError(f"{key}/{variant}/{sim_n}: engines disagree on counters")
+
+    # Engine-only: identical pre-materialised segment streams.
+    program = tr.build(variant, sim_n, block=block)
+    cores = device.cores if has_parallel_loop(program) else 1
+    generator = TraceGenerator(program, num_cores=cores)
+    streams = [list(generator.core_stream(core)) for core in range(cores)]
+    snaps = {}
+    for engine in ("exact", "fast"):
+        hierarchies = device.build_hierarchies(cores, engine=engine)
+        for hierarchy in hierarchies:
+            hierarchy.attach_pmu()
+        start = time.perf_counter()
+        for hierarchy, segments in zip(hierarchies, streams):
+            hierarchy.run(segments)
+        out[f"engine_{engine}_s"] = time.perf_counter() - start
+        snaps[engine] = [snapshot(h).as_dict() for h in hierarchies]
+    if snaps["exact"] != snaps["fast"]:
+        raise AssertionError(f"{key}/{variant}/{sim_n}: replay counters diverge")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="exact-vs-fast engine wall-clock over the Fig. 2 grid"
+    )
+    parser.add_argument("--output", default=OUTPUT, help="result JSON path")
+    args = parser.parse_args()
+
+    cells = []
+    for cell in _fig2_cells():
+        result = _measure_cell(*cell)
+        cells.append(result)
+        print(
+            f"{result['device']:18s} {result['variant']:16s} n={result['panel']:6d} "
+            f"engine {result['engine_exact_s']:.3f}s -> {result['engine_fast_s']:.3f}s"
+        )
+
+    totals = {
+        metric: {
+            engine: round(sum(c[f"{metric}_{engine}_s"] for c in cells), 3)
+            for engine in ("exact", "fast")
+        }
+        for metric in ("engine", "end_to_end")
+    }
+    for metric in totals:
+        totals[metric]["speedup"] = round(
+            totals[metric]["exact"] / totals[metric]["fast"], 2
+        )
+
+    payload = {
+        "benchmark": "fig2 grid, exact vs fast replay engine (PMU attached)",
+        "host": platform.machine(),
+        "host_cores": os.cpu_count() or 1,
+        "engine": totals["engine"],
+        "end_to_end": totals["end_to_end"],
+        "cells": [
+            {k: (round(v, 4) if isinstance(v, float) else v) for k, v in c.items()}
+            for c in cells
+        ],
+        "note": (
+            "'engine' times replay of pre-materialised identical segment "
+            "streams (the component the engines implement differently; CI "
+            "gates on its speedup); 'end_to_end' times full simulate() "
+            "including shared trace generation"
+        ),
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps({k: payload[k] for k in ("engine", "end_to_end")}, indent=1))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

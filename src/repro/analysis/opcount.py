@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from repro.errors import AnalysisError
-from repro.analysis.summation import sum_over_range
+from repro.analysis.summation import MAX_DEGREE, _newton_eval, newton_sum
 from repro.ir.expr import BinOp, Cast, Const, Expr, IndexValue, Load, LocalRef
 from repro.ir.program import Program
 from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store
@@ -131,21 +131,17 @@ def _count_stmt(stmt: Stmt, env: Dict[str, int]) -> OpCounts:
 
         # Sum each field independently with the closed-form machinery; the
         # handful of probe evaluations are shared across fields via `memo`.
-        memo: Dict[int, OpCounts] = {}
+        memo: Dict[int, tuple] = {}
 
-        def counts_at(value: int) -> OpCounts:
-            if value not in memo:
+        def counts_at(value: int) -> tuple:
+            cached = memo.get(value)
+            if cached is None:
                 env_inner = dict(env)
                 env_inner[stmt.var] = value
-                memo[value] = _count_stmt(stmt.body, env_inner)
-            return memo[value]
+                cached = memo[value] = _field_tuple(_count_stmt(stmt.body, env_inner))
+            return cached
 
-        fields = OpCounts().as_dict().keys()
-        totals = {
-            key: sum_over_range(lambda v, k=key: counts_at(v).as_dict()[k], lo, hi, stmt.step)
-            for key in fields
-        }
-        total = OpCounts(**totals)
+        total = _sum_counts_over_range(counts_at, lo, hi, stmt.step)
         total.int_ops += stmt.trip_count(env)  # induction updates
         return total
     if isinstance(stmt, Store):
@@ -168,6 +164,53 @@ def _count_stmt(stmt: Stmt, env: Dict[str, int]) -> OpCounts:
             counts.flops += 1
         return counts
     raise AnalysisError(f"cannot count unknown statement {stmt!r}")
+
+
+def _field_tuple(counts: OpCounts) -> tuple:
+    """The eight count fields in declaration (``as_dict``) order."""
+    return (
+        counts.flops,
+        counts.fmas,
+        counts.loads,
+        counts.stores,
+        counts.bytes_loaded,
+        counts.bytes_stored,
+        counts.int_ops,
+        counts.iterations,
+    )
+
+
+def _sum_counts_over_range(counts_at, lo: int, hi: int, step: int) -> OpCounts:
+    """Field-wise :func:`~repro.analysis.summation.sum_over_range` with one
+    shared probe pass: the same per-field fit, validation and fallback as
+    eight independent calls (identical results), without re-walking the
+    statement tree or rebuilding dict views per field."""
+    if hi <= lo:
+        return OpCounts()
+    trips = (hi - lo + step - 1) // step
+    probe = min(trips, MAX_DEGREE + 2)
+    samples = [counts_at(lo + t * step) for t in range(probe)]
+    if trips <= MAX_DEGREE + 2:
+        return OpCounts(*(sum(col) for col in zip(*samples)))
+    last_t = trips - 1
+    last = None
+    totals = []
+    for index, col in enumerate(zip(*samples)):
+        fit = col[: MAX_DEGREE + 1]
+        if _newton_eval(fit, MAX_DEGREE + 1) != col[MAX_DEGREE + 1]:
+            totals.append(
+                sum(counts_at(lo + t * step)[index] for t in range(trips))
+            )
+            continue
+        if last is None:
+            last = counts_at(lo + last_t * step)
+        if _newton_eval(fit, last_t) != last[index]:
+            totals.append(
+                sum(counts_at(lo + t * step)[index] for t in range(trips))
+            )
+            continue
+        totals.append(newton_sum(fit, trips))
+    return OpCounts(*totals)
 
 
 def _subtree_uses(stmt: Stmt, var: str) -> bool:

@@ -73,6 +73,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 import threading
 import time
@@ -698,9 +699,21 @@ def figures_main(argv: List[str]) -> int:
         default=None,
         help="write a Chrome trace-event JSON of the whole run to FILE",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("exact", "fast"),
+        default=None,
+        help="replay engine: 'exact' per-reference simulator or the "
+             "bit-identical batched 'fast' engine "
+             "(default: $REPRO_ENGINE, else fast)",
+    )
     _add_logging_flags(parser)
     args = parser.parse_args(argv)
     configure_logging(args.verbose, args.quiet)
+    if args.engine:
+        # Exported (not passed through call chains) so WorkPool workers
+        # inherit the selection too.
+        os.environ["REPRO_ENGINE"] = args.engine
 
     names: List[str] = []
     for name in args.figures:
@@ -1271,6 +1284,10 @@ def perf_main(argv: List[str]) -> int:
                             "(exit 1 on drift)")
         p.add_argument("--rtol", type=float, default=0.0,
                        help="relative tolerance for --check counter comparisons")
+        p.add_argument("--engine", choices=("exact", "fast"), default=None,
+                       help="replay engine: 'exact' per-reference simulator or "
+                            "the bit-identical batched 'fast' engine "
+                            "(default: $REPRO_ENGINE, else fast)")
         _add_logging_flags(p)
 
     p_stat = sub.add_parser("stat", help="perf-stat style counter table per cell")
@@ -1293,6 +1310,10 @@ def perf_main(argv: List[str]) -> int:
 
     args = parser.parse_args(argv)
     configure_logging(args.verbose, args.quiet)
+    if args.engine:
+        # Exported (not passed through call chains) so WorkPool workers
+        # inherit the selection too.
+        os.environ["REPRO_ENGINE"] = args.engine
 
     base = {
         "kernel": args.kernel,

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from repro.errors import DeviceError
 from repro.memsim.cache import Cache
+from repro.memsim.columnar import FastHierarchy, fast_cache, supports_fast
 from repro.memsim.hierarchy import MemoryHierarchy
 from repro.memsim.prefetch import NO_PREFETCH, PrefetcherSpec
 from repro.memsim.tlb import TlbSpec
@@ -107,18 +108,59 @@ class DeviceSpec:
                 f"has only {self.dram.capacity_bytes / 2**20:.0f} MiB of DRAM"
             )
 
-    def build_hierarchies(self, active_cores: int = 1) -> List[MemoryHierarchy]:
+    def build_hierarchies(
+        self, active_cores: int = 1, engine: str = "exact"
+    ) -> List[MemoryHierarchy]:
         """One :class:`MemoryHierarchy` per active core.
 
         Shared levels are modelled by capacity partitioning (each core sees
         ``size / active_cores`` of a shared level); see DESIGN.md §5.3.
+
+        ``engine`` selects the replay implementation: ``"exact"`` builds
+        the per-reference :class:`~repro.memsim.hierarchy.MemoryHierarchy`;
+        ``"fast"`` the bit-identical batched engine — the runtime-compiled
+        C core (:class:`~repro.memsim.native.NativeHierarchy`) when a
+        toolchain is available and ``REPRO_NATIVE`` allows it, else the
+        pure-Python :class:`~repro.memsim.columnar.FastHierarchy`.
+        Devices with a replacement policy the fast engine does not model
+        (``plru`` ablations) silently fall back to exact hierarchies.
         """
         if not 1 <= active_cores <= self.cores:
             raise DeviceError(
                 f"{self.key}: active_cores={active_cores} outside 1..{self.cores}"
             )
+        if engine not in ("exact", "fast"):
+            raise DeviceError(
+                f"{self.key}: unknown engine {engine!r}; pick 'exact' or 'fast'"
+            )
+        fast = engine == "fast" and supports_fast(
+            [spec.policy for spec in self.caches]
+        )
+        if fast:
+            from repro.memsim.native import native_available, native_cache, NativeHierarchy
+
+            native = native_available()
         out = []
         for _core in range(active_cores):
+            if fast:
+                build_cache = native_cache if native else fast_cache
+                caches = [
+                    build_cache(
+                        spec.name,
+                        spec.per_core_size(active_cores),
+                        spec.ways,
+                        LINE_SIZE,
+                        spec.policy,
+                    )
+                    for spec in self.caches
+                ]
+                hierarchy_cls = NativeHierarchy if native else FastHierarchy
+                out.append(
+                    hierarchy_cls(
+                        caches, prefetch=self.prefetch, tlb=self.tlb, line_size=LINE_SIZE
+                    )
+                )
+                continue
             caches = [
                 Cache(
                     spec.name,

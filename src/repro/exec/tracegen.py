@@ -33,6 +33,7 @@ import heapq
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis.opcount import OpCounts, count_expr, iteration_cost
+from repro.analysis.summation import polynomial_map
 from repro.errors import SimulationError
 from repro.ir.affine import Affine
 from repro.ir.expr import loads_in
@@ -255,6 +256,8 @@ class TraceGenerator:
         self.num_cores = max(1, int(num_cores))
         self.layout = layout or MemoryLayout(program, num_threads=self.num_cores)
         self._plans: Dict[int, _LoopPlan] = {}
+        self._trip_acc: Dict[int, list] = {}
+        self._pair_chain: Dict[tuple, Optional[list]] = {}
         self._pair_plans: Dict[int, Optional[_PairPlan]] = {}
         self._innermost: Dict[int, bool] = {}
         self._next_ref = 0
@@ -320,7 +323,19 @@ class TraceGenerator:
         if not 0 <= core < self.num_cores:
             raise SimulationError(f"core {core} out of range 0..{self.num_cores - 1}")
         self.work[core] = CoreWork()
+        # Innermost-loop op counts accumulate as per-plan trip totals and
+        # fold into the work summary once the walk finishes: one OpCounts
+        # multiply-add per *plan* instead of two allocations per emission.
+        self._trip_acc = {}
         yield from self._walk(self.program.body, {}, core, in_parallel=False)
+        work = self.work[core]
+        for plan, trips in self._trip_acc.values():
+            counts = plan.per_iter * trips
+            if plan.vectorized:
+                work.vector = work.vector + counts
+            else:
+                work.scalar = work.scalar + counts
+        self._trip_acc = {}
 
     def all_segments(self) -> Iterator[Tuple[int, Segment]]:
         """(core, segment) for every core, core-major order."""
@@ -409,14 +424,14 @@ class TraceGenerator:
             if loop.schedule == "dynamic":
                 chunk = loop.chunk or 1
                 frozen_env = dict(env)
-                cost_cache: Dict[int, int] = {}
-
-                def cost(value: int) -> int:
-                    if value not in cost_cache:
-                        cost_cache[value] = iteration_cost(loop, value, frozen_env)
-                    return cost_cache[value]
-
-                assignment = split_dynamic(values, self.num_cores, chunk, cost)
+                # Per-iteration cost is polynomial in the loop variable for
+                # affine IR, so all chunk costs come from a handful of
+                # symbolic evaluations (validated; exact either way).
+                costs = polynomial_map(
+                    lambda value: iteration_cost(loop, value, frozen_env), values
+                )
+                table = dict(zip(values, costs))
+                assignment = split_dynamic(values, self.num_cores, chunk, table.__getitem__)
             else:
                 assignment = split_static(values, self.num_cores, loop.chunk)
         self._assignments[key] = assignment
@@ -468,26 +483,34 @@ class TraceGenerator:
             return
         trips_in = (in_hi - in_lo + inner.step - 1) // inner.step
 
-        # Validate chaining for this binding.
-        plans = []
-        for ref in pair.refs:
-            stride_in = ref.coeff_in * inner.step
-            stride_out = ref.coeff_out * loop.step
-            if stride_in == 0 and stride_out == 0:
-                plans.append((ref, 0, 1))
-            elif stride_in == 0:
-                plans.append((ref, stride_out, trips_out))
-            elif stride_out == 0:
-                plans.append((ref, stride_in, trips_in))
-            elif stride_out == stride_in * trips_in:
-                plans.append((ref, stride_in, trips_in * trips_out))
-            else:
-                # Not contiguous: emit the inner loop per outer value.
-                for value in range(out_lo, out_hi, loop.step):
-                    env[loop.var] = value
-                    yield from self._emit_innermost(inner, env, core)
-                env.pop(loop.var, None)
-                return
+        # Validate chaining for this binding (pure function of the trip
+        # counts, so the decision is cached per binding shape).
+        cache_key = (id(loop), trips_out, trips_in)
+        plans = self._pair_chain.get(cache_key, False)
+        if plans is False:
+            plans = []
+            for ref in pair.refs:
+                stride_in = ref.coeff_in * inner.step
+                stride_out = ref.coeff_out * loop.step
+                if stride_in == 0 and stride_out == 0:
+                    plans.append((ref, 0, 1))
+                elif stride_in == 0:
+                    plans.append((ref, stride_out, trips_out))
+                elif stride_out == 0:
+                    plans.append((ref, stride_in, trips_in))
+                elif stride_out == stride_in * trips_in:
+                    plans.append((ref, stride_in, trips_in * trips_out))
+                else:
+                    plans = None
+                    break
+            self._pair_chain[cache_key] = plans
+        if plans is None:
+            # Not contiguous: emit the inner loop per outer value.
+            for value in range(out_lo, out_hi, loop.step):
+                env[loop.var] = value
+                yield from self._emit_innermost(inner, env, core)
+            env.pop(loop.var, None)
+            return
 
         work = self.work[core]
         counts = pair.per_iter * (trips_in * trips_out)
@@ -533,13 +556,16 @@ class TraceGenerator:
         yield from self._emit_plan(loop, env, core, run_start, run_len)
 
     def _emit_plan(self, loop: For, env: Dict[str, int], core: int, lo: int, trips: int):
-        plan = self._plan(loop)
+        plan = self._plans.get(id(loop))
+        if plan is None:
+            plan = self._plan(loop)
         bases = self._bases[core]
         work = self.work[core]
-        if plan.vectorized:
-            work.vector = work.vector + plan.per_iter * trips
+        acc = self._trip_acc.get(id(plan))
+        if acc is None:
+            self._trip_acc[id(plan)] = [plan, trips]
         else:
-            work.scalar = work.scalar + plan.per_iter * trips
+            acc[1] += trips
         step = loop.step
         for ref in plan.refs:
             base = bases[ref.array.name] + ref.const + ref.coeff * lo

@@ -7,12 +7,28 @@
 * :mod:`repro.memsim.tlb` — two-level Sv39-style TLBs;
 * :mod:`repro.memsim.dram` — DRAM traffic counters;
 * :mod:`repro.memsim.hierarchy` — the composed per-core hierarchy;
+* :mod:`repro.memsim.columnar` — the batched columnar replay engine
+  (``REPRO_ENGINE=fast``, the default), bit-identical to the exact
+  per-reference loop;
 * :mod:`repro.memsim.stats` — snapshot/delta statistics;
 * :mod:`repro.memsim.pmu` — the simulated PMU: 3C miss attribution,
   per-set conflict histograms and prefetch-accuracy counters.
 """
 
-from repro.memsim.cache import Cache, CacheStats
+from repro.memsim.cache import Cache, CacheStats, set_indices, set_mask
+from repro.memsim.columnar import (
+    ENGINE_ENV,
+    ENGINE_EXACT,
+    ENGINE_FAST,
+    FAST_POLICIES,
+    FastHierarchy,
+    FastLruCache,
+    FastRandomCache,
+    FastTlb,
+    fast_cache,
+    resolve_engine,
+    supports_fast,
+)
 from repro.memsim.dram import DramCounters
 from repro.memsim.hierarchy import MemoryHierarchy
 from repro.memsim.prefetch import (
@@ -41,6 +57,14 @@ __all__ = [
     "Cache",
     "CacheStats",
     "DramCounters",
+    "ENGINE_ENV",
+    "ENGINE_EXACT",
+    "ENGINE_FAST",
+    "FAST_POLICIES",
+    "FastHierarchy",
+    "FastLruCache",
+    "FastRandomCache",
+    "FastTlb",
     "HierarchySnapshot",
     "LevelPmu",
     "LevelSnapshot",
@@ -60,6 +84,11 @@ __all__ = [
     "U74_PREFETCH",
     "XEON_PREFETCH",
     "add_counters",
+    "fast_cache",
     "make_policy",
+    "resolve_engine",
+    "set_indices",
+    "set_mask",
     "snapshot",
+    "supports_fast",
 ]

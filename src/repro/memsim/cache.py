@@ -17,6 +17,30 @@ from repro.errors import SimulationError
 from repro.memsim.replacement import make_policy
 
 
+def set_mask(num_sets: int) -> Optional[int]:
+    """Bit mask for power-of-two set counts, ``None`` otherwise.
+
+    The single source of set-indexing truth: power-of-two set counts
+    index with ``line & mask``; others (the Xeon's 15 MiB 12-way L3 has
+    20480 sets) fall back to ``line % num_sets``.  Both the exact and
+    the fast engines derive their set indices from this mask.
+    """
+    return num_sets - 1 if not (num_sets & (num_sets - 1)) else None
+
+
+def set_indices(lines, num_sets: int, mask: Optional[int]) -> List[int]:
+    """Vectorizable counterpart of :meth:`Cache.set_index` over a batch.
+
+    Applies exactly the mask/modulo rule :func:`set_mask` encodes to a
+    whole sequence of line addresses (the columnar engine's per-segment
+    batches).  Kept next to the scalar rule so a geometry change cannot
+    make the two paths disagree.
+    """
+    if mask is not None:
+        return [line & mask for line in lines]
+    return [line % num_sets for line in lines]
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting for one cache level."""
@@ -66,9 +90,7 @@ class Cache:
         self.policy_name = policy
         self.policy = make_policy(policy, num_sets, ways)
         self.stats = CacheStats()
-        # Power-of-two set counts index with a mask; others (the Xeon's
-        # 15 MiB 12-way L3 has 20480 sets) fall back to modulo.
-        self._set_mask = num_sets - 1 if not (num_sets & (num_sets - 1)) else None
+        self._set_mask = set_mask(num_sets)
         # Per set: line -> way, plus way-indexed line and dirty arrays.
         self._where: List[dict] = [dict() for _ in range(num_sets)]
         self._lines: List[List[Optional[int]]] = [[None] * ways for _ in range(num_sets)]
@@ -81,8 +103,7 @@ class Cache:
         responsible for fetching it from the level below and for handling
         the writeback of any evicted dirty line.
         """
-        mask = self._set_mask
-        set_idx = line & mask if mask is not None else line % self.num_sets
+        set_idx = self.set_index(line)
         where = self._where[set_idx]
         way = where.get(line)
         if way is not None:
@@ -113,16 +134,35 @@ class Cache:
         return False, writeback
 
     def set_index(self, line: int) -> int:
+        """Set a line maps to — the one mask/modulo rule (:func:`set_mask`),
+        shared by :meth:`access`, the hierarchy's writeback path and (in
+        batch form, :func:`set_indices`) the columnar engine."""
         mask = self._set_mask
         return line & mask if mask is not None else line % self.num_sets
 
     def contains(self, line: int) -> bool:
         return line in self._where[self.set_index(line)]
 
+    def dirty_lines(self) -> List[int]:
+        """Dirty resident lines, set-major order.
+
+        The one definition of end-of-run writeback traffic: both engines
+        implement it, :meth:`flush_dirty_count` counts it, and
+        :meth:`MemoryHierarchy.flush` charges the across-level dedup of it
+        to DRAM — so ``dram.written_lines`` (hence total writeback bytes)
+        cannot diverge between the accounting paths.
+        """
+        out: List[int] = []
+        for set_lines, set_dirty in zip(self._lines, self._dirty):
+            for line, dirty in zip(set_lines, set_dirty):
+                if dirty and line is not None:
+                    out.append(line)
+        return out
+
     def flush_dirty_count(self) -> int:
         """Number of dirty lines currently resident (end-of-run writeback
-        traffic owed to DRAM)."""
-        return sum(sum(1 for d in set_dirty if d) for set_dirty in self._dirty)
+        traffic owed to DRAM at this level, before cross-level dedup)."""
+        return len(self.dirty_lines())
 
     def reset(self) -> None:
         self.stats.reset()

@@ -217,6 +217,14 @@ class MemoryHierarchy:
         process = self.process_segment
         for seg in segments:
             process(seg)
+        self.drain()
+
+    def drain(self) -> None:
+        """Flush any internally buffered work.  The exact engine applies
+        every segment immediately, so this is a no-op; the fast engine
+        overrides it (it concatenates small segments into cross-segment
+        batches) and it must be called before reading state after a raw
+        ``process_segment`` stream."""
 
     def reset(self) -> None:
         for cache in self.caches:
@@ -234,16 +242,17 @@ class MemoryHierarchy:
         Used by one-shot (non-steady-state) measurements so that written
         data is accounted even if it never got evicted.  A line dirty at
         several levels is charged once (it would coalesce on the way out).
+        Built on :meth:`Cache.dirty_lines` — the same definition both
+        engines and :meth:`Cache.flush_dirty_count` use — and reported to
+        the PMU so per-reference DRAM-write attribution sums to
+        ``dram.written_lines`` whether or not a flush happened.
         """
         dirty_lines = set()
         for cache in self.caches:
-            for set_idx in range(cache.num_sets):
-                lines = cache._lines[set_idx]
-                dirty = cache._dirty[set_idx]
-                for way in range(cache.ways):
-                    if dirty[way] and lines[way] is not None:
-                        dirty_lines.add(lines[way])
+            dirty_lines.update(cache.dirty_lines())
         self.dram.written_lines += len(dirty_lines)
+        if self.pmu is not None:
+            self.pmu.dram_flush(len(dirty_lines))
 
     @property
     def dram_bytes(self) -> int:

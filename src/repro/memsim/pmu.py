@@ -183,6 +183,13 @@ class Pmu:
         ref = self.current_ref
         self.ref_dram_written_lines[ref] = self.ref_dram_written_lines.get(ref, 0) + 1
 
+    def dram_flush(self, lines: int) -> None:
+        """End-of-run flush writebacks (no single evictor to blame: they
+        join ref ``-1`` so per-reference DRAM-write attribution still sums
+        to the hierarchy's ``dram.written_lines``)."""
+        if lines:
+            self.ref_dram_written_lines[-1] = self.ref_dram_written_lines.get(-1, 0) + lines
+
     # -- views --------------------------------------------------------------
 
     def counters(self) -> "OrderedDict[str, int]":

@@ -92,6 +92,7 @@ def time_emulated_run(
     hierarchy = device.build_hierarchies(1)[0]
     for segment in trace:
         hierarchy.process_segment(segment)
+    hierarchy.drain()
     if flush_writebacks:
         hierarchy.flush()
 

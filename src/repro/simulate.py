@@ -25,6 +25,7 @@ from repro.exec.trace import CoreWork, RefInfo
 from repro.exec.tracegen import TraceGenerator
 from repro.ir.program import Program
 from repro.ir.stmt import For, walk_stmts
+from repro.memsim.columnar import resolve_engine
 from repro.memsim.pmu import Pmu
 from repro.memsim.stats import HierarchySnapshot, snapshot
 from repro.profiling import tracer
@@ -92,6 +93,7 @@ def simulate(
     flush_writebacks: bool = False,
     check_capacity: bool = True,
     pmu: bool = False,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one run of ``program`` on ``device``.
 
@@ -122,6 +124,12 @@ def simulate(
         repetitions (snapshot deltas subtract them like any other
         counter), and the classification is purely observational — cache
         contents and timing are byte-for-byte identical with it off.
+    engine:
+        Replay engine: ``"exact"`` (the per-reference oracle loop) or
+        ``"fast"`` (the batched columnar engine, bit-identical on every
+        counter).  ``None`` resolves ``REPRO_ENGINE``, defaulting to
+        ``fast``.  Devices whose replacement policies the fast engine
+        does not model fall back to exact hierarchies automatically.
     """
     if repetitions < 1:
         raise SimulationError("repetitions must be >= 1")
@@ -134,11 +142,14 @@ def simulate(
     if active_cores is None:
         active_cores = device.cores if has_parallel_loop(program) else 1
 
+    engine = resolve_engine(engine)
+
     with tracer.span(
-        "simulate", cat="sim", program=program.name, device=device.key, cores=active_cores
+        "simulate", cat="sim", program=program.name, device=device.key,
+        cores=active_cores, engine=engine,
     ):
         with tracer.span("build_hierarchies", cat="sim"):
-            hierarchies = device.build_hierarchies(active_cores)
+            hierarchies = device.build_hierarchies(active_cores, engine=engine)
         pmus: List[Pmu] = []
         if pmu:
             pmus = [h.attach_pmu() for h in hierarchies]
@@ -162,6 +173,7 @@ def simulate(
                 ):
                     for seg in generator.core_stream(core):
                         run(seg)
+                    hierarchy.drain()
             # ``core_stream`` resets ``generator.work[core]`` on entry, so
             # after the loop it holds exactly this repetition's counts;
             # accumulate so ``works`` always matches the snapshot deltas.
