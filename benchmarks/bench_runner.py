@@ -7,9 +7,15 @@ so every cell actually simulates.  Writes the measurements to
 fan-out bought on the measuring host — the speedup is bounded by the
 host's core count, which is recorded alongside).
 
+Measurement rides the :mod:`repro.bench` harness: each configuration is
+repeated, outliers are MAD-rejected and the medians carry bootstrap
+confidence intervals plus the measuring host's fingerprint.  The legacy
+top-level keys (``serial_seconds``/``parallel_seconds``/``speedup``) are
+kept — now medians rather than single shots.
+
 Not a pytest-benchmark module: run it directly.
 
-    PYTHONPATH=src python benchmarks/bench_runner.py [--jobs N]
+    PYTHONPATH=src python benchmarks/bench_runner.py [--jobs N] [--repeats R]
 """
 
 from __future__ import annotations
@@ -39,10 +45,18 @@ def measure(jobs: int) -> float:
 
 
 def main() -> int:
+    from repro.bench.harness import fingerprint_hash, host_fingerprint
+    from repro.bench.stats import summarize
+    from repro.bench.trend import current_commit
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker count for the parallel measurement (default: all cores, min 2)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="measurement repeats per configuration (default 3)",
     )
     parser.add_argument("--output", default=OUTPUT, help="result JSON path")
     args = parser.parse_args()
@@ -51,27 +65,54 @@ def main() -> int:
     os.environ["REPRO_CACHE"] = "off"
     cores = os.cpu_count() or 1
     jobs = args.jobs if args.jobs else max(2, cores)
+    repeats = max(1, args.repeats)
 
-    serial_s = measure(1)
-    parallel_s = measure(jobs)
+    samples = {"serial": [], "parallel": []}
+    for rep in range(repeats):
+        samples["serial"].append(measure(1))
+        samples["parallel"].append(measure(jobs))
+        print(
+            f"repeat {rep + 1}/{repeats}: serial {samples['serial'][-1]:.1f}s, "
+            f"parallel({jobs}) {samples['parallel'][-1]:.1f}s"
+        )
+
+    serial = summarize(samples["serial"])
+    parallel = summarize(samples["parallel"])
+    # Conservative interval for the ratio of two independent medians.
+    speedup_ci = [
+        round(serial.ci_low / parallel.ci_high, 3) if parallel.ci_high > 0 else 0.0,
+        round(serial.ci_high / parallel.ci_low, 3) if parallel.ci_low > 0 else 0.0,
+    ]
 
     payload = {
         "benchmark": "fig2 grid (both panels, run cache disabled)",
         "host": platform.machine(),
         "host_cores": cores,
-        "serial_seconds": round(serial_s, 3),
+        "serial_seconds": round(serial.median, 3),
         "jobs": jobs,
-        "parallel_seconds": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 3),
+        "parallel_seconds": round(parallel.median, 3),
+        "speedup": round(serial.median / parallel.median, 3),
+        "speedup_ci": speedup_ci,
+        "summaries": {
+            "serial": serial.as_dict(),
+            "parallel": parallel.as_dict(),
+        },
+        "fingerprint": host_fingerprint(),
+        "host_hash": fingerprint_hash(),
+        "commit": current_commit(),
         "note": (
             "speedup is bounded by host_cores; on a single-core host the "
-            "parallel run only measures spawn/pickle overhead"
+            "parallel run only measures spawn/pickle overhead. "
+            "serial/parallel_seconds are medians; summaries carry the "
+            "bootstrap CIs."
         ),
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
         fh.write("\n")
-    print(json.dumps(payload, indent=1, sort_keys=True))
+    print(json.dumps({k: payload[k] for k in (
+        "serial_seconds", "parallel_seconds", "speedup", "speedup_ci"
+    )}, indent=1))
     return 0
 
 

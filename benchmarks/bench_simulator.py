@@ -177,39 +177,75 @@ def _measure_cell(paper_n, sim_n, key, variant, block, scale):
 
 
 def main() -> int:
+    from repro.bench.harness import fingerprint_hash, host_fingerprint
+    from repro.bench.stats import summarize
+    from repro.bench.trend import current_commit
+
     parser = argparse.ArgumentParser(
         description="exact-vs-fast engine wall-clock over the Fig. 2 grid"
     )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="full-grid measurement repeats (default 3)",
+    )
     parser.add_argument("--output", default=OUTPUT, help="result JSON path")
     args = parser.parse_args()
+    repeats = max(1, args.repeats)
 
-    cells = []
-    for cell in _fig2_cells():
-        result = _measure_cell(*cell)
-        cells.append(result)
-        print(
-            f"{result['device']:18s} {result['variant']:16s} n={result['panel']:6d} "
-            f"engine {result['engine_exact_s']:.3f}s -> {result['engine_fast_s']:.3f}s"
-        )
-
-    totals = {
-        metric: {
-            engine: round(sum(c[f"{metric}_{engine}_s"] for c in cells), 3)
-            for engine in ("exact", "fast")
-        }
+    # Each repeat is one full pass over the grid; the per-repeat grid
+    # totals are the samples the harness statistics summarise.
+    series = {
+        f"{metric}_{engine}": []
         for metric in ("engine", "end_to_end")
+        for engine in ("exact", "fast")
     }
-    for metric in totals:
-        totals[metric]["speedup"] = round(
-            totals[metric]["exact"] / totals[metric]["fast"], 2
+    cells = []
+    for rep in range(repeats):
+        cells = []
+        for cell in _fig2_cells():
+            result = _measure_cell(*cell)
+            cells.append(result)
+            if rep == 0:
+                print(
+                    f"{result['device']:18s} {result['variant']:16s} "
+                    f"n={result['panel']:6d} "
+                    f"engine {result['engine_exact_s']:.3f}s -> "
+                    f"{result['engine_fast_s']:.3f}s"
+                )
+        for name in series:
+            series[name].append(sum(c[f"{name}_s"] for c in cells))
+        print(
+            f"repeat {rep + 1}/{repeats}: engine exact "
+            f"{series['engine_exact'][-1]:.1f}s, fast "
+            f"{series['engine_fast'][-1]:.1f}s"
         )
+
+    summaries = {name: summarize(values) for name, values in series.items()}
+
+    def ratio_block(metric: str) -> dict:
+        exact = summaries[f"{metric}_exact"]
+        fast = summaries[f"{metric}_fast"]
+        return {
+            "exact": round(exact.median, 3),
+            "fast": round(fast.median, 3),
+            "speedup": round(exact.median / fast.median, 2),
+            # Conservative interval for the ratio of two medians.
+            "speedup_ci": [
+                round(exact.ci_low / fast.ci_high, 2) if fast.ci_high > 0 else 0.0,
+                round(exact.ci_high / fast.ci_low, 2) if fast.ci_low > 0 else 0.0,
+            ],
+        }
 
     payload = {
         "benchmark": "fig2 grid, exact vs fast replay engine (PMU attached)",
         "host": platform.machine(),
         "host_cores": os.cpu_count() or 1,
-        "engine": totals["engine"],
-        "end_to_end": totals["end_to_end"],
+        "engine": ratio_block("engine"),
+        "end_to_end": ratio_block("end_to_end"),
+        "summaries": {name: s.as_dict() for name, s in summaries.items()},
+        "fingerprint": host_fingerprint(),
+        "host_hash": fingerprint_hash(),
+        "commit": current_commit(),
         "cells": [
             {k: (round(v, 4) if isinstance(v, float) else v) for k, v in c.items()}
             for c in cells
@@ -217,8 +253,10 @@ def main() -> int:
         "note": (
             "'engine' times replay of pre-materialised identical segment "
             "streams (the component the engines implement differently; CI "
-            "gates on its speedup); 'end_to_end' times full simulate() "
-            "including shared trace generation"
+            "gates on its speedup CI lower bound); 'end_to_end' times full "
+            "simulate() including shared trace generation.  exact/fast are "
+            "medians over --repeats full-grid passes; 'cells' is the last "
+            "pass."
         ),
     }
     with open(args.output, "w", encoding="utf-8") as fh:

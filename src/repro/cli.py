@@ -1126,6 +1126,10 @@ def profile_main(argv: List[str]) -> int:
                         help="diff this run's counters against the baseline (exit 1 on drift)")
     parser.add_argument("--rtol", type=float, default=0.0,
                         help="relative tolerance for --check counter comparisons")
+    parser.add_argument("--noise-repeats", type=int, default=3, metavar="N",
+                        help="extra runs at --save-baseline time to measure the "
+                             "seconds noise floor stored with the entry "
+                             "(0 disables; default 3)")
     _add_logging_flags(parser)
     args = parser.parse_args(argv)
     configure_logging(args.verbose, args.quiet)
@@ -1159,8 +1163,22 @@ def profile_main(argv: List[str]) -> int:
         trace_obj.write_chrome_trace(args.trace)
         LOG.info("[trace written to %s]", args.trace)
     if args.save_baseline:
-        key = save_baseline(args.baseline, report)
-        LOG.info("[baseline %r saved to %s]", key, args.baseline)
+        noise = 0.0
+        if args.noise_repeats > 0:
+            from repro.bench.stats import noise_floor
+
+            samples = [report.seconds]
+            for _ in range(args.noise_repeats):
+                extra, _res = profile_run(
+                    args.kernel, args.variant, args.device, scale=args.scale,
+                    n=args.n, block=args.block, filter_size=args.filter_size,
+                    cores=args.cores,
+                )
+                samples.append(extra.seconds)
+            noise = noise_floor(samples)
+        key = save_baseline(args.baseline, report, noise=noise)
+        LOG.info("[baseline %r saved to %s (noise floor %.3g)]",
+                 key, args.baseline, noise)
     if args.check:
         violations = check_report(report, args.baseline, counter_rtol=args.rtol)
         if violations:
@@ -1284,6 +1302,10 @@ def perf_main(argv: List[str]) -> int:
                             "(exit 1 on drift)")
         p.add_argument("--rtol", type=float, default=0.0,
                        help="relative tolerance for --check counter comparisons")
+        p.add_argument("--noise-repeats", type=int, default=3, metavar="N",
+                       help="extra runs at --save-baseline time to measure the "
+                            "seconds noise floor stored with each entry "
+                            "(0 disables; default 3)")
         p.add_argument("--engine", choices=("exact", "fast"), default=None,
                        help="replay engine: 'exact' per-reference simulator or "
                             "the bit-identical batched 'fast' engine "
@@ -1368,9 +1390,18 @@ def perf_main(argv: List[str]) -> int:
         LOG.info("[openmetrics written to %s]", args.openmetrics)
 
     if args.save_baseline:
-        for cell in cells:
-            key = save_perf_baseline(cell, args.baseline)
-            LOG.info("[perf baseline %r saved to %s]", key, args.baseline)
+        for cell, task in zip(cells, tasks):
+            noise = 0.0
+            if args.noise_repeats > 0:
+                from repro.bench.stats import noise_floor
+
+                samples = [cell.seconds]
+                for _ in range(args.noise_repeats):
+                    samples.append(run_perf(**task).seconds)
+                noise = noise_floor(samples)
+            key = save_perf_baseline(cell, args.baseline, noise=noise)
+            LOG.info("[perf baseline %r saved to %s (noise floor %.3g)]",
+                     key, args.baseline, noise)
     if args.check:
         violations = []
         for cell in cells:
@@ -1399,6 +1430,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.serve.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.cli import bench_main
+
+        return bench_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "top":

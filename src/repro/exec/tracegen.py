@@ -38,6 +38,7 @@ from repro.errors import SimulationError
 from repro.ir.affine import Affine
 from repro.ir.expr import loads_in
 from repro.ir.program import MemoryLayout, Program
+from repro.runtime import faults
 from repro.ir.stmt import Block, For, LocalAssign, Stmt, Store, walk_stmts
 from repro.exec.trace import CoreWork, RefInfo, Segment
 from repro.profiling import tracer
@@ -322,6 +323,7 @@ class TraceGenerator:
         """
         if not 0 <= core < self.num_cores:
             raise SimulationError(f"core {core} out of range 0..{self.num_cores - 1}")
+        faults.before_tracegen()
         self.work[core] = CoreWork()
         # Innermost-loop op counts accumulate as per-plan trip totals and
         # fold into the work summary once the walk finishes: one OpCounts

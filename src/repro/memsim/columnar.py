@@ -79,6 +79,7 @@ bit-identity on every counter both engines expose.
 from __future__ import annotations
 
 import os
+import threading
 from itertools import repeat
 from typing import Dict, List, Optional, Sequence
 
@@ -124,6 +125,34 @@ _NEG = -(1 << 62)
 
 _PRNG_MASK = 0xFFFFFFFFFFFFFFFF
 _PRNG_SEED = 0x9E3779B97F4A7C15  # RandomPolicy's default seed
+
+
+#: Skip-path names reported by ``skip_counts()`` implementations:
+#: ``resident``/``streaming`` are the certified closed-form paths,
+#: ``replayed`` is the scalar (or native-C) fallback.
+SKIP_PATHS = ("resident", "streaming", "replayed")
+
+#: Process-wide skip-path accumulator (telemetry only — never part of
+#: cache records or counter sets, which must stay engine-free and
+#: bit-identical across engines).  ``simulate()`` folds each run's
+#: per-hierarchy counts in; long-lived processes (serve workers) read
+#: deltas around a job to attribute skips per run.
+_PROCESS_SKIPS: Dict[str, int] = {path: 0 for path in SKIP_PATHS}
+_PROCESS_SKIPS_LOCK = threading.Lock()
+
+
+def account_skips(counts: Dict[str, int]) -> None:
+    """Fold one run's skip counts into the process-wide accumulator."""
+    with _PROCESS_SKIPS_LOCK:
+        for path, value in counts.items():
+            if path in _PROCESS_SKIPS and value:
+                _PROCESS_SKIPS[path] += int(value)
+
+
+def process_skip_totals() -> Dict[str, int]:
+    """Cumulative skip counts for this process (copy)."""
+    with _PROCESS_SKIPS_LOCK:
+        return dict(_PROCESS_SKIPS)
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:

@@ -160,6 +160,10 @@ def render_openmetrics(cells) -> str:
         "repro_prefetch_lines_total": ("counter", "Prefetcher line outcomes."),
         "repro_tlb_walks_total": ("counter", "TLB walks."),
         "repro_dram_bytes_total": ("counter", "DRAM traffic in bytes."),
+        "repro_engine_skip_ops_total": (
+            "counter",
+            "Line ops absorbed by each fast-engine skip path.",
+        ),
         "repro_sim_seconds": ("gauge", "Simulated wall-clock seconds."),
     }
     samples: Dict[str, List[str]] = {name: [] for name in families}
@@ -199,8 +203,82 @@ def render_openmetrics(cells) -> str:
                 f"repro_dram_bytes_total"
                 f"{_labels(base + [('direction', direction)])} {cell.counters.get(key, 0)}"
             )
+        if cell.engine_skips:
+            for path in ("resident", "streaming", "replayed"):
+                samples["repro_engine_skip_ops_total"].append(
+                    f"repro_engine_skip_ops_total"
+                    f"{_labels(base + [('engine', cell.engine), ('path', path)])} "
+                    f"{cell.engine_skips.get(path, 0)}"
+                )
         samples["repro_sim_seconds"].append(
             f"repro_sim_seconds{_labels(base)} {cell.seconds!r}"
         )
 
+    return render_exposition(families, samples)
+
+
+def render_trend_openmetrics(points) -> str:
+    """Render bench trend points as an OpenMetrics exposition.
+
+    Takes points as :meth:`repro.bench.trend.TrendStore.points` returns
+    them (oldest-first) and exports the *latest* point per workload —
+    the shape a scraper wants: current medians with CI context, labelled
+    by commit and measuring host, so the commit-keyed history lands on
+    the same dashboards as the serve tier's live metrics.
+    """
+    families: "Dict[str, Tuple[str, ...]]" = {
+        "repro_bench_seconds": (
+            "gauge", "Latest benchmarked median wall-clock per workload.",
+            "seconds",
+        ),
+        "repro_bench_phase_seconds": (
+            "gauge", "Latest per-phase median within each workload.",
+            "seconds",
+        ),
+        "repro_bench_rel_ci": (
+            "gauge",
+            "Relative CI95 half-width of the latest median (dimensionless).",
+        ),
+        "repro_bench_ratio": (
+            "gauge", "Latest derived dimensionless ratio (e.g. engine speedup).",
+        ),
+    }
+    latest: Dict[str, Dict] = {}
+    for point in points:
+        workload = point.get("workload")
+        if workload:
+            latest[str(workload)] = point
+    samples: Dict[str, List[str]] = {name: [] for name in families}
+    for workload, point in sorted(latest.items()):
+        base = [
+            ("workload", workload),
+            ("commit", str(point.get("commit", ""))),
+            ("host", str(point.get("host", ""))),
+        ]
+        median = point.get("median")
+        if median is None:
+            continue
+        if point.get("kind") == "derived-ratio":
+            samples["repro_bench_ratio"].append(
+                format_sample("repro_bench_ratio", base, repr(float(median)))
+            )
+        else:
+            samples["repro_bench_seconds"].append(
+                format_sample("repro_bench_seconds", base, repr(float(median)))
+            )
+            for phase, value in sorted((point.get("phases") or {}).items()):
+                if value is None:
+                    continue
+                samples["repro_bench_phase_seconds"].append(
+                    format_sample(
+                        "repro_bench_phase_seconds",
+                        base + [("phase", str(phase))],
+                        repr(float(value)),
+                    )
+                )
+        rel_ci = point.get("rel_ci")
+        if rel_ci is not None:
+            samples["repro_bench_rel_ci"].append(
+                format_sample("repro_bench_rel_ci", base, repr(float(rel_ci)))
+            )
     return render_exposition(families, samples)

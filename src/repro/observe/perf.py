@@ -62,6 +62,11 @@ class PerfCell:
     levels: List[Dict[str, Any]] = field(default_factory=list)
     refs: List[Dict[str, Any]] = field(default_factory=list)
     ir_lines: List[Any] = field(default_factory=list)
+    # Observability only (not part of the baseline counter contract):
+    # which replay engine ran and how many line operations each fast-path
+    # skip class absorbed (``resident``/``streaming``/``replayed``).
+    engine: str = ""
+    engine_skips: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -121,6 +126,8 @@ def run_perf(
         levels=_merge_levels(result),
         refs=_merge_refs(result),
         ir_lines=[list(pair) for pair in program_lines(program)],
+        engine=result.engine,
+        engine_skips=dict(result.engine_skips),
     )
 
 
@@ -279,6 +286,18 @@ def _stat_rows(cell: PerfCell) -> List[Any]:
             f"{_fmt(counters.get('pmu.prefetch.late', 0))} late"
         )
     rows.append((issued, "prefetch.lines", comment))
+    if cell.engine_skips:
+        skip_total = sum(cell.engine_skips.values()) or 1
+        for path in ("resident", "streaming", "replayed"):
+            count = cell.engine_skips.get(path, 0)
+            share = 100.0 * count / skip_total
+            rows.append(
+                (
+                    count,
+                    f"engine.{path}",
+                    f"{share:.1f}% of line ops ({cell.engine} engine)",
+                )
+            )
     return rows
 
 
@@ -351,8 +370,13 @@ def _ratio(a: float, b: float) -> str:
 # -- baselines ---------------------------------------------------------------
 
 
-def save_perf_baseline(cell: PerfCell, path: str = DEFAULT_PERF_BASELINE_PATH) -> str:
-    return save_entry(path, cell.baseline_key, cell.counters, cell.seconds, cell.active_cores)
+def save_perf_baseline(
+    cell: PerfCell, path: str = DEFAULT_PERF_BASELINE_PATH, noise: float = 0.0
+) -> str:
+    return save_entry(
+        path, cell.baseline_key, cell.counters, cell.seconds, cell.active_cores,
+        noise=noise,
+    )
 
 
 def check_perf_cell(

@@ -11,6 +11,16 @@ slow drift.
 Counters are integers and the simulator is deterministic, so the default
 counter tolerance is exact; ``seconds`` (a float through the contention
 bisection) gets a small relative tolerance.
+
+Rather than hard-coding a guess at how much ``seconds`` may wobble,
+``--save-baseline`` can measure it: the CLI re-runs the configuration a
+few times, reduces the spread with
+:func:`repro.bench.stats.noise_floor`, and stores it as the entry's
+``noise_rel``.  ``check_entry`` then widens its seconds tolerance to the
+*measured* floor (never below ``seconds_rtol``), so a deterministic
+simulation keeps its near-exact check while any genuinely noisy
+configuration gets exactly the slack it demonstrated — not a fixed
+percentage that is too loose on fast hosts and too tight on slow CI.
 """
 
 from __future__ import annotations
@@ -69,14 +79,20 @@ def save_entry(
     counters: Dict[str, int],
     seconds: float,
     active_cores: int,
+    noise: float = 0.0,
 ) -> str:
     """Merge one configuration's counters into the baseline file; returns
-    the entry key.  Existing entries for other configurations are kept."""
+    the entry key.  Existing entries for other configurations are kept.
+
+    ``noise`` is the measured relative noise floor of the ``seconds``
+    figure (see module docstring); it widens the check-time tolerance.
+    """
     data = load_baselines(path)
     data["entries"][key] = {
         "counters": dict(counters),
         "seconds": seconds,
         "active_cores": active_cores,
+        "noise_rel": float(noise),
     }
     directory = os.path.dirname(os.path.abspath(path))
     if directory:
@@ -87,11 +103,16 @@ def save_entry(
     return key
 
 
-def save_baseline(path: str, report: ProfileReport) -> str:
+def save_baseline(path: str, report: ProfileReport, noise: float = 0.0) -> str:
     """Merge this report's counters into the baseline file; returns the
     entry key."""
     return save_entry(
-        path, baseline_key(report), report.counters, report.seconds, report.active_cores
+        path,
+        baseline_key(report),
+        report.counters,
+        report.seconds,
+        report.active_cores,
+        noise=noise,
     )
 
 
@@ -138,6 +159,9 @@ def check_entry(
                 "re-save the baseline to adopt new counters"
             )
     expected_seconds = entry.get("seconds")
+    # Tolerance for seconds: the caller's rtol widened to the noise floor
+    # this entry measured at save time (a float, absent in old files).
+    seconds_rtol = max(seconds_rtol, float(entry.get("noise_rel", 0.0) or 0.0))
     if expected_seconds is not None and not _within(
         expected_seconds, seconds, seconds_rtol
     ):

@@ -23,6 +23,11 @@ Supported faults:
 ``sim_hang[:<seconds>]``
     Sleep inside each simulate call (default 0.25 s) so a supervisor
     deadline shorter than that expires.
+``tracegen_slow[:<seconds>]``
+    Sleep at the top of every trace-generation stream (default 0.05 s).
+    A pure, attributable slowdown of one pipeline phase — the bench
+    gate's tests inject it to prove a flagged regression names
+    *tracegen* rather than a bare total.
 ``seed:<n>``
     Seed for the probabilistic faults (default 0), keeping chaos runs
     reproducible.
@@ -41,6 +46,7 @@ from repro.errors import TransientSimulationError
 
 ENV_VAR = "REPRO_FAULTS"
 DEFAULT_HANG_SECONDS = 0.25
+DEFAULT_TRACEGEN_SLOW_SECONDS = 0.05
 
 
 @dataclass(frozen=True)
@@ -50,11 +56,17 @@ class FaultPlan:
     cache_corrupt: bool = False
     sim_flaky: float = 0.0
     sim_hang: float = 0.0
+    tracegen_slow: float = 0.0
     seed: int = 0
 
     @property
     def any_active(self) -> bool:
-        return self.cache_corrupt or self.sim_flaky > 0 or self.sim_hang > 0
+        return (
+            self.cache_corrupt
+            or self.sim_flaky > 0
+            or self.sim_hang > 0
+            or self.tracegen_slow > 0
+        )
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
@@ -71,6 +83,10 @@ class FaultPlan:
                 fields["sim_flaky"] = float(value) if value else 0.5
             elif name == "sim_hang":
                 fields["sim_hang"] = float(value) if value else DEFAULT_HANG_SECONDS
+            elif name == "tracegen_slow":
+                fields["tracegen_slow"] = (
+                    float(value) if value else DEFAULT_TRACEGEN_SLOW_SECONDS
+                )
             elif name == "seed":
                 fields["seed"] = int(value)
             else:
@@ -155,6 +171,12 @@ class FaultInjector:
                     f"injected transient fault (p={plan.sim_flaky}) for {key}"
                 )
 
+    def before_tracegen(self) -> None:
+        """Called at the top of every per-core trace-generation stream."""
+        plan = self.plan()
+        if plan.tracegen_slow > 0:
+            time.sleep(plan.tracegen_slow)
+
     def after_cache_write(self, path: str) -> None:
         """Called after every successful cache write."""
         plan = self.plan()
@@ -186,6 +208,10 @@ def active_plan() -> FaultPlan:
 
 def before_simulate(key: str) -> None:
     _INJECTOR.before_simulate(key)
+
+
+def before_tracegen() -> None:
+    _INJECTOR.before_tracegen()
 
 
 def after_cache_write(path: str) -> None:
